@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestScenarios(t *testing.T) {
+	for _, sc := range []string{"fig1", "fig2", "fig5"} {
+		if err := run(sc, 1, false, false, false); err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+	}
+}
+
+func TestFig2WithRepairAndDumps(t *testing.T) {
+	if err := run("fig2", 1, true, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	if err := run("nope", 1, false, false, false); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -1,0 +1,195 @@
+// Command replay is the §7 pipeline as a tool: it parses Cisco-IOS-style
+// router logs, infers the happens-before graph, and reports provenance and
+// root causes for every FIB update — plus the snapshot-consistency verdict.
+//
+// Usage:
+//
+//	replay -gen logs/        # generate the Fig. 5 logs into logs/<router>.log
+//	replay logs/*.log        # parse logs (router name = file basename)
+//	replay -dot logs/*.log   # also emit the inferred HBG as DOT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/ciscolog"
+	"hbverify/internal/config"
+	"hbverify/internal/hbr"
+	"hbverify/internal/network"
+	"hbverify/internal/snapshot"
+)
+
+func main() {
+	var (
+		gen = flag.String("gen", "", "generate Fig. 5 logs into this directory and exit")
+		dot = flag.Bool("dot", false, "print the inferred HBG as Graphviz DOT")
+	)
+	flag.Parse()
+	if *gen != "" {
+		if err := generate(*gen); err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "replay: no log files (try -gen logs/ first)")
+		os.Exit(2)
+	}
+	if err := analyze(flag.Args(), *dot); err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+}
+
+// generate runs the §7 scenario and writes per-router IOS-style logs.
+func generate(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	pn, err := network.BuildPaper(1, network.DefaultPaperOpts())
+	if err != nil {
+		return err
+	}
+	pn.SoftReconfigDelay = 25 * time.Second
+	pn.Start()
+	if err := pn.Run(); err != nil {
+		return err
+	}
+	if _, err := pn.UpdateConfig("r1", "neighbor localpref 200", func(c *config.Router) {
+		c.BGP.Neighbors[len(c.BGP.Neighbors)-1].LocalPref = 200
+	}); err != nil {
+		return err
+	}
+	if err := pn.Run(); err != nil {
+		return err
+	}
+	byRouter := map[string][]capture.IO{}
+	for _, io := range pn.Log.All() {
+		byRouter[io.Router] = append(byRouter[io.Router], io)
+	}
+	for router, ios := range byRouter {
+		f, err := os.Create(filepath.Join(dir, router+".log"))
+		if err != nil {
+			return err
+		}
+		if err := ciscolog.EmitLog(f, ios); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	// A topology hint file so analysis can resolve peer addresses.
+	hints, err := os.Create(filepath.Join(dir, "addresses.map"))
+	if err != nil {
+		return err
+	}
+	defer hints.Close()
+	for _, r := range pn.Routers() {
+		fmt.Fprintf(hints, "%s %s\n", r.Topo.Loopback, r.Name)
+		for _, i := range r.Topo.Interfaces() {
+			fmt.Fprintf(hints, "%s %s\n", i.Addr, r.Name)
+		}
+	}
+	fmt.Printf("wrote %d router logs + addresses.map to %s\n", len(byRouter), dir)
+	return nil
+}
+
+// analyze parses the logs and reports root causes.
+func analyze(files []string, dot bool) error {
+	resolver, err := loadResolver(files)
+	if err != nil {
+		return err
+	}
+	parser := ciscolog.NewParser(resolver)
+	var all []capture.IO
+	for _, path := range files {
+		if strings.HasSuffix(path, "addresses.map") {
+			continue
+		}
+		router := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		ios, err := parser.ParseLog(router, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		all = append(all, ios...)
+		fmt.Printf("parsed %4d events from %s\n", len(ios), path)
+	}
+	g := hbr.Rules{}.Infer(all)
+	fmt.Printf("inferred HBG: %d vertices, %d edges\n", g.NodeCount(), g.EdgeCount())
+
+	res := snapshot.Check(g, nil)
+	if res.Consistent {
+		fmt.Println("snapshot: consistent")
+	} else {
+		fmt.Printf("snapshot: INCONSISTENT, wait for %v (%d unmatched receives)\n", res.WaitFor, len(res.Missing))
+	}
+
+	fmt.Println("root causes of FIB updates:")
+	for _, io := range all {
+		if io.Type != capture.FIBInstall && io.Type != capture.FIBRemove {
+			continue
+		}
+		roots := g.RootCauses(io.ID)
+		for _, root := range roots {
+			if root.ID == io.ID {
+				continue // self-rooted: uninteresting
+			}
+			fmt.Printf("  %s  <=  %s\n", io, root)
+		}
+	}
+	if dot {
+		fmt.Println(g.DOT())
+	}
+	return nil
+}
+
+// loadResolver reads addresses.map if present among/alongside the inputs.
+func loadResolver(files []string) (ciscolog.Resolver, error) {
+	var path string
+	for _, f := range files {
+		if strings.HasSuffix(f, "addresses.map") {
+			path = f
+			break
+		}
+	}
+	if path == "" && len(files) > 0 {
+		candidate := filepath.Join(filepath.Dir(files[0]), "addresses.map")
+		if _, err := os.Stat(candidate); err == nil {
+			path = candidate
+		}
+	}
+	m := map[netip.Addr]string{}
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				continue
+			}
+			a, err := netip.ParseAddr(fields[0])
+			if err != nil {
+				continue
+			}
+			m[a] = fields[1]
+		}
+	}
+	return func(a netip.Addr) string { return m[a] }, nil
+}

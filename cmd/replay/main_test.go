@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateAndAnalyze(t *testing.T) {
+	dir := t.TempDir()
+	if err := generate(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs []string
+	haveMap := false
+	for _, e := range entries {
+		switch filepath.Ext(e.Name()) {
+		case ".log":
+			logs = append(logs, filepath.Join(dir, e.Name()))
+		case ".map":
+			haveMap = true
+		}
+	}
+	if len(logs) != 5 || !haveMap {
+		t.Fatalf("generated %d logs, map=%v", len(logs), haveMap)
+	}
+	if err := analyze(logs, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeMissingFile(t *testing.T) {
+	if err := analyze([]string{"/nonexistent/r1.log"}, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadResolverWithoutMap(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "r1.log")
+	if err := os.WriteFile(f, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resolve, err := loadResolver([]string{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolve == nil {
+		t.Fatal("nil resolver")
+	}
+}

@@ -1,0 +1,3 @@
+module hbverify
+
+go 1.22

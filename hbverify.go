@@ -1,0 +1,128 @@
+// Package hbverify integrates data-plane verification and control-plane
+// repair into a (simulated) distributed control plane, reproducing
+// "Integrating Verification and Repair into the Control Plane"
+// (Gember-Jacobson, Raiciu, Vanbever — HotNets 2017).
+//
+// The library is organized as a pipeline over captured control-plane I/Os:
+//
+//	network.Network  — deterministic simulation of routers running real
+//	                   BGP/OSPF/RIP/EIGRP implementations; every control
+//	                   plane input and output is recorded.
+//	hbr              — happens-before relationship inference from
+//	                   observable I/O properties (§4.2).
+//	hbg              — the happens-before graph: provenance and root
+//	                   causes (§4.3, §6).
+//	snapshot         — consistent data-plane snapshots gated on the HBG
+//	                   (§5).
+//	verify           — the data-plane verifier (loops, blackholes,
+//	                   egress, waypoints).
+//	repair           — root-cause rollback and the blocking baseline
+//	                   (§6, §2).
+//	dist             — distributed verification over TCP (§5).
+//	ciscolog         — IOS-style log emit/parse, the §7 substrate.
+//
+// Pipeline ties these together for the common workflow: run a scenario,
+// infer the HBG, verify policies over a consistent snapshot, and repair
+// the root cause of any violation.
+package hbverify
+
+import (
+	"fmt"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/dataplane"
+	"hbverify/internal/fib"
+	"hbverify/internal/hbg"
+	"hbverify/internal/hbr"
+	"hbverify/internal/network"
+	"hbverify/internal/repair"
+	"hbverify/internal/snapshot"
+	"hbverify/internal/verify"
+)
+
+// Pipeline bundles the verification-and-repair loop over one network.
+type Pipeline struct {
+	Net *network.Network
+	// Strategy infers happens-before relationships; defaults to rule
+	// matching (hbr.Rules).
+	Strategy hbr.Strategy
+	// Sources is the packet-injection set for data-plane checks.
+	Sources []string
+	// External marks routers outside the administrative domain for the
+	// snapshot-consistency recursion (§5).
+	External func(string) bool
+
+	engine *repair.Engine
+}
+
+// NewPipeline builds a pipeline with the rule-matching strategy.
+func NewPipeline(n *network.Network, sources []string) *Pipeline {
+	p := &Pipeline{Net: n, Strategy: hbr.Rules{}, Sources: sources}
+	p.engine = repair.NewEngine(n, p.infer, sources)
+	return p
+}
+
+// infer applies the configured strategy with oracle fields stripped, so
+// inference can never cheat via the simulator's ground-truth tags.
+func (p *Pipeline) infer(ios []capture.IO) *hbg.Graph {
+	return p.Strategy.Infer(capture.StripOracle(ios))
+}
+
+// Graph infers the happens-before graph over everything captured so far.
+func (p *Pipeline) Graph() *hbg.Graph { return p.infer(p.Net.Log.All()) }
+
+// GroundTruth builds the oracle graph from the simulator's causal tags,
+// for accuracy evaluation only.
+func (p *Pipeline) GroundTruth() *hbg.Graph { return hbg.FromGroundTruth(p.Net.Log.All()) }
+
+// Accuracy scores the configured strategy against ground truth.
+func (p *Pipeline) Accuracy() hbr.Metrics {
+	return hbr.Evaluate(p.Graph(), p.Net.Log.All())
+}
+
+// Walker returns a data-plane walker over the live FIBs.
+func (p *Pipeline) Walker() *dataplane.Walker {
+	tables := map[string]*fib.Table{}
+	for _, r := range p.Net.Routers() {
+		tables[r.Name] = r.FIB
+	}
+	return dataplane.NewWalker(p.Net.Topo, dataplane.TableView(tables))
+}
+
+// Verify checks policies against the live data plane.
+func (p *Pipeline) Verify(policies []verify.Policy) verify.Report {
+	return verify.NewChecker(p.Walker(), p.Sources).Check(policies)
+}
+
+// VerifySnapshot checks policies against a log-derived snapshot under a
+// collection cut, first extending the cut until it is HBG-consistent (§5).
+// It returns the report plus the consistency result.
+func (p *Pipeline) VerifySnapshot(cut snapshot.Cut, policies []verify.Policy) (verify.Report, snapshot.Result) {
+	collected, _, res := snapshot.ConsistentCollect(p.Net.Log.All(), cut, p.infer, p.External)
+	fibs := snapshot.BuildFIBs(collected)
+	w := dataplane.NewWalker(p.Net.Topo, dataplane.SnapshotView(fibs))
+	return verify.NewChecker(w, p.Sources).Check(policies), res
+}
+
+// Detect verifies and, on violation, traces the problematic FIB update to
+// its root causes via the inferred HBG.
+func (p *Pipeline) Detect(policies []verify.Policy) *repair.Diagnosis {
+	return p.engine.Detect(policies)
+}
+
+// DetectAndRepair additionally rolls back the root-cause configuration
+// change. Run the network afterwards to let the repair converge.
+func (p *Pipeline) DetectAndRepair(policies []verify.Policy) (*repair.Diagnosis, error) {
+	return p.engine.DetectAndRepair(policies)
+}
+
+// RootCause traces an arbitrary captured I/O to its HBG leaf causes.
+func (p *Pipeline) RootCause(ioID uint64) []capture.IO {
+	return p.Graph().RootCauses(ioID)
+}
+
+// Summary renders a one-line pipeline state description.
+func (p *Pipeline) Summary() string {
+	return fmt.Sprintf("%d routers, %d captured I/Os, strategy=%s",
+		len(p.Net.Routers()), p.Net.Log.Len(), p.Strategy.Name())
+}

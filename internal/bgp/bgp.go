@@ -1,0 +1,657 @@
+// Package bgp implements a BGP-4 speaker: eBGP and iBGP sessions,
+// Adj-RIB-In, Loc-RIB, the RFC 4271 decision process (with configurable
+// vendor quirks), import/export policies, withdrawals, soft reconfiguration,
+// and the Add-Path extension (§8 of the paper: determinism).
+//
+// The speaker reproduces the I/O orderings the paper's happens-before rules
+// depend on: a received advertisement is recorded before the RIB entry it
+// causes, the RIB entry before the FIB entry, and the FIB entry before any
+// advertisement to other routers (the Fig. 1c invariant that makes
+// HBG-gated snapshots sound). Raw received routes are retained so that soft
+// reconfiguration can re-run the decision process after a configuration
+// change, exactly as the feasibility study (§7) observes on Cisco routers.
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/config"
+	"hbverify/internal/fib"
+	"hbverify/internal/netsim"
+	"hbverify/internal/route"
+)
+
+// Message is a single-prefix BGP UPDATE. PathID distinguishes multiple
+// paths for the same prefix on Add-Path sessions; it is 0 otherwise.
+type Message struct {
+	Withdraw bool
+	Prefix   netip.Prefix
+	NextHop  netip.Addr
+	Attrs    route.BGPAttrs
+	PathID   uint32
+}
+
+func (m Message) String() string {
+	if m.Withdraw {
+		return fmt.Sprintf("WITHDRAW %s path=%d", m.Prefix, m.PathID)
+	}
+	return fmt.Sprintf("UPDATE %s nh=%s lp=%d path=[%s] id=%d",
+		m.Prefix, m.NextHop, m.Attrs.EffectiveLocalPref(), m.Attrs.PathString(), m.PathID)
+}
+
+// Env is what a speaker needs from the surrounding network: message
+// delivery and IGP reachability for next-hop ranking. internal/network
+// implements it.
+type Env interface {
+	// DeliverBGP ships msg from the local session address to the peer. The
+	// send I/O's capture ID rides along so the receiver can ground-truth
+	// its recv event.
+	DeliverBGP(local, peer netip.Addr, msg Message, sendIO uint64)
+	// IGPMetric reports the IGP cost to reach nh, false if unreachable.
+	IGPMetric(nh netip.Addr) (uint32, bool)
+}
+
+// Session is one configured BGP adjacency.
+type Session struct {
+	PeerName  string
+	PeerAddr  netip.Addr
+	LocalAddr netip.Addr
+	PeerAS    uint32
+	Type      route.PeerType
+	AddPath   bool
+	// RRClient marks the peer as a route-reflection client of this
+	// speaker (RFC 4456). A speaker with any client session acts as a
+	// route reflector: client routes are reflected to every iBGP peer and
+	// non-client routes to clients, with originator-ID / cluster-list
+	// loop prevention.
+	RRClient bool
+	// LocalPref is applied to routes received on this session (eBGP only).
+	LocalPref uint32
+	// ImportPolicy/ExportPolicy name policies resolved via the speaker's
+	// policy lookup.
+	ImportPolicy string
+	ExportPolicy string
+	Up           bool
+}
+
+// Timing controls the speaker's processing delays. The defaults follow the
+// magnitudes measured in the paper's feasibility study (§7): FIB installs a
+// few hundred microseconds to 4 ms after the decision, advertisements ~4 ms
+// after. AdvertDelay must be >= FIBDelay to preserve the FIB-before-send
+// invariant.
+type Timing struct {
+	FIBDelay    time.Duration
+	AdvertDelay time.Duration
+}
+
+// DefaultTiming mirrors the §7 measurements.
+func DefaultTiming() Timing {
+	return Timing{FIBDelay: time.Millisecond, AdvertDelay: 4 * time.Millisecond}
+}
+
+type rawRoute struct {
+	msg Message
+	seq uint64 // arrival order, used for age-based tie-breaking
+}
+
+type candidate struct {
+	r     route.Route
+	seq   uint64
+	from  netip.Addr // session the route was learned from; invalid = local
+	local bool
+}
+
+// Speaker is one router's BGP process.
+type Speaker struct {
+	name     string
+	loopback netip.Addr
+	cfg      *config.BGPConfig
+	policy   func(string) *config.Policy
+	rec      *capture.Recorder
+	sched    *netsim.Scheduler
+	fib      *fib.Table
+	env      Env
+	timing   Timing
+
+	sessions map[netip.Addr]*Session
+	// adjIn[peer][prefix][pathID] = raw received route (pre-policy).
+	adjIn map[netip.Addr]map[netip.Prefix]map[uint32]rawRoute
+	// locRIB holds the selected best route per prefix (post-policy).
+	locRIB   map[netip.Prefix]route.Route
+	locRIBIO map[netip.Prefix]uint64
+	// advertised[peer][prefix][pathID] = last message sent.
+	advertised map[netip.Addr]map[netip.Prefix]map[uint32]Message
+	arrival    uint64
+
+	pendingFIB  map[netip.Prefix][]uint64
+	pendingSync map[netip.Prefix][]uint64
+	// started gates local origination: configured networks are not
+	// originated until Start runs.
+	started bool
+}
+
+// New creates a speaker. policy resolves policy names from the router
+// config (may be nil when no policies are used).
+func New(name string, loopback netip.Addr, cfg *config.BGPConfig, policy func(string) *config.Policy,
+	rec *capture.Recorder, sched *netsim.Scheduler, fibTable *fib.Table, env Env, timing Timing) *Speaker {
+	if timing.AdvertDelay < timing.FIBDelay {
+		timing.AdvertDelay = timing.FIBDelay
+	}
+	if policy == nil {
+		policy = func(string) *config.Policy { return nil }
+	}
+	return &Speaker{
+		name: name, loopback: loopback, cfg: cfg, policy: policy,
+		rec: rec, sched: sched, fib: fibTable, env: env, timing: timing,
+		sessions:    map[netip.Addr]*Session{},
+		adjIn:       map[netip.Addr]map[netip.Prefix]map[uint32]rawRoute{},
+		locRIB:      map[netip.Prefix]route.Route{},
+		locRIBIO:    map[netip.Prefix]uint64{},
+		advertised:  map[netip.Addr]map[netip.Prefix]map[uint32]Message{},
+		pendingFIB:  map[netip.Prefix][]uint64{},
+		pendingSync: map[netip.Prefix][]uint64{},
+	}
+}
+
+// Name returns the owning router's name.
+func (s *Speaker) Name() string { return s.name }
+
+// SetConfig swaps the BGP configuration; callers follow with SoftReconfig.
+func (s *Speaker) SetConfig(cfg *config.BGPConfig) { s.cfg = cfg }
+
+// AddSession registers an adjacency. Sessions start down; the network layer
+// brings them up with PeerUp once both ends exist.
+func (s *Speaker) AddSession(sess Session) *Session {
+	cp := sess
+	s.sessions[sess.PeerAddr] = &cp
+	return &cp
+}
+
+// Session returns the session to peer, or nil.
+func (s *Speaker) Session(peer netip.Addr) *Session { return s.sessions[peer] }
+
+// Sessions returns sessions sorted by peer address.
+func (s *Speaker) Sessions() []*Session {
+	out := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sess)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PeerAddr.Compare(out[j].PeerAddr) < 0 })
+	return out
+}
+
+// LocRIB returns a copy of the selected best routes.
+func (s *Speaker) LocRIB() map[netip.Prefix]route.Route {
+	out := make(map[netip.Prefix]route.Route, len(s.locRIB))
+	for k, v := range s.locRIB {
+		out[k] = v
+	}
+	return out
+}
+
+// AdjIn returns the raw routes received from peer (diagnostics).
+func (s *Speaker) AdjIn(peer netip.Addr) []Message {
+	var out []Message
+	for _, byID := range s.adjIn[peer] {
+		for _, rr := range byID {
+			out = append(out, rr.msg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Start originates the configured networks. cause is typically the initial
+// config-change capture ID.
+func (s *Speaker) Start(cause ...uint64) {
+	s.started = true
+	for _, n := range s.cfg.Networks {
+		s.runDecision(n.Masked(), cause)
+	}
+}
+
+// PeerUp marks the session up and advertises the current table to it.
+func (s *Speaker) PeerUp(peer netip.Addr, cause ...uint64) {
+	sess := s.sessions[peer]
+	if sess == nil || sess.Up {
+		return
+	}
+	sess.Up = true
+	for p := range s.allPrefixes() {
+		s.scheduleSync(p, cause)
+	}
+}
+
+// PeerDown tears the session down: routes learned from the peer are purged
+// and the decision process reruns for every affected prefix. cause is the
+// capture ID of the triggering event (e.g. a link-down input).
+func (s *Speaker) PeerDown(peer netip.Addr, cause ...uint64) {
+	sess := s.sessions[peer]
+	if sess == nil || !sess.Up {
+		return
+	}
+	sess.Up = false
+	affected := make([]netip.Prefix, 0, len(s.adjIn[peer]))
+	for p := range s.adjIn[peer] {
+		affected = append(affected, p)
+	}
+	delete(s.adjIn, peer)
+	delete(s.advertised, peer)
+	sort.Slice(affected, func(i, j int) bool { return lessPrefix(affected[i], affected[j]) })
+	for _, p := range affected {
+		s.runDecision(p, cause)
+	}
+}
+
+// SoftReconfig re-runs the BGP decision process over the retained raw
+// Adj-RIB-In, as routers do after a configuration change. It records the
+// soft-reconfiguration event (visible in Cisco logs, Fig. 5) whose cause is
+// the config change, and every resulting output chains from it.
+func (s *Speaker) SoftReconfig(cause ...uint64) {
+	io := s.rec.Record(capture.IO{Type: capture.SoftReconfig, Proto: route.ProtoBGP, Causes: cause})
+	for p := range s.allPrefixes() {
+		s.runDecision(p, []uint64{io.ID})
+		s.scheduleSync(p, []uint64{io.ID})
+	}
+}
+
+// HandleUpdate processes a BGP message delivered by the network layer.
+// sendIO is the sender's send-event capture ID (ground truth for the recv).
+func (s *Speaker) HandleUpdate(peer netip.Addr, msg Message, sendIO uint64) {
+	sess := s.sessions[peer]
+	if sess == nil || !sess.Up {
+		return
+	}
+	typ := capture.RecvAdvert
+	if msg.Withdraw {
+		typ = capture.RecvWithdraw
+	}
+	recv := s.rec.Record(capture.IO{
+		Type: typ, Proto: route.ProtoBGP, Prefix: msg.Prefix, NextHop: msg.NextHop,
+		Peer: sess.PeerName, PeerAddr: peer, Attrs: msg.Attrs, Causes: []uint64{sendIO},
+	})
+	if msg.Withdraw {
+		if byID := s.adjIn[peer][msg.Prefix]; byID != nil {
+			delete(byID, msg.PathID)
+			if len(byID) == 0 {
+				delete(s.adjIn[peer], msg.Prefix)
+			}
+		}
+	} else {
+		if msg.Attrs.HasAS(s.cfg.ASN) {
+			return // AS-path loop: discard (recv was still recorded)
+		}
+		// Route-reflection loop prevention (RFC 4456).
+		if msg.Attrs.OriginatorID == s.loopback || msg.Attrs.InClusterList(s.loopback) {
+			return
+		}
+		if s.adjIn[peer] == nil {
+			s.adjIn[peer] = map[netip.Prefix]map[uint32]rawRoute{}
+		}
+		if s.adjIn[peer][msg.Prefix] == nil {
+			s.adjIn[peer][msg.Prefix] = map[uint32]rawRoute{}
+		}
+		s.arrival++
+		s.adjIn[peer][msg.Prefix][msg.PathID] = rawRoute{msg: msg, seq: s.arrival}
+	}
+	s.runDecision(msg.Prefix, []uint64{recv.ID})
+}
+
+// allPrefixes unions Loc-RIB, Adj-RIB-In, and configured networks.
+func (s *Speaker) allPrefixes() map[netip.Prefix]bool {
+	out := map[netip.Prefix]bool{}
+	for p := range s.locRIB {
+		out[p] = true
+	}
+	for _, byPfx := range s.adjIn {
+		for p := range byPfx {
+			out[p] = true
+		}
+	}
+	for _, n := range s.cfg.Networks {
+		out[n.Masked()] = true
+	}
+	return out
+}
+
+// candidates assembles the post-import-policy candidate set for p, sorted
+// by arrival (oldest first) with the local origination, if any, first.
+func (s *Speaker) candidates(p netip.Prefix) []candidate {
+	var out []candidate
+	for _, n := range s.cfg.Networks {
+		if s.started && n.Masked() == p {
+			out = append(out, candidate{
+				r: route.Route{
+					Prefix: p, Proto: route.ProtoBGP, PeerType: route.PeerNone,
+					Attrs: route.BGPAttrs{Origin: route.OriginIGP},
+				},
+				local: true,
+			})
+			break
+		}
+	}
+	peers := make([]netip.Addr, 0, len(s.adjIn))
+	for a := range s.adjIn {
+		peers = append(peers, a)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].Compare(peers[j]) < 0 })
+	for _, peer := range peers {
+		sess := s.sessions[peer]
+		if sess == nil || !sess.Up {
+			continue
+		}
+		byID := s.adjIn[peer][p]
+		ids := make([]uint32, 0, len(byID))
+		for id := range byID {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			rr := byID[id]
+			attrs := rr.msg.Attrs.Clone()
+			if sess.Type == route.PeerEBGP && sess.LocalPref != 0 {
+				attrs.LocalPref = sess.LocalPref
+			}
+			attrs, ok := s.policy(sess.ImportPolicy).Apply(p, attrs, s.cfg.ASN)
+			if !ok {
+				continue
+			}
+			out = append(out, candidate{
+				r: route.Route{
+					Prefix: p, NextHop: rr.msg.NextHop, Proto: route.ProtoBGP,
+					PeerType: sess.Type, Attrs: attrs, LearnedFrom: peer,
+				},
+				seq:  rr.seq,
+				from: peer,
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].local != out[j].local {
+			return out[i].local
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out
+}
+
+func (s *Speaker) runDecision(p netip.Prefix, causes []uint64) {
+	cands := s.candidates(p)
+	var best *candidate
+	for i := range cands {
+		if cands[i].local {
+			best = &cands[i]
+			break
+		}
+		if best == nil || route.CompareBGP(cands[i].r, best.r, s.env.IGPMetric, s.cfg.Quirks) < 0 {
+			best = &cands[i]
+		}
+	}
+	cur, had := s.locRIB[p]
+	switch {
+	case best == nil && had:
+		delete(s.locRIB, p)
+		delete(s.locRIBIO, p)
+		io := s.rec.Record(capture.IO{
+			Type: capture.RIBRemove, Proto: route.ProtoBGP, Prefix: p,
+			NextHop: cur.NextHop, Attrs: cur.Attrs, Causes: causes,
+		})
+		s.scheduleFIB(p, []uint64{io.ID})
+		s.scheduleSync(p, []uint64{io.ID})
+	case best != nil && (!had || !routeEqual(cur, best.r)):
+		s.locRIB[p] = best.r
+		io := s.rec.Record(capture.IO{
+			Type: capture.RIBInstall, Proto: route.ProtoBGP, Prefix: p,
+			NextHop: best.r.NextHop, Attrs: best.r.Attrs, Causes: causes,
+		})
+		s.locRIBIO[p] = io.ID
+		s.scheduleFIB(p, []uint64{io.ID})
+		s.scheduleSync(p, []uint64{io.ID})
+	default:
+		// Best unchanged. Add-Path sessions still need a resync because the
+		// candidate *set* may have changed.
+		if s.anyAddPath() {
+			s.scheduleSync(p, causes)
+		}
+	}
+}
+
+func (s *Speaker) anyAddPath() bool {
+	for _, sess := range s.sessions {
+		if sess.AddPath && sess.Up {
+			return true
+		}
+	}
+	return false
+}
+
+func routeEqual(a, b route.Route) bool {
+	if a.Prefix != b.Prefix || a.NextHop != b.NextHop || a.PeerType != b.PeerType ||
+		a.LearnedFrom != b.LearnedFrom {
+		return false
+	}
+	if a.Attrs.EffectiveLocalPref() != b.Attrs.EffectiveLocalPref() ||
+		a.Attrs.MED != b.Attrs.MED || a.Attrs.Origin != b.Attrs.Origin ||
+		len(a.Attrs.ASPath) != len(b.Attrs.ASPath) {
+		return false
+	}
+	for i := range a.Attrs.ASPath {
+		if a.Attrs.ASPath[i] != b.Attrs.ASPath[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// scheduleFIB queues a FIB synchronization for p after FIBDelay. Multiple
+// triggers merge; causes accumulate.
+func (s *Speaker) scheduleFIB(p netip.Prefix, causes []uint64) {
+	if pend, ok := s.pendingFIB[p]; ok {
+		s.pendingFIB[p] = append(pend, causes...)
+		return
+	}
+	s.pendingFIB[p] = append([]uint64(nil), causes...)
+	s.sched.After(s.timing.FIBDelay, func() { s.flushFIB(p) })
+}
+
+func (s *Speaker) flushFIB(p netip.Prefix) {
+	causes := s.pendingFIB[p]
+	delete(s.pendingFIB, p)
+	best, ok := s.locRIB[p]
+	if !ok {
+		s.fib.Withdraw(route.ProtoBGP, p, causes...)
+		return
+	}
+	if !best.NextHop.IsValid() {
+		// Locally originated: the connected/static source already covers
+		// the prefix; BGP does not add a FIB entry for it.
+		s.fib.Withdraw(route.ProtoBGP, p, causes...)
+		return
+	}
+	s.fib.Offer(best, causes...)
+}
+
+// scheduleSync queues peer advertisement synchronization for p.
+func (s *Speaker) scheduleSync(p netip.Prefix, causes []uint64) {
+	if pend, ok := s.pendingSync[p]; ok {
+		s.pendingSync[p] = append(pend, causes...)
+		return
+	}
+	s.pendingSync[p] = append([]uint64(nil), causes...)
+	s.sched.After(s.timing.AdvertDelay, func() { s.flushSync(p) })
+}
+
+func (s *Speaker) flushSync(p netip.Prefix) {
+	causes := s.pendingSync[p]
+	delete(s.pendingSync, p)
+	for _, sess := range s.Sessions() {
+		if !sess.Up {
+			continue
+		}
+		s.syncPeer(sess, p, causes)
+	}
+}
+
+// syncPeer diffs the desired exports for (sess, p) against what was last
+// advertised, emitting updates and withdrawals.
+func (s *Speaker) syncPeer(sess *Session, p netip.Prefix, causes []uint64) {
+	desired := s.desiredExports(sess, p)
+	if s.advertised[sess.PeerAddr] == nil {
+		s.advertised[sess.PeerAddr] = map[netip.Prefix]map[uint32]Message{}
+	}
+	cur := s.advertised[sess.PeerAddr][p]
+	// Withdraw stale paths.
+	ids := make([]uint32, 0, len(cur))
+	for id := range cur {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if _, still := desired[id]; still {
+			continue
+		}
+		w := Message{Withdraw: true, Prefix: p, PathID: id}
+		s.send(sess, w, causes)
+		delete(cur, id)
+	}
+	// Advertise new/changed paths.
+	ids = ids[:0]
+	for id := range desired {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		msg := desired[id]
+		if prev, ok := cur[id]; ok && messageEqual(prev, msg) {
+			continue
+		}
+		s.send(sess, msg, causes)
+		if cur == nil {
+			cur = map[uint32]Message{}
+		}
+		cur[id] = msg
+	}
+	if len(cur) == 0 {
+		delete(s.advertised[sess.PeerAddr], p)
+	} else {
+		s.advertised[sess.PeerAddr][p] = cur
+	}
+}
+
+func messageEqual(a, b Message) bool {
+	if a.Withdraw != b.Withdraw || a.Prefix != b.Prefix || a.NextHop != b.NextHop || a.PathID != b.PathID {
+		return false
+	}
+	if a.Attrs.LocalPref != b.Attrs.LocalPref || a.Attrs.MED != b.Attrs.MED ||
+		a.Attrs.Origin != b.Attrs.Origin || len(a.Attrs.ASPath) != len(b.Attrs.ASPath) {
+		return false
+	}
+	for i := range a.Attrs.ASPath {
+		if a.Attrs.ASPath[i] != b.Attrs.ASPath[i] {
+			return false
+		}
+	}
+	if a.Attrs.OriginatorID != b.Attrs.OriginatorID || len(a.Attrs.ClusterList) != len(b.Attrs.ClusterList) {
+		return false
+	}
+	for i := range a.Attrs.ClusterList {
+		if a.Attrs.ClusterList[i] != b.Attrs.ClusterList[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// desiredExports computes what should currently be advertised to sess for
+// prefix p: the best route, or all candidate paths on Add-Path sessions.
+func (s *Speaker) desiredExports(sess *Session, p netip.Prefix) map[uint32]Message {
+	out := map[uint32]Message{}
+	emit := func(c candidate, pathID uint32) {
+		// Split horizon: never advertise a route back to the session it
+		// was learned from.
+		if c.from.IsValid() && c.from == sess.PeerAddr {
+			return
+		}
+		reflecting := false
+		if sess.Type == route.PeerIBGP && c.r.PeerType == route.PeerIBGP {
+			// iBGP-learned routes are only re-advertised by a route
+			// reflector, following RFC 4456: client routes go to every
+			// iBGP peer, non-client routes only to clients.
+			fromSess := s.sessions[c.from]
+			fromClient := fromSess != nil && fromSess.RRClient
+			if !fromClient && !sess.RRClient {
+				return
+			}
+			reflecting = true
+		}
+		attrs, ok := s.policy(sess.ExportPolicy).Apply(p, c.r.Attrs.Clone(), s.cfg.ASN)
+		if !ok {
+			return
+		}
+		msg := Message{Prefix: p, PathID: pathID}
+		switch {
+		case sess.Type == route.PeerEBGP:
+			attrs.ASPath = append([]uint32{s.cfg.ASN}, attrs.ASPath...)
+			attrs.LocalPref = 0 // not carried over eBGP
+			if !c.local {
+				attrs.MED = 0 // MED is not propagated beyond the neighboring AS
+			}
+			attrs.OriginatorID = netip.Addr{}
+			attrs.ClusterList = nil
+			msg.NextHop = sess.LocalAddr
+		case reflecting:
+			// A reflector must not change the next hop; it stamps the
+			// originator and its own cluster ID instead.
+			msg.NextHop = c.r.NextHop
+			if !attrs.OriginatorID.IsValid() {
+				attrs.OriginatorID = c.from
+			}
+			attrs.ClusterList = append([]netip.Addr{s.loopback}, attrs.ClusterList...)
+		default:
+			// iBGP next-hop-self on the loopback; the IGP resolves it.
+			msg.NextHop = s.loopback
+		}
+		msg.Attrs = attrs
+		out[pathID] = msg
+	}
+	if sess.AddPath {
+		for _, c := range s.candidates(p) {
+			id := uint32(1) // local origination
+			if !c.local {
+				id = uint32(c.seq + 1)
+			}
+			emit(c, id)
+		}
+		return out
+	}
+	best, ok := s.locRIB[p]
+	if !ok {
+		return out
+	}
+	c := candidate{r: best, from: best.LearnedFrom, local: !best.LearnedFrom.IsValid()}
+	emit(c, 0)
+	return out
+}
+
+func (s *Speaker) send(sess *Session, msg Message, causes []uint64) {
+	typ := capture.SendAdvert
+	if msg.Withdraw {
+		typ = capture.SendWithdraw
+	}
+	io := s.rec.Record(capture.IO{
+		Type: typ, Proto: route.ProtoBGP, Prefix: msg.Prefix, NextHop: msg.NextHop,
+		Peer: sess.PeerName, PeerAddr: sess.PeerAddr, Attrs: msg.Attrs, Causes: causes,
+	})
+	s.env.DeliverBGP(sess.LocalAddr, sess.PeerAddr, msg, io.ID)
+}
+
+func lessPrefix(a, b netip.Prefix) bool {
+	if c := a.Addr().Compare(b.Addr()); c != 0 {
+		return c < 0
+	}
+	return a.Bits() < b.Bits()
+}

@@ -1,0 +1,306 @@
+// Package capture records control-plane inputs and outputs (I/Os), the raw
+// material of the paper's approach (§4). A router's control plane receives
+// three input kinds — configuration changes, hardware status changes, and
+// route advertisements/withdrawals — and produces three output kinds — RIB
+// entries, FIB entries, and advertisements/withdrawals for other routers.
+// Every protocol implementation in this repository reports each of these
+// through a Recorder.
+//
+// Each I/O carries two timestamps: Time, the wall clock the router would
+// stamp on a log line (virtual time distorted by that router's ClockModel),
+// and TrueTime, the undistorted simulation time. Inference code (internal/
+// hbr) may only use Time; TrueTime and the Causes field exist solely as the
+// ground-truth oracle for the precision/recall experiments.
+package capture
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"hbverify/internal/netsim"
+	"hbverify/internal/route"
+)
+
+// Type classifies a control-plane I/O.
+type Type uint8
+
+// I/O types. Recv*/Config/Link* are inputs; Send*/RIB*/FIB* are outputs.
+// SoftReconfig is an internal control-plane event that Cisco-style logs
+// expose (Fig. 5) and that links a config change to the outputs it causes.
+const (
+	ConfigChange Type = iota
+	LinkUp
+	LinkDown
+	RecvAdvert
+	RecvWithdraw
+	SendAdvert
+	SendWithdraw
+	RIBInstall
+	RIBRemove
+	FIBInstall
+	FIBRemove
+	SoftReconfig
+)
+
+var typeNames = [...]string{
+	"config-change", "link-up", "link-down",
+	"recv-advert", "recv-withdraw", "send-advert", "send-withdraw",
+	"rib-install", "rib-remove", "fib-install", "fib-remove",
+	"soft-reconfig",
+}
+
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("io(%d)", uint8(t))
+}
+
+// ParseType is the inverse of Type.String. The boolean reports success.
+func ParseType(s string) (Type, bool) {
+	for i, n := range typeNames {
+		if s == n {
+			return Type(i), true
+		}
+	}
+	return 0, false
+}
+
+// IsInput reports whether t is an input to the control plane (§4.1).
+func (t Type) IsInput() bool {
+	switch t {
+	case ConfigChange, LinkUp, LinkDown, RecvAdvert, RecvWithdraw:
+		return true
+	}
+	return false
+}
+
+// IsOutput reports whether t is an output of the control plane.
+func (t Type) IsOutput() bool {
+	switch t {
+	case SendAdvert, SendWithdraw, RIBInstall, RIBRemove, FIBInstall, FIBRemove:
+		return true
+	}
+	return false
+}
+
+// IO is one captured control-plane input or output.
+type IO struct {
+	ID     uint64
+	Router string
+	Type   Type
+	Proto  route.Protocol
+	// Prefix is set for all route-carrying I/Os; the zero Prefix marks
+	// prefix-less events (config changes, link events).
+	Prefix  netip.Prefix
+	NextHop netip.Addr
+	// Peer names the remote router for send/recv I/Os; PeerAddr is the
+	// session address. For link events Peer names the other end.
+	Peer     string
+	PeerAddr netip.Addr
+	Attrs    route.BGPAttrs
+	// Detail carries human-readable context: config summaries, link names.
+	Detail string
+	// Time is the router-observed (skewed) timestamp used by inference.
+	Time netsim.VirtualTime
+	// TrueTime is the undistorted virtual time (oracle only).
+	TrueTime netsim.VirtualTime
+	// Causes lists ground-truth causal parents (oracle only).
+	Causes []uint64
+}
+
+// HasPrefix reports whether the I/O carries a route prefix.
+func (io IO) HasPrefix() bool { return io.Prefix.IsValid() }
+
+// String renders the I/O in the paper's "[router action prefix]" style.
+func (io IO) String() string {
+	switch io.Type {
+	case ConfigChange:
+		return fmt.Sprintf("[%s config change: %s]", io.Router, io.Detail)
+	case LinkUp, LinkDown:
+		return fmt.Sprintf("[%s %s %s]", io.Router, io.Type, io.Detail)
+	case SoftReconfig:
+		return fmt.Sprintf("[%s soft reconfiguration]", io.Router)
+	case RecvAdvert, RecvWithdraw:
+		return fmt.Sprintf("[%s %s %s %s from %s]", io.Router, io.Type, io.Proto, io.Prefix, io.Peer)
+	case SendAdvert, SendWithdraw:
+		return fmt.Sprintf("[%s %s %s %s to %s]", io.Router, io.Type, io.Proto, io.Prefix, io.Peer)
+	case RIBInstall, RIBRemove:
+		return fmt.Sprintf("[%s %s %s %s via %s]", io.Router, io.Type, io.Proto, io.Prefix, nhString(io.NextHop))
+	case FIBInstall, FIBRemove:
+		return fmt.Sprintf("[%s %s %s via %s]", io.Router, io.Type, io.Prefix, nhString(io.NextHop))
+	default:
+		return fmt.Sprintf("[%s %s]", io.Router, io.Type)
+	}
+}
+
+func nhString(a netip.Addr) string {
+	if !a.IsValid() {
+		return "direct"
+	}
+	return a.String()
+}
+
+// Log is the network-wide capture log shared by all recorders. It is safe
+// for concurrent use (the distributed verifier reads it from goroutines).
+type Log struct {
+	mu     sync.Mutex
+	nextID uint64
+	ios    []IO
+	subs   []func(IO)
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{nextID: 1} }
+
+// Subscribe registers fn to be called synchronously for every appended I/O.
+// Subscribers must not append to the log.
+func (l *Log) Subscribe(fn func(IO)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.subs = append(l.subs, fn)
+}
+
+func (l *Log) append(io IO) IO {
+	l.mu.Lock()
+	io.ID = l.nextID
+	l.nextID++
+	l.ios = append(l.ios, io)
+	subs := l.subs
+	l.mu.Unlock()
+	for _, fn := range subs {
+		fn(io)
+	}
+	return io
+}
+
+// Len reports the number of captured I/Os.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ios)
+}
+
+// All returns a copy of every captured I/O in append order (which equals
+// TrueTime order because the simulator is single-threaded).
+func (l *Log) All() []IO {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]IO(nil), l.ios...)
+}
+
+// ByID returns the I/O with the given ID.
+func (l *Log) ByID(id uint64) (IO, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if id == 0 || id >= l.nextID {
+		return IO{}, false
+	}
+	// IDs are dense and append-ordered.
+	return l.ios[id-1], true
+}
+
+// Filter returns the I/Os for which keep returns true, in append order.
+func (l *Log) Filter(keep func(IO) bool) []IO {
+	var out []IO
+	for _, io := range l.All() {
+		if keep(io) {
+			out = append(out, io)
+		}
+	}
+	return out
+}
+
+// ForRouter returns the I/Os captured at one router.
+func (l *Log) ForRouter(name string) []IO {
+	return l.Filter(func(io IO) bool { return io.Router == name })
+}
+
+// ForPrefix returns the I/Os carrying the exact prefix p.
+func (l *Log) ForPrefix(p netip.Prefix) []IO {
+	p = p.Masked()
+	return l.Filter(func(io IO) bool { return io.Prefix == p })
+}
+
+// ObservedOrder returns all I/Os sorted by router-observed time, breaking
+// ties by ID. This is the view an inference engine working from collected
+// router logs would have.
+func (l *Log) ObservedOrder() []IO {
+	out := l.All()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// StripOracle returns a copy of the I/Os with ground-truth fields cleared,
+// for handing to inference code in experiments that must not cheat.
+func StripOracle(ios []IO) []IO {
+	out := append([]IO(nil), ios...)
+	for i := range out {
+		out[i].Causes = nil
+		out[i].TrueTime = 0
+	}
+	return out
+}
+
+// Recorder captures I/Os on behalf of one router, stamping them with the
+// router's (possibly skewed) clock and the current causal scope.
+type Recorder struct {
+	log    *Log
+	router string
+	sched  *netsim.Scheduler
+	clock  *netsim.ClockModel
+	scope  [][]uint64
+}
+
+// NewRecorder builds a recorder for a router. clock may be nil for a
+// perfectly synchronized router.
+func NewRecorder(log *Log, router string, sched *netsim.Scheduler, clock *netsim.ClockModel) *Recorder {
+	return &Recorder{log: log, router: router, sched: sched, clock: clock}
+}
+
+// Router returns the owning router's name.
+func (r *Recorder) Router() string { return r.router }
+
+// PushCause enters a causal scope: every I/O recorded until the matching
+// PopCause lists ids as ground-truth parents. Scopes nest; inner scopes
+// replace (not extend) outer ones, because a protocol handler processing
+// input X knows exactly which inputs its outputs depend on.
+func (r *Recorder) PushCause(ids ...uint64) {
+	r.scope = append(r.scope, append([]uint64(nil), ids...))
+}
+
+// PopCause leaves the innermost causal scope.
+func (r *Recorder) PopCause() {
+	if len(r.scope) == 0 {
+		panic("capture: PopCause without PushCause")
+	}
+	r.scope = r.scope[:len(r.scope)-1]
+}
+
+// WithCause runs fn inside a causal scope.
+func (r *Recorder) WithCause(ids []uint64, fn func()) {
+	r.PushCause(ids...)
+	defer r.PopCause()
+	fn()
+}
+
+// Record appends io to the network log, filling router, timestamps, and the
+// causal scope. It returns the stored I/O (with its assigned ID) so callers
+// can chain causality.
+func (r *Recorder) Record(io IO) IO {
+	io.Router = r.router
+	now := r.sched.Now()
+	io.TrueTime = now
+	io.Time = r.clock.Read(now)
+	if len(io.Causes) == 0 && len(r.scope) > 0 {
+		io.Causes = append([]uint64(nil), r.scope[len(r.scope)-1]...)
+	}
+	return r.log.append(io)
+}

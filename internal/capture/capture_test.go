@@ -1,0 +1,256 @@
+package capture
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"hbverify/internal/netsim"
+	"hbverify/internal/route"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func TestTypeClassification(t *testing.T) {
+	inputs := []Type{ConfigChange, LinkUp, LinkDown, RecvAdvert, RecvWithdraw}
+	outputs := []Type{SendAdvert, SendWithdraw, RIBInstall, RIBRemove, FIBInstall, FIBRemove}
+	for _, ty := range inputs {
+		if !ty.IsInput() || ty.IsOutput() {
+			t.Fatalf("%v misclassified", ty)
+		}
+	}
+	for _, ty := range outputs {
+		if ty.IsInput() || !ty.IsOutput() {
+			t.Fatalf("%v misclassified", ty)
+		}
+	}
+	if SoftReconfig.IsInput() || SoftReconfig.IsOutput() {
+		t.Fatal("SoftReconfig is neither input nor output")
+	}
+}
+
+func TestTypeNamesRoundTrip(t *testing.T) {
+	for ty := ConfigChange; ty <= SoftReconfig; ty++ {
+		got, ok := ParseType(ty.String())
+		if !ok || got != ty {
+			t.Fatalf("round trip %v", ty)
+		}
+	}
+	if _, ok := ParseType("bogus"); ok {
+		t.Fatal("bogus parsed")
+	}
+	if Type(200).String() != "io(200)" {
+		t.Fatal("out-of-range name")
+	}
+}
+
+func TestIOStringStyles(t *testing.T) {
+	cases := []struct {
+		io   IO
+		want string
+	}{
+		{IO{Router: "r2", Type: ConfigChange, Detail: "lp=10"}, "[r2 config change: lp=10]"},
+		{IO{Router: "r2", Type: SoftReconfig}, "[r2 soft reconfiguration]"},
+		{IO{Router: "r1", Type: RecvAdvert, Proto: route.ProtoBGP, Prefix: pfx("10.0.0.0/8"), Peer: "r2"},
+			"[r1 recv-advert bgp 10.0.0.0/8 from r2]"},
+		{IO{Router: "r2", Type: SendWithdraw, Proto: route.ProtoBGP, Prefix: pfx("10.0.0.0/8"), Peer: "r3"},
+			"[r2 send-withdraw bgp 10.0.0.0/8 to r3]"},
+		{IO{Router: "r2", Type: RIBInstall, Proto: route.ProtoBGP, Prefix: pfx("10.0.0.0/8")},
+			"[r2 rib-install bgp 10.0.0.0/8 via direct]"},
+		{IO{Router: "r2", Type: FIBInstall, Prefix: pfx("10.0.0.0/8"), NextHop: netip.MustParseAddr("192.0.2.1")},
+			"[r2 fib-install 10.0.0.0/8 via 192.0.2.1]"},
+		{IO{Router: "r2", Type: LinkDown, Detail: "eth0"}, "[r2 link-down eth0]"},
+	}
+	for _, c := range cases {
+		if got := c.io.String(); got != c.want {
+			t.Fatalf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRecorderAssignsIDsAndTimes(t *testing.T) {
+	s := netsim.NewScheduler(1)
+	log := NewLog()
+	rec := NewRecorder(log, "r1", s, nil)
+	var first, second IO
+	s.At(netsim.Duration(5*time.Millisecond), func() {
+		first = rec.Record(IO{Type: RecvAdvert, Proto: route.ProtoBGP, Prefix: pfx("10.0.0.0/8")})
+	})
+	s.At(netsim.Duration(9*time.Millisecond), func() {
+		second = rec.Record(IO{Type: RIBInstall, Proto: route.ProtoBGP, Prefix: pfx("10.0.0.0/8")})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if first.ID != 1 || second.ID != 2 {
+		t.Fatalf("IDs = %d,%d", first.ID, second.ID)
+	}
+	if first.Router != "r1" {
+		t.Fatalf("router = %q", first.Router)
+	}
+	if first.TrueTime != netsim.Duration(5*time.Millisecond) || first.Time != first.TrueTime {
+		t.Fatalf("times = %v %v", first.Time, first.TrueTime)
+	}
+	if log.Len() != 2 {
+		t.Fatalf("log len = %d", log.Len())
+	}
+}
+
+func TestRecorderClockSkew(t *testing.T) {
+	s := netsim.NewScheduler(1)
+	log := NewLog()
+	clock := netsim.NewClockModel(2*time.Second, 0, 1)
+	rec := NewRecorder(log, "r1", s, clock)
+	var io IO
+	s.At(0, func() { io = rec.Record(IO{Type: ConfigChange}) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if io.TrueTime != 0 {
+		t.Fatalf("TrueTime = %v", io.TrueTime)
+	}
+	if io.Time != netsim.Duration(2*time.Second) {
+		t.Fatalf("observed time = %v", io.Time)
+	}
+}
+
+func TestCausalScopes(t *testing.T) {
+	s := netsim.NewScheduler(1)
+	log := NewLog()
+	rec := NewRecorder(log, "r1", s, nil)
+	var in, out, nested, after IO
+	s.At(0, func() {
+		in = rec.Record(IO{Type: RecvAdvert, Prefix: pfx("10.0.0.0/8")})
+		rec.WithCause([]uint64{in.ID}, func() {
+			out = rec.Record(IO{Type: RIBInstall, Prefix: pfx("10.0.0.0/8")})
+			rec.WithCause([]uint64{out.ID}, func() {
+				nested = rec.Record(IO{Type: FIBInstall, Prefix: pfx("10.0.0.0/8")})
+			})
+		})
+		after = rec.Record(IO{Type: SendAdvert, Prefix: pfx("10.0.0.0/8")})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Causes) != 0 {
+		t.Fatalf("input has causes: %v", in.Causes)
+	}
+	if len(out.Causes) != 1 || out.Causes[0] != in.ID {
+		t.Fatalf("out causes = %v", out.Causes)
+	}
+	if len(nested.Causes) != 1 || nested.Causes[0] != out.ID {
+		t.Fatalf("inner scope must replace outer: %v", nested.Causes)
+	}
+	if len(after.Causes) != 0 {
+		t.Fatalf("scope leaked: %v", after.Causes)
+	}
+}
+
+func TestExplicitCausesWinOverScope(t *testing.T) {
+	s := netsim.NewScheduler(1)
+	log := NewLog()
+	rec := NewRecorder(log, "r1", s, nil)
+	var io IO
+	s.At(0, func() {
+		rec.WithCause([]uint64{42}, func() {
+			io = rec.Record(IO{Type: FIBInstall, Prefix: pfx("10.0.0.0/8"), Causes: []uint64{7}})
+		})
+	})
+	_ = s.Run()
+	if len(io.Causes) != 1 || io.Causes[0] != 7 {
+		t.Fatalf("causes = %v", io.Causes)
+	}
+}
+
+func TestPopCauseWithoutPushPanics(t *testing.T) {
+	rec := NewRecorder(NewLog(), "r1", netsim.NewScheduler(1), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rec.PopCause()
+}
+
+func TestLogQueries(t *testing.T) {
+	s := netsim.NewScheduler(1)
+	log := NewLog()
+	r1 := NewRecorder(log, "r1", s, nil)
+	r2 := NewRecorder(log, "r2", s, nil)
+	s.At(0, func() {
+		r1.Record(IO{Type: RecvAdvert, Prefix: pfx("10.0.0.0/8")})
+		r2.Record(IO{Type: RecvAdvert, Prefix: pfx("10.0.0.0/8")})
+		r2.Record(IO{Type: RIBInstall, Prefix: pfx("20.0.0.0/8")})
+	})
+	_ = s.Run()
+	if got := log.ForRouter("r2"); len(got) != 2 {
+		t.Fatalf("ForRouter = %d", len(got))
+	}
+	if got := log.ForPrefix(pfx("10.0.0.0/8")); len(got) != 2 {
+		t.Fatalf("ForPrefix = %d", len(got))
+	}
+	if io, ok := log.ByID(3); !ok || io.Prefix != pfx("20.0.0.0/8") {
+		t.Fatalf("ByID = %+v %v", io, ok)
+	}
+	if _, ok := log.ByID(0); ok {
+		t.Fatal("ID 0 resolved")
+	}
+	if _, ok := log.ByID(99); ok {
+		t.Fatal("future ID resolved")
+	}
+}
+
+func TestObservedOrderUsesSkewedClocks(t *testing.T) {
+	s := netsim.NewScheduler(1)
+	log := NewLog()
+	// r1's clock runs 10s fast, so its earlier event sorts later.
+	fast := NewRecorder(log, "r1", s, netsim.NewClockModel(10*time.Second, 0, 1))
+	slow := NewRecorder(log, "r2", s, nil)
+	s.At(0, func() { fast.Record(IO{Type: ConfigChange, Detail: "early but fast clock"}) })
+	s.At(netsim.Duration(time.Second), func() { slow.Record(IO{Type: ConfigChange, Detail: "late"}) })
+	_ = s.Run()
+	obs := log.ObservedOrder()
+	if obs[0].Router != "r2" || obs[1].Router != "r1" {
+		t.Fatalf("observed order = %v,%v", obs[0].Router, obs[1].Router)
+	}
+	all := log.All()
+	if all[0].Router != "r1" {
+		t.Fatal("append order must stay true-time ordered")
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	s := netsim.NewScheduler(1)
+	log := NewLog()
+	var seen []uint64
+	log.Subscribe(func(io IO) { seen = append(seen, io.ID) })
+	rec := NewRecorder(log, "r1", s, nil)
+	s.At(0, func() {
+		rec.Record(IO{Type: ConfigChange})
+		rec.Record(IO{Type: SoftReconfig})
+	})
+	_ = s.Run()
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("subscriber saw %v", seen)
+	}
+}
+
+func TestStripOracle(t *testing.T) {
+	ios := []IO{{ID: 1, Causes: []uint64{9}, TrueTime: 55, Time: 60}}
+	out := StripOracle(ios)
+	if out[0].Causes != nil || out[0].TrueTime != 0 || out[0].Time != 60 {
+		t.Fatalf("strip = %+v", out[0])
+	}
+	if ios[0].Causes == nil {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	if (IO{Type: ConfigChange}).HasPrefix() {
+		t.Fatal("config change has prefix")
+	}
+	if !(IO{Type: FIBInstall, Prefix: pfx("10.0.0.0/8")}).HasPrefix() {
+		t.Fatal("fib install lacks prefix")
+	}
+}

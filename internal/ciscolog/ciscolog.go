@@ -1,0 +1,401 @@
+// Package ciscolog renders captured control-plane I/Os as Cisco-IOS-style
+// debug log lines and parses such logs back into I/O events. It is the
+// substitute for the paper's §7 substrate: the authors ran Cisco VM images
+// under GNS3, enabled logging, and "captured and parsed the outputs of the
+// logs" — this package is that pipeline, driven by the simulator instead
+// of proprietary images.
+//
+// Fidelity notes that matter to inference: timestamps are truncated to
+// milliseconds (IOS log resolution), neighbor identity appears as a session
+// address rather than a router name (the parser takes a resolver), and
+// ground-truth causality is — of course — absent from the text. Whatever
+// the happens-before machinery recovers, it recovers from the same
+// information a real deployment would have.
+package ciscolog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/netsim"
+	"hbverify/internal/route"
+)
+
+// epoch anchors virtual time zero onto a fixed IOS-style wall clock. The
+// paper's logs were captured in 2017; any fixed anchor works.
+var epoch = time.Date(2017, time.November, 1, 10, 0, 0, 0, time.UTC)
+
+// Timestamp renders a virtual time as an IOS log stamp, e.g.
+// "*Nov  1 10:00:25.004".
+func Timestamp(t netsim.VirtualTime) string {
+	w := epoch.Add(time.Duration(t))
+	return fmt.Sprintf("*%s %2d %02d:%02d:%02d.%03d",
+		w.Month().String()[:3], w.Day(), w.Hour(), w.Minute(), w.Second(),
+		w.Nanosecond()/int(time.Millisecond))
+}
+
+// ParseTimestamp inverts Timestamp, returning the virtual time truncated
+// to milliseconds.
+func ParseTimestamp(s string) (netsim.VirtualTime, error) {
+	s = strings.TrimPrefix(s, "*")
+	w, err := time.Parse("Jan _2 15:04:05.000", s)
+	if err != nil {
+		return 0, fmt.Errorf("ciscolog: bad timestamp %q: %w", s, err)
+	}
+	w = w.AddDate(epoch.Year(), 0, 0)
+	return netsim.VirtualTime(w.Sub(epoch)), nil
+}
+
+func protoTag(p route.Protocol) string {
+	switch p {
+	case route.ProtoBGP:
+		return "BGP"
+	case route.ProtoOSPF:
+		return "OSPF"
+	case route.ProtoRIP:
+		return "RIP"
+	case route.ProtoEIGRP:
+		return "EIGRP"
+	default:
+		return "IP"
+	}
+}
+
+func tagProto(tag string) route.Protocol {
+	switch tag {
+	case "BGP":
+		return route.ProtoBGP
+	case "OSPF":
+		return route.ProtoOSPF
+	case "RIP":
+		return route.ProtoRIP
+	case "EIGRP":
+		return route.ProtoEIGRP
+	default:
+		return route.ProtoUnknown
+	}
+}
+
+// Emit renders one I/O as a log line (without a trailing newline). The
+// line omits the router name: logs are per-router files, as on real gear.
+func Emit(io capture.IO) string {
+	ts := Timestamp(io.Time)
+	switch io.Type {
+	case capture.ConfigChange:
+		return fmt.Sprintf("%s: %%SYS-5-CONFIG_I: Configured from console by admin on vty0 (%s)", ts, io.Detail)
+	case capture.SoftReconfig:
+		return fmt.Sprintf("%s: %%BGP-5-SOFTRECONFIG: inbound soft reconfiguration started", ts)
+	case capture.LinkUp:
+		return fmt.Sprintf("%s: %%LINEPROTO-5-UPDOWN: Line protocol on Interface %s, changed state to up", ts, io.Detail)
+	case capture.LinkDown:
+		return fmt.Sprintf("%s: %%LINEPROTO-5-UPDOWN: Line protocol on Interface %s, changed state to down", ts, io.Detail)
+	case capture.RecvAdvert:
+		if io.Proto == route.ProtoOSPF {
+			return fmt.Sprintf("%s: OSPF: rcv. %s from %s", ts, io.Detail, io.PeerAddr)
+		}
+		return fmt.Sprintf("%s: %s(0): %s rcvd UPDATE about %s, next hop %s, localpref %d, path %s",
+			ts, protoTag(io.Proto), io.PeerAddr, io.Prefix, nhOrSelf(io.NextHop), io.Attrs.LocalPref, pathOrNone(io.Attrs))
+	case capture.RecvWithdraw:
+		return fmt.Sprintf("%s: %s(0): %s rcvd WITHDRAW about %s", ts, protoTag(io.Proto), io.PeerAddr, io.Prefix)
+	case capture.SendAdvert:
+		if io.Proto == route.ProtoOSPF {
+			return fmt.Sprintf("%s: OSPF: send %s to %s", ts, io.Detail, io.PeerAddr)
+		}
+		return fmt.Sprintf("%s: %s(0): %s send UPDATE about %s, next hop %s, localpref %d, path %s",
+			ts, protoTag(io.Proto), io.PeerAddr, io.Prefix, nhOrSelf(io.NextHop), io.Attrs.LocalPref, pathOrNone(io.Attrs))
+	case capture.SendWithdraw:
+		return fmt.Sprintf("%s: %s(0): %s send WITHDRAW about %s", ts, protoTag(io.Proto), io.PeerAddr, io.Prefix)
+	case capture.RIBInstall:
+		return fmt.Sprintf("%s: %s(0): Revise route installing %s -> %s to main IP table", ts, protoTag(io.Proto), io.Prefix, nhOrSelf(io.NextHop))
+	case capture.RIBRemove:
+		return fmt.Sprintf("%s: %s(0): Revise route removing %s from main IP table", ts, protoTag(io.Proto), io.Prefix)
+	case capture.FIBInstall:
+		return fmt.Sprintf("%s: %%FIB-6-INSTALL: %s via %s installed in FIB (%s)", ts, io.Prefix, nhOrSelf(io.NextHop), io.Proto)
+	case capture.FIBRemove:
+		return fmt.Sprintf("%s: %%FIB-6-REMOVE: %s removed from FIB (%s)", ts, io.Prefix, io.Proto)
+	default:
+		return fmt.Sprintf("%s: %%SYS-7-UNKNOWN: %s", ts, io.Type)
+	}
+}
+
+// fibProto extracts the trailing "(proto)" tag from a FIB line; lines
+// without one (e.g. logs from gear that does not tag the source) parse as
+// ProtoUnknown, which inference tolerates.
+func fibProto(rest string) route.Protocol {
+	i := strings.LastIndex(rest, "(")
+	if i < 0 || !strings.HasSuffix(rest, ")") {
+		return route.ProtoUnknown
+	}
+	return route.ParseProtocol(rest[i+1 : len(rest)-1])
+}
+
+func nhOrSelf(a netip.Addr) string {
+	if !a.IsValid() {
+		return "self"
+	}
+	return a.String()
+}
+
+func pathOrNone(a route.BGPAttrs) string {
+	if len(a.ASPath) == 0 {
+		return "local"
+	}
+	return a.PathString()
+}
+
+// EmitLog writes the lines for one router's I/Os to w.
+func EmitLog(w io.Writer, ios []capture.IO) error {
+	for _, x := range ios {
+		if _, err := fmt.Fprintln(w, Emit(x)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Resolver maps a peer session address to a router name; it stands in for
+// the operator's knowledge of their own topology. Returning "" leaves the
+// peer unresolved (inference degrades gracefully).
+type Resolver func(netip.Addr) string
+
+// Parser turns log lines back into I/O events, assigning fresh IDs.
+type Parser struct {
+	Resolve Resolver
+	nextID  uint64
+}
+
+// NewParser builds a parser; resolve may be nil.
+func NewParser(resolve Resolver) *Parser {
+	if resolve == nil {
+		resolve = func(netip.Addr) string { return "" }
+	}
+	return &Parser{Resolve: resolve, nextID: 1}
+}
+
+// ParseLine parses one log line captured at the named router.
+func (p *Parser) ParseLine(router, line string) (capture.IO, error) {
+	line = strings.TrimSpace(line)
+	colon := strings.Index(line, ": ")
+	if colon < 0 {
+		return capture.IO{}, fmt.Errorf("ciscolog: no timestamp separator in %q", line)
+	}
+	ts, err := ParseTimestamp(line[:colon])
+	if err != nil {
+		return capture.IO{}, err
+	}
+	rest := line[colon+2:]
+	io := capture.IO{Router: router, Time: ts}
+	defer func() { p.nextID++ }()
+	io.ID = p.nextID
+
+	switch {
+	case strings.HasPrefix(rest, "%SYS-5-CONFIG_I:"):
+		io.Type = capture.ConfigChange
+		if i := strings.Index(rest, "("); i >= 0 && strings.HasSuffix(rest, ")") {
+			io.Detail = rest[i+1 : len(rest)-1]
+		}
+	case strings.HasPrefix(rest, "%BGP-5-SOFTRECONFIG:"):
+		io.Type = capture.SoftReconfig
+		io.Proto = route.ProtoBGP
+	case strings.HasPrefix(rest, "%LINEPROTO-5-UPDOWN:"):
+		io.Type = capture.LinkDown
+		if strings.HasSuffix(rest, "to up") {
+			io.Type = capture.LinkUp
+		}
+		const marker = "Interface "
+		if i := strings.Index(rest, marker); i >= 0 {
+			tail := rest[i+len(marker):]
+			if j := strings.Index(tail, ","); j >= 0 {
+				io.Detail = tail[:j]
+			}
+		}
+	case strings.HasPrefix(rest, "%FIB-6-INSTALL:"):
+		io.Type = capture.FIBInstall
+		fields := strings.Fields(strings.TrimPrefix(rest, "%FIB-6-INSTALL:"))
+		if len(fields) < 3 {
+			return io, fmt.Errorf("ciscolog: short FIB line %q", rest)
+		}
+		if io.Prefix, err = netip.ParsePrefix(fields[0]); err != nil {
+			return io, err
+		}
+		if fields[2] != "self" {
+			if io.NextHop, err = netip.ParseAddr(fields[2]); err != nil {
+				return io, err
+			}
+		}
+		io.Proto = fibProto(rest)
+	case strings.HasPrefix(rest, "%FIB-6-REMOVE:"):
+		io.Type = capture.FIBRemove
+		fields := strings.Fields(strings.TrimPrefix(rest, "%FIB-6-REMOVE:"))
+		if len(fields) < 1 {
+			return io, fmt.Errorf("ciscolog: short FIB line %q", rest)
+		}
+		if io.Prefix, err = netip.ParsePrefix(fields[0]); err != nil {
+			return io, err
+		}
+		io.Proto = fibProto(rest)
+	case strings.HasPrefix(rest, "OSPF: rcv. "), strings.HasPrefix(rest, "OSPF: send "):
+		io.Proto = route.ProtoOSPF
+		io.Type = capture.RecvAdvert
+		marker := " from "
+		if strings.HasPrefix(rest, "OSPF: send ") {
+			io.Type = capture.SendAdvert
+			marker = " to "
+		}
+		body := strings.TrimPrefix(strings.TrimPrefix(rest, "OSPF: rcv. "), "OSPF: send ")
+		if i := strings.LastIndex(body, marker); i >= 0 {
+			io.Detail = body[:i]
+			if addr, err := netip.ParseAddr(body[i+len(marker):]); err == nil {
+				io.PeerAddr = addr
+				io.Peer = p.Resolve(addr)
+			}
+		}
+	default:
+		return p.parseProtoLine(io, rest)
+	}
+	return io, nil
+}
+
+// parseProtoLine handles "<TAG>(0): ..." routing-protocol debug lines.
+func (p *Parser) parseProtoLine(io capture.IO, rest string) (capture.IO, error) {
+	paren := strings.Index(rest, "(0): ")
+	if paren < 0 {
+		return io, fmt.Errorf("ciscolog: unrecognized line %q", rest)
+	}
+	io.Proto = tagProto(rest[:paren])
+	body := rest[paren+5:]
+	var err error
+	switch {
+	case strings.HasPrefix(body, "Revise route installing "):
+		io.Type = capture.RIBInstall
+		body = strings.TrimPrefix(body, "Revise route installing ")
+		parts := strings.SplitN(body, " -> ", 2)
+		if len(parts) != 2 {
+			return io, fmt.Errorf("ciscolog: bad revise line %q", body)
+		}
+		if io.Prefix, err = netip.ParsePrefix(parts[0]); err != nil {
+			return io, err
+		}
+		nh := strings.Fields(parts[1])[0]
+		if nh != "self" {
+			if io.NextHop, err = netip.ParseAddr(nh); err != nil {
+				return io, err
+			}
+		}
+	case strings.HasPrefix(body, "Revise route removing "):
+		io.Type = capture.RIBRemove
+		body = strings.TrimPrefix(body, "Revise route removing ")
+		if io.Prefix, err = netip.ParsePrefix(strings.Fields(body)[0]); err != nil {
+			return io, err
+		}
+	default:
+		// "<peer> rcvd|send UPDATE|WITHDRAW about <prefix>[, next hop <nh>,
+		// localpref <lp>, path <path>]"
+		fields := strings.Fields(body)
+		if len(fields) < 5 {
+			return io, fmt.Errorf("ciscolog: short proto line %q", body)
+		}
+		if io.PeerAddr, err = netip.ParseAddr(fields[0]); err != nil {
+			return io, err
+		}
+		io.Peer = p.Resolve(io.PeerAddr)
+		dir, kind := fields[1], fields[2]
+		pfx := strings.TrimSuffix(fields[4], ",")
+		if io.Prefix, err = netip.ParsePrefix(pfx); err != nil {
+			return io, err
+		}
+		switch {
+		case dir == "rcvd" && kind == "UPDATE":
+			io.Type = capture.RecvAdvert
+		case dir == "rcvd" && kind == "WITHDRAW":
+			io.Type = capture.RecvWithdraw
+		case dir == "send" && kind == "UPDATE":
+			io.Type = capture.SendAdvert
+		case dir == "send" && kind == "WITHDRAW":
+			io.Type = capture.SendWithdraw
+		default:
+			return io, fmt.Errorf("ciscolog: unknown direction %q %q", dir, kind)
+		}
+		if io.Type == capture.RecvAdvert || io.Type == capture.SendAdvert {
+			parseUpdateTail(&io, body)
+		}
+	}
+	return io, nil
+}
+
+func parseUpdateTail(io *capture.IO, body string) {
+	if i := strings.Index(body, "next hop "); i >= 0 {
+		nh := strings.TrimSuffix(strings.Fields(body[i+len("next hop "):])[0], ",")
+		if nh != "self" {
+			if a, err := netip.ParseAddr(nh); err == nil {
+				io.NextHop = a
+			}
+		}
+	}
+	if i := strings.Index(body, "localpref "); i >= 0 {
+		lp := strings.TrimSuffix(strings.Fields(body[i+len("localpref "):])[0], ",")
+		if v, err := strconv.ParseUint(lp, 10, 32); err == nil {
+			io.Attrs.LocalPref = uint32(v)
+		}
+	}
+	if i := strings.Index(body, "path "); i >= 0 {
+		for _, f := range strings.Fields(body[i+len("path "):]) {
+			if v, err := strconv.ParseUint(f, 10, 32); err == nil {
+				io.Attrs.ASPath = append(io.Attrs.ASPath, uint32(v))
+			}
+		}
+	}
+}
+
+// ParseLog parses a whole per-router log stream.
+func (p *Parser) ParseLog(router string, r io.Reader) ([]capture.IO, error) {
+	var out []capture.IO
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		io, err := p.ParseLine(router, line)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, io)
+	}
+	return out, sc.Err()
+}
+
+// RoundTrip emits and re-parses a set of I/Os grouped by router —
+// producing exactly the information a log-collection deployment would
+// have: millisecond timestamps, addresses instead of names (unless resolve
+// recovers them), and no causality.
+func RoundTrip(ios []capture.IO, resolve Resolver) ([]capture.IO, error) {
+	byRouter := map[string][]capture.IO{}
+	var order []string
+	for _, x := range ios {
+		if _, seen := byRouter[x.Router]; !seen {
+			order = append(order, x.Router)
+		}
+		byRouter[x.Router] = append(byRouter[x.Router], x)
+	}
+	p := NewParser(resolve)
+	var out []capture.IO
+	for _, router := range order {
+		var b strings.Builder
+		if err := EmitLog(&b, byRouter[router]); err != nil {
+			return nil, err
+		}
+		parsed, err := p.ParseLog(router, strings.NewReader(b.String()))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, parsed...)
+	}
+	return out, nil
+}

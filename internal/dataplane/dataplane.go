@@ -1,0 +1,240 @@
+// Package dataplane walks packets across a set of FIBs. A walk performs
+// longest-prefix match at each router, resolves recursive next hops (an
+// iBGP route's next hop is a remote loopback that must itself be looked
+// up), and reports the outcome: delivered, dropped (no route), looped, or
+// stuck (unresolvable next hop).
+//
+// The walker is deliberately decoupled from live fib.Tables: it reads FIBs
+// through a View function, so verifiers can walk a *snapshot* — including
+// an inconsistent one, which is the whole point of the paper's Fig. 1c —
+// and repair engines can walk a gated view that differs from what the
+// control plane believes.
+package dataplane
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"hbverify/internal/fib"
+	"hbverify/internal/topology"
+)
+
+// View resolves a destination to a FIB entry at one router. ok=false means
+// no matching route.
+type View func(router string, dst netip.Addr) (fib.Entry, bool)
+
+// TableView adapts live fib.Tables (keyed by router) to a View.
+func TableView(tables map[string]*fib.Table) View {
+	return func(router string, dst netip.Addr) (fib.Entry, bool) {
+		t := tables[router]
+		if t == nil {
+			return fib.Entry{}, false
+		}
+		return t.Lookup(dst)
+	}
+}
+
+// SnapshotView adapts static per-router FIB maps to a View, doing
+// longest-prefix match over the map contents.
+func SnapshotView(snap map[string]map[netip.Prefix]fib.Entry) View {
+	return func(router string, dst netip.Addr) (fib.Entry, bool) {
+		var best fib.Entry
+		bits := -1
+		for p, e := range snap[router] {
+			if p.Contains(dst) && p.Bits() > bits {
+				best, bits = e, p.Bits()
+			}
+		}
+		return best, bits >= 0
+	}
+}
+
+// Outcome classifies a walk.
+type Outcome uint8
+
+// Walk outcomes.
+const (
+	Delivered Outcome = iota
+	Dropped           // no matching route
+	Looped            // revisited a router
+	Stuck             // next hop unresolvable to a neighbor
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Delivered:
+		return "delivered"
+	case Dropped:
+		return "dropped"
+	case Looped:
+		return "looped"
+	default:
+		return "stuck"
+	}
+}
+
+// Walk is the result of forwarding one packet.
+type Walk struct {
+	Dst     netip.Addr
+	Outcome Outcome
+	// Path lists the routers traversed, in order, starting at the source.
+	Path []string
+	// Egress is the last router, set for Delivered walks.
+	Egress string
+}
+
+func (w Walk) String() string {
+	return fmt.Sprintf("%s: %s [%s]", w.Dst, w.Outcome, strings.Join(w.Path, " -> "))
+}
+
+// Walker forwards packets over a topology using a FIB view.
+type Walker struct {
+	Topo *topology.Topology
+	View View
+	// MaxHops bounds walks; defaults to 64.
+	MaxHops int
+}
+
+// NewWalker builds a walker over the live tables of a topology.
+func NewWalker(topo *topology.Topology, view View) *Walker {
+	return &Walker{Topo: topo, View: view, MaxHops: 64}
+}
+
+// resolve maps a next-hop address to the adjacent router to hand the packet
+// to, performing one level of recursive lookup when the next hop is not on
+// a connected subnet (the standard recursive-route resolution BGP relies
+// on).
+func (w *Walker) resolve(router string, nh netip.Addr, depth int) (string, bool) {
+	r := w.Topo.Router(router)
+	if r == nil {
+		return "", false
+	}
+	// Directly connected?
+	for _, i := range r.Interfaces() {
+		if i.Link != nil && !i.Link.Up() {
+			continue
+		}
+		if i.Prefix.Contains(nh) && i.Addr != nh {
+			if peer := i.Peer(); peer != nil && peer.Addr == nh {
+				return peer.Router, true
+			}
+			// Next hop inside a stub subnet: local delivery domain.
+			if i.Peer() == nil {
+				return router, true
+			}
+		}
+	}
+	// The next hop might be this router's own address (self-pointing).
+	if owner := w.Topo.OwnerOf(nh); owner == router {
+		return router, true
+	}
+	if depth <= 0 {
+		return "", false
+	}
+	// Recursive resolution: look the next hop itself up in the FIB.
+	e, ok := w.View(router, nh)
+	if !ok {
+		return "", false
+	}
+	if !e.NextHop.IsValid() {
+		// Resolved via a connected route: the owner of nh is adjacent.
+		owner := w.Topo.OwnerOf(nh)
+		if owner == "" {
+			return "", false
+		}
+		return owner, true
+	}
+	if e.NextHop == nh {
+		return "", false
+	}
+	return w.resolve(router, e.NextHop, depth-1)
+}
+
+// Forward walks a packet for dst starting at source router src.
+func (w *Walker) Forward(src string, dst netip.Addr) Walk {
+	maxHops := w.MaxHops
+	if maxHops <= 0 {
+		maxHops = 64
+	}
+	walk := Walk{Dst: dst, Path: []string{src}}
+	visited := map[string]bool{src: true}
+	cur := src
+	for hop := 0; hop < maxHops; hop++ {
+		r := w.Topo.Router(cur)
+		if r == nil {
+			walk.Outcome = Stuck
+			return walk
+		}
+		// Local delivery: dst is on a connected subnet of cur.
+		delivered := false
+		for _, i := range r.Interfaces() {
+			if i.Link != nil && !i.Link.Up() {
+				continue
+			}
+			if i.Prefix.Contains(dst) {
+				// Point-to-point link toward another router: only a real
+				// delivery if the address is an interface address;
+				// otherwise fall through to FIB lookup.
+				if i.Peer() == nil || i.Addr == dst || i.Peer().Addr == dst {
+					delivered = true
+				}
+			}
+		}
+		if delivered || r.Loopback == dst {
+			walk.Outcome = Delivered
+			walk.Egress = cur
+			return walk
+		}
+		e, ok := w.View(cur, dst)
+		if !ok {
+			walk.Outcome = Dropped
+			return walk
+		}
+		if !e.NextHop.IsValid() {
+			// Connected/attached route: delivered out of this router.
+			walk.Outcome = Delivered
+			walk.Egress = cur
+			return walk
+		}
+		next, ok := w.resolve(cur, e.NextHop, 4)
+		if !ok {
+			walk.Outcome = Stuck
+			return walk
+		}
+		if next == cur {
+			walk.Outcome = Delivered
+			walk.Egress = cur
+			return walk
+		}
+		if visited[next] {
+			walk.Path = append(walk.Path, next)
+			walk.Outcome = Looped
+			return walk
+		}
+		visited[next] = true
+		walk.Path = append(walk.Path, next)
+		cur = next
+	}
+	walk.Outcome = Looped // exceeded hop budget: treat as a forwarding loop
+	return walk
+}
+
+// ForwardPrefix walks a representative address (the first usable host) of a
+// prefix.
+func (w *Walker) ForwardPrefix(src string, p netip.Prefix) Walk {
+	return w.Forward(src, Representative(p))
+}
+
+// Representative picks a stable probe address inside p (the .1 host, or the
+// network address for host routes).
+func Representative(p netip.Prefix) netip.Addr {
+	if p.IsSingleIP() {
+		return p.Addr()
+	}
+	a := p.Masked().Addr()
+	s := a.AsSlice()
+	s[len(s)-1]++
+	out, _ := netip.AddrFromSlice(s)
+	return out
+}

@@ -1,0 +1,168 @@
+package dataplane
+
+import (
+	"net/netip"
+	"testing"
+
+	"hbverify/internal/fib"
+	"hbverify/internal/network"
+)
+
+func addr(s string) netip.Addr  { return netip.MustParseAddr(s) }
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s).Masked() }
+
+func startPaper(t *testing.T, opt network.PaperOpts) *network.PaperNet {
+	t.Helper()
+	pn, err := network.BuildPaper(1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn.Start()
+	if err := pn.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return pn
+}
+
+func liveWalker(pn *network.PaperNet) *Walker {
+	tables := map[string]*fib.Table{}
+	for _, r := range pn.Routers() {
+		tables[r.Name] = r.FIB
+	}
+	return NewWalker(pn.Topo, TableView(tables))
+}
+
+func TestDeliveryViaPreferredExit(t *testing.T) {
+	pn := startPaper(t, network.DefaultPaperOpts())
+	w := liveWalker(pn)
+	walk := w.ForwardPrefix("r3", pn.P)
+	if walk.Outcome != Delivered {
+		t.Fatalf("walk = %v", walk)
+	}
+	if walk.Egress != "e2" {
+		t.Fatalf("egress = %s, want e2 (policy: prefer R2's uplink); path %v", walk.Egress, walk.Path)
+	}
+	// Path goes r3 -> r2 -> e2.
+	if len(walk.Path) != 3 || walk.Path[1] != "r2" {
+		t.Fatalf("path = %v", walk.Path)
+	}
+}
+
+func TestDeliveryViaFallbackExit(t *testing.T) {
+	opt := network.DefaultPaperOpts()
+	opt.AdvertiseE2 = false
+	pn := startPaper(t, opt)
+	w := liveWalker(pn)
+	walk := w.ForwardPrefix("r3", pn.P)
+	if walk.Outcome != Delivered || walk.Egress != "e1" {
+		t.Fatalf("walk = %v", walk)
+	}
+}
+
+func TestDropWithoutRoute(t *testing.T) {
+	opt := network.DefaultPaperOpts()
+	opt.AdvertiseE1, opt.AdvertiseE2 = false, false
+	pn := startPaper(t, opt)
+	w := liveWalker(pn)
+	walk := w.ForwardPrefix("r3", pn.P)
+	if walk.Outcome != Dropped {
+		t.Fatalf("walk = %v, want dropped", walk)
+	}
+}
+
+func TestLoopDetection(t *testing.T) {
+	pn := startPaper(t, network.DefaultPaperOpts())
+	// Hand-craft an inconsistent snapshot: r1 points at r2, r2 points at
+	// r1 (the Fig. 1c phantom loop).
+	snap := pn.FIBSnapshot()
+	snap["r1"][pn.P] = fib.Entry{Prefix: pn.P, NextHop: addr("2.2.2.2")}
+	snap["r2"][pn.P] = fib.Entry{Prefix: pn.P, NextHop: addr("1.1.1.1")}
+	w := NewWalker(pn.Topo, SnapshotView(snap))
+	walk := w.ForwardPrefix("r3", pn.P)
+	if walk.Outcome != Looped {
+		t.Fatalf("walk = %v, want looped", walk)
+	}
+}
+
+func TestRecursiveNextHopResolution(t *testing.T) {
+	pn := startPaper(t, network.DefaultPaperOpts())
+	w := liveWalker(pn)
+	// r3's BGP next hop is 2.2.2.2 (r2's loopback), not directly
+	// connected: resolution goes through r3's OSPF route.
+	walk := w.Forward("r3", Representative(pn.P))
+	if walk.Outcome != Delivered {
+		t.Fatalf("recursive resolution failed: %v", walk)
+	}
+}
+
+func TestLoopbackDelivery(t *testing.T) {
+	pn := startPaper(t, network.DefaultPaperOpts())
+	w := liveWalker(pn)
+	walk := w.Forward("r3", addr("2.2.2.2"))
+	if walk.Outcome != Delivered || walk.Egress != "r2" {
+		t.Fatalf("walk to loopback = %v", walk)
+	}
+	// Delivery at self.
+	self := w.Forward("r3", addr("3.3.3.3"))
+	if self.Outcome != Delivered || self.Egress != "r3" {
+		t.Fatalf("self walk = %v", self)
+	}
+}
+
+func TestStuckOnUnresolvableNextHop(t *testing.T) {
+	pn := startPaper(t, network.DefaultPaperOpts())
+	snap := pn.FIBSnapshot()
+	// r3 points at an address nobody owns and no route covers.
+	snap["r3"][pn.P] = fib.Entry{Prefix: pn.P, NextHop: addr("99.99.99.99")}
+	delete(snap["r3"], pfx("0.0.0.0/0"))
+	w := NewWalker(pn.Topo, SnapshotView(snap))
+	walk := w.ForwardPrefix("r3", pn.P)
+	if walk.Outcome != Stuck {
+		t.Fatalf("walk = %v, want stuck", walk)
+	}
+}
+
+func TestSnapshotViewLPM(t *testing.T) {
+	snap := map[string]map[netip.Prefix]fib.Entry{
+		"a": {
+			pfx("0.0.0.0/0"):  {Prefix: pfx("0.0.0.0/0"), NextHop: addr("1.1.1.1")},
+			pfx("10.0.0.0/8"): {Prefix: pfx("10.0.0.0/8"), NextHop: addr("2.2.2.2")},
+		},
+	}
+	v := SnapshotView(snap)
+	if e, ok := v("a", addr("10.1.1.1")); !ok || e.NextHop != addr("2.2.2.2") {
+		t.Fatalf("lpm = %+v %v", e, ok)
+	}
+	if e, ok := v("a", addr("8.8.8.8")); !ok || e.NextHop != addr("1.1.1.1") {
+		t.Fatalf("default = %+v %v", e, ok)
+	}
+	if _, ok := v("zzz", addr("8.8.8.8")); ok {
+		t.Fatal("unknown router matched")
+	}
+}
+
+func TestRepresentative(t *testing.T) {
+	if got := Representative(pfx("10.0.0.0/24")); got != addr("10.0.0.1") {
+		t.Fatalf("rep = %v", got)
+	}
+	if got := Representative(pfx("5.5.5.5/32")); got != addr("5.5.5.5") {
+		t.Fatalf("host rep = %v", got)
+	}
+}
+
+func TestWalkString(t *testing.T) {
+	w := Walk{Dst: addr("10.0.0.1"), Outcome: Looped, Path: []string{"a", "b", "a"}}
+	if got := w.String(); got != "10.0.0.1: looped [a -> b -> a]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		Delivered: "delivered", Dropped: "dropped", Looped: "looped", Stuck: "stuck",
+	} {
+		if o.String() != want {
+			t.Fatalf("%d = %q", o, o.String())
+		}
+	}
+}

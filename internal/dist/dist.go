@@ -1,0 +1,493 @@
+// Package dist implements §5's distributed verification: instead of
+// hauling every FIB to a central machine, each router (node) keeps its own
+// FIB and happens-before subgraph, applies its local forwarding step to
+// in-flight verification walks, and hands the partial result to the next
+// node — the HSA-style "pass the output of the transfer function
+// downstream" construction. Nodes are real TCP servers speaking
+// length-prefixed JSON, so the package measures genuine message and byte
+// overheads for experiment E9.
+package dist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"hbverify/internal/dataplane"
+	"hbverify/internal/fib"
+	"hbverify/internal/network"
+	"hbverify/internal/verify"
+)
+
+// IfaceInfo is the node-local slice of topology a router legitimately
+// knows: its own interfaces and who is on the other end.
+type IfaceInfo struct {
+	Name     string
+	Addr     netip.Addr
+	Prefix   netip.Prefix
+	PeerAddr netip.Addr `json:",omitempty"`
+	PeerName string     `json:",omitempty"`
+	Up       bool
+	Stub     bool
+}
+
+// LocalView is everything one verification node needs: identity, local
+// links, and the local FIB.
+type LocalView struct {
+	Router   string
+	Loopback netip.Addr
+	Ifaces   []IfaceInfo
+	FIB      map[netip.Prefix]fib.Entry
+}
+
+// LocalViewOf extracts a router's local view from a built network.
+func LocalViewOf(r *network.Router) LocalView {
+	v := LocalView{Router: r.Name, Loopback: r.Topo.Loopback, FIB: r.FIB.Snapshot()}
+	for _, i := range r.Topo.Interfaces() {
+		info := IfaceInfo{Name: i.Name, Addr: i.Addr, Prefix: i.Prefix, Stub: i.Link == nil, Up: true}
+		if i.Link != nil {
+			info.Up = i.Link.Up()
+			info.PeerAddr = i.Peer().Addr
+			info.PeerName = i.Peer().Router
+		}
+		v.Ifaces = append(v.Ifaces, info)
+	}
+	return v
+}
+
+// StepResult is one local forwarding decision.
+type StepResult struct {
+	// Terminal marks the walk finished at this node.
+	Terminal bool
+	Outcome  dataplane.Outcome
+	// Next is the router to forward the walk to when not terminal.
+	Next string
+}
+
+// Step applies the node's forwarding behaviour to a destination: local
+// delivery, LPM over the local FIB, and recursive next-hop resolution —
+// all using only node-local knowledge.
+func (v *LocalView) Step(dst netip.Addr) StepResult {
+	if dst == v.Loopback {
+		return StepResult{Terminal: true, Outcome: dataplane.Delivered}
+	}
+	for _, i := range v.Ifaces {
+		if !i.Up {
+			continue
+		}
+		if i.Prefix.Contains(dst) {
+			if i.Stub || i.Addr == dst || i.PeerAddr == dst {
+				return StepResult{Terminal: true, Outcome: dataplane.Delivered}
+			}
+		}
+	}
+	e, ok := v.lpm(dst)
+	if !ok {
+		return StepResult{Terminal: true, Outcome: dataplane.Dropped}
+	}
+	if !e.NextHop.IsValid() {
+		return StepResult{Terminal: true, Outcome: dataplane.Delivered}
+	}
+	next, ok := v.resolve(e.NextHop, 4)
+	if !ok {
+		return StepResult{Terminal: true, Outcome: dataplane.Stuck}
+	}
+	if next == v.Router {
+		return StepResult{Terminal: true, Outcome: dataplane.Delivered}
+	}
+	return StepResult{Next: next}
+}
+
+func (v *LocalView) lpm(dst netip.Addr) (fib.Entry, bool) {
+	var best fib.Entry
+	bits := -1
+	for p, e := range v.FIB {
+		if p.Contains(dst) && p.Bits() > bits {
+			best, bits = e, p.Bits()
+		}
+	}
+	return best, bits >= 0
+}
+
+func (v *LocalView) resolve(nh netip.Addr, depth int) (string, bool) {
+	for _, i := range v.Ifaces {
+		if !i.Up {
+			continue
+		}
+		if i.Prefix.Contains(nh) && i.Addr != nh {
+			if i.PeerAddr == nh {
+				return i.PeerName, true
+			}
+			if i.Stub {
+				return v.Router, true
+			}
+		}
+		if i.Addr == nh {
+			return v.Router, true
+		}
+	}
+	if nh == v.Loopback {
+		return v.Router, true
+	}
+	if depth <= 0 {
+		return "", false
+	}
+	e, ok := v.lpm(nh)
+	if !ok || e.NextHop == nh {
+		return "", false
+	}
+	if !e.NextHop.IsValid() {
+		// Connected route covers nh: find the interface and its peer.
+		for _, i := range v.Ifaces {
+			if i.Up && i.Prefix.Contains(nh) && i.PeerAddr == nh {
+				return i.PeerName, true
+			}
+		}
+		return "", false
+	}
+	return v.resolve(e.NextHop, depth-1)
+}
+
+// WalkMsg is a verification walk in flight between nodes.
+type WalkMsg struct {
+	WalkID  int
+	Policy  verify.Policy
+	Source  string
+	Dst     netip.Addr
+	Path    []string
+	Hops    int
+	Msgs    int // messages spent so far (accounting piggybacks on the walk)
+	Bytes   int
+	Outcome dataplane.Outcome
+	Done    bool
+	Egress  string
+}
+
+type envelope struct {
+	Kind string       `json:"kind"`
+	Walk *WalkMsg     `json:"walk,omitempty"`
+	HBG  *hbgEnvelope `json:"hbg,omitempty"`
+}
+
+// writeMsg frames and writes an envelope; it returns the wire size.
+func writeMsg(w io.Writer, env envelope) (int, error) {
+	b, err := json.Marshal(env)
+	if err != nil {
+		return 0, err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(b); err != nil {
+		return 0, err
+	}
+	return len(b) + 4, nil
+}
+
+func readMsg(r io.Reader) (envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return envelope{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > 16<<20 {
+		return envelope{}, fmt.Errorf("dist: oversized frame (%d bytes)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return envelope{}, err
+	}
+	var env envelope
+	if err := json.Unmarshal(buf, &env); err != nil {
+		return envelope{}, err
+	}
+	return env, nil
+}
+
+// Node is one router's verification server.
+type Node struct {
+	View LocalView
+
+	ln        net.Listener
+	directory func(router string) (string, bool) // router -> node address
+	resultTo  string                             // coordinator address
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// StartNode launches a node listening on 127.0.0.1. directory resolves
+// peer node addresses and resultTo is the coordinator's address.
+func StartNode(view LocalView, directory func(string) (string, bool), resultTo string) (*Node, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{View: view, ln: ln, directory: directory, resultTo: resultTo}
+	n.wg.Add(1)
+	go n.serve()
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Close shuts the node down.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	err := n.ln.Close()
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) serve() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer conn.Close()
+			for {
+				env, err := readMsg(conn)
+				if err != nil {
+					return
+				}
+				if env.Kind == "walk" && env.Walk != nil {
+					n.handleWalk(*env.Walk)
+				}
+			}
+		}()
+	}
+}
+
+// SetResultTo updates the coordinator address (used by tests).
+func (n *Node) SetResultTo(addr string) { n.resultTo = addr }
+
+// HandleWalk applies the local step and forwards or reports; exported for
+// in-process use by the coordinator when seeding walks.
+func (n *Node) HandleWalk(w WalkMsg) { n.handleWalk(w) }
+
+func (n *Node) handleWalk(w WalkMsg) {
+	w.Path = append(w.Path, n.View.Router)
+	w.Hops++
+	// Loop detection on the accumulated path.
+	seen := map[string]int{}
+	for _, r := range w.Path {
+		seen[r]++
+	}
+	if seen[n.View.Router] > 1 || w.Hops > 64 {
+		w.Done, w.Outcome = true, dataplane.Looped
+		n.send(n.resultTo, "result", &w)
+		return
+	}
+	step := n.View.Step(w.Dst)
+	if step.Terminal {
+		w.Done, w.Outcome, w.Egress = true, step.Outcome, n.View.Router
+		n.send(n.resultTo, "result", &w)
+		return
+	}
+	addr, ok := n.directory(step.Next)
+	if !ok {
+		w.Done, w.Outcome = true, dataplane.Stuck
+		n.send(n.resultTo, "result", &w)
+		return
+	}
+	w.Msgs++
+	n.send(addr, "walk", &w)
+}
+
+func (n *Node) send(addr, kind string, w *WalkMsg) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	// Account for this frame's size before serializing so the accumulated
+	// byte count travels with the walk (the count is a close estimate: the
+	// final serialization may differ by a few digits).
+	if pre, err := json.Marshal(envelope{Kind: kind, Walk: w}); err == nil {
+		w.Bytes += len(pre) + 4
+	}
+	_, _ = writeMsg(conn, envelope{Kind: kind, Walk: w})
+}
+
+// Result is one finished walk as the coordinator sees it.
+type Result struct {
+	Walk      WalkMsg
+	Violation *verify.Violation
+}
+
+// Coordinator seeds walks and collects results.
+type Coordinator struct {
+	ln      net.Listener
+	results chan WalkMsg
+	wg      sync.WaitGroup
+}
+
+// StartCoordinator launches the result sink.
+func StartCoordinator() (*Coordinator, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{ln: ln, results: make(chan WalkMsg, 1024)}
+	c.wg.Add(1)
+	go c.serve()
+	return c, nil
+}
+
+// Addr returns the coordinator's listen address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close shuts the coordinator down.
+func (c *Coordinator) Close() error {
+	err := c.ln.Close()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Coordinator) serve() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			defer conn.Close()
+			for {
+				env, err := readMsg(conn)
+				if err != nil {
+					return
+				}
+				if env.Kind == "result" && env.Walk != nil {
+					c.results <- *env.Walk
+				}
+			}
+		}()
+	}
+}
+
+// Stats aggregates a distributed verification run.
+type Stats struct {
+	Walks    int
+	Messages int
+	Bytes    int
+	Report   verify.Report
+}
+
+// Verify runs the given policies across the node fleet: one walk per
+// (policy, source). It blocks until every result arrives.
+func (c *Coordinator) Verify(nodes map[string]*Node, policies []verify.Policy, sources []string) (Stats, error) {
+	var stats Stats
+	id := 0
+	expected := 0
+	sort.Strings(sources)
+	for _, p := range policies {
+		srcs := p.Sources
+		if len(srcs) == 0 {
+			srcs = sources
+		}
+		for _, src := range srcs {
+			node := nodes[src]
+			if node == nil {
+				return stats, fmt.Errorf("dist: no node for source %q", src)
+			}
+			id++
+			expected++
+			w := WalkMsg{
+				WalkID: id, Policy: p, Source: src,
+				Dst: dataplane.Representative(p.Prefix),
+			}
+			// Seeding is a message too.
+			w.Msgs++
+			node.HandleWalk(w)
+		}
+	}
+	for i := 0; i < expected; i++ {
+		w := <-c.results
+		stats.Walks++
+		stats.Messages += w.Msgs
+		stats.Bytes += w.Bytes
+		stats.Report.Checked++
+		walk := dataplane.Walk{Dst: w.Dst, Outcome: w.Outcome, Path: w.Path, Egress: w.Egress}
+		if v, bad := verify.Evaluate(w.Policy, w.Source, walk); bad {
+			stats.Report.Violations = append(stats.Report.Violations, v)
+		}
+	}
+	return stats, nil
+}
+
+// CentralizedBytes estimates the wire cost of the centralized alternative:
+// shipping every router's full FIB (as JSON) to one verifier.
+func CentralizedBytes(views map[string]LocalView) (int, error) {
+	total := 0
+	for _, v := range views {
+		b, err := json.Marshal(v.FIB)
+		if err != nil {
+			return 0, err
+		}
+		total += len(b) + 4
+	}
+	return total, nil
+}
+
+// BuildFleet starts one node per internal router plus a coordinator, and
+// returns a teardown function.
+func BuildFleet(n *network.Network, internal func(string) bool) (*Coordinator, map[string]*Node, func(), error) {
+	coord, err := StartCoordinator()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	nodes := map[string]*Node{}
+	var mu sync.Mutex
+	directory := func(router string) (string, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		nd, ok := nodes[router]
+		if !ok {
+			return "", false
+		}
+		return nd.Addr(), true
+	}
+	for _, r := range n.Routers() {
+		if internal != nil && !internal(r.Name) {
+			continue
+		}
+		view := LocalViewOf(r)
+		node, err := StartNode(view, directory, coord.Addr())
+		if err != nil {
+			coord.Close()
+			for _, nd := range nodes {
+				nd.Close()
+			}
+			return nil, nil, nil, err
+		}
+		mu.Lock()
+		nodes[r.Name] = node
+		mu.Unlock()
+	}
+	teardown := func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+		coord.Close()
+	}
+	return coord, nodes, teardown, nil
+}

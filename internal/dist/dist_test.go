@@ -1,0 +1,270 @@
+package dist
+
+import (
+	"net/netip"
+	"testing"
+
+	"net"
+
+	"hbverify/internal/config"
+	"hbverify/internal/dataplane"
+	"hbverify/internal/fib"
+	"hbverify/internal/network"
+	"hbverify/internal/verify"
+)
+
+func addr(s string) netip.Addr  { return netip.MustParseAddr(s) }
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s).Masked() }
+
+func startPaper(t *testing.T, opt network.PaperOpts) *network.PaperNet {
+	t.Helper()
+	pn, err := network.BuildPaper(1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn.Start()
+	if err := pn.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return pn
+}
+
+func TestLocalViewStepMatchesCentralWalker(t *testing.T) {
+	pn := startPaper(t, network.DefaultPaperOpts())
+	tables := map[string]*fib.Table{}
+	for _, r := range pn.Routers() {
+		tables[r.Name] = r.FIB
+	}
+	central := dataplane.NewWalker(pn.Topo, dataplane.TableView(tables))
+	views := map[string]LocalView{}
+	for _, r := range pn.Routers() {
+		views[r.Name] = LocalViewOf(r)
+	}
+	// Chain local steps and compare with the central walk for P.
+	for _, src := range []string{"r1", "r2", "r3"} {
+		want := central.ForwardPrefix(src, pn.P)
+		cur := src
+		var got dataplane.Outcome
+		var egress string
+		for hops := 0; hops < 16; hops++ {
+			v := views[cur]
+			step := v.Step(dataplane.Representative(pn.P))
+			if step.Terminal {
+				got, egress = step.Outcome, cur
+				break
+			}
+			cur = step.Next
+		}
+		if got != want.Outcome || (want.Outcome == dataplane.Delivered && egress != want.Egress) {
+			t.Fatalf("src %s: local chain = %v@%s, central = %v@%s",
+				src, got, egress, want.Outcome, want.Egress)
+		}
+	}
+}
+
+func TestDistributedVerifyHealthy(t *testing.T) {
+	pn := startPaper(t, network.DefaultPaperOpts())
+	coord, nodes, teardown, err := BuildFleet(pn.Network, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer teardown()
+	stats, err := coord.Verify(nodes, []verify.Policy{
+		{Kind: verify.Egress, Prefix: pn.P, Expect: "e2"},
+		{Kind: verify.NoLoop, Prefix: pn.P},
+	}, []string{"r1", "r2", "r3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Report.OK() {
+		t.Fatalf("violations: %v", stats.Report.Violations)
+	}
+	if stats.Walks != 6 || stats.Report.Checked != 6 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Messages < stats.Walks {
+		t.Fatalf("messages = %d", stats.Messages)
+	}
+}
+
+func TestDistributedVerifyDetectsViolation(t *testing.T) {
+	pn := startPaper(t, network.DefaultPaperOpts())
+	if _, err := pn.UpdateConfig("r2", "lp 10", func(c *config.Router) {
+		c.BGP.Neighbors[len(c.BGP.Neighbors)-1].LocalPref = 10
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pn.Run(); err != nil {
+		t.Fatal(err)
+	}
+	coord, nodes, teardown, err := BuildFleet(pn.Network, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer teardown()
+	stats, err := coord.Verify(nodes, []verify.Policy{
+		{Kind: verify.Egress, Prefix: pn.P, Expect: "e2"},
+	}, []string{"r1", "r2", "r3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Report.Violations) != 3 {
+		t.Fatalf("violations = %v", stats.Report.Violations)
+	}
+}
+
+func TestDistributedLoopDetection(t *testing.T) {
+	pn := startPaper(t, network.DefaultPaperOpts())
+	// Corrupt two views into a loop before starting nodes.
+	views := map[string]LocalView{}
+	for _, r := range pn.Routers() {
+		views[r.Name] = LocalViewOf(r)
+	}
+	v1 := views["r1"]
+	v1.FIB[pn.P] = fib.Entry{Prefix: pn.P, NextHop: addr("2.2.2.2")}
+	v2 := views["r2"]
+	v2.FIB[pn.P] = fib.Entry{Prefix: pn.P, NextHop: addr("1.1.1.1")}
+
+	coord, err := StartCoordinator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	nodes := map[string]*Node{}
+	directory := func(r string) (string, bool) {
+		nd, ok := nodes[r]
+		if !ok {
+			return "", false
+		}
+		return nd.Addr(), true
+	}
+	for name, v := range views {
+		nd, err := StartNode(v, directory, coord.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nd.Close()
+		nodes[name] = nd
+	}
+	stats, err := coord.Verify(nodes, []verify.Policy{
+		{Kind: verify.NoLoop, Prefix: pn.P, Sources: []string{"r3"}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Report.Violations) != 1 {
+		t.Fatalf("violations = %v", stats.Report.Violations)
+	}
+	if stats.Report.Violations[0].Walk.Outcome != dataplane.Looped {
+		t.Fatalf("walk = %v", stats.Report.Violations[0].Walk)
+	}
+}
+
+func TestGridScaleDistributed(t *testing.T) {
+	n, err := network.BuildGridOSPF(1, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	coord, nodes, teardown, err := BuildFleet(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer teardown()
+	// Every router must reach the far corner's loopback.
+	stats, err := coord.Verify(nodes, []verify.Policy{
+		{Kind: verify.Reachable, Prefix: pfx("9.2.2.1/32")},
+	}, routerNames(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Report.OK() {
+		t.Fatalf("violations: %v", stats.Report.Violations)
+	}
+	if stats.Walks != 9 {
+		t.Fatalf("walks = %d", stats.Walks)
+	}
+	central, err := CentralizedBytes(viewsOf(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if central <= 0 || stats.Bytes < 0 {
+		t.Fatalf("byte accounting: central=%d dist=%d", central, stats.Bytes)
+	}
+}
+
+func routerNames(n *network.Network) []string {
+	var out []string
+	for _, r := range n.Routers() {
+		out = append(out, r.Name)
+	}
+	return out
+}
+
+func viewsOf(n *network.Network) map[string]LocalView {
+	out := map[string]LocalView{}
+	for _, r := range n.Routers() {
+		out[r.Name] = LocalViewOf(r)
+	}
+	return out
+}
+
+func TestVerifyUnknownSourceFails(t *testing.T) {
+	pn := startPaper(t, network.DefaultPaperOpts())
+	coord, nodes, teardown, err := BuildFleet(pn.Network, func(r string) bool { return r == "r1" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer teardown()
+	if _, err := coord.Verify(nodes, []verify.Policy{
+		{Kind: verify.NoLoop, Prefix: pn.P},
+	}, []string{"ghost"}); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+}
+
+func TestFrameCodec(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			accepted <- conn
+		}
+	}()
+	c1, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2 := <-accepted
+	defer c2.Close()
+
+	// Round trip a real envelope.
+	want := envelope{Kind: "walk", Walk: &WalkMsg{WalkID: 7, Source: "r1", Dst: addr("10.0.0.1")}}
+	go func() {
+		if _, err := writeMsg(c1, want); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, err := readMsg(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != "walk" || got.Walk.WalkID != 7 || got.Walk.Dst != addr("10.0.0.1") {
+		t.Fatalf("round trip = %+v", got)
+	}
+
+	// Oversized frames are rejected.
+	go c1.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := readMsg(c2); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}

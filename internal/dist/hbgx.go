@@ -1,0 +1,314 @@
+// Distributed happens-before analysis (§5: "each router can store its own
+// happens-before subgraph. Partial paths through the HBG can be passed to
+// neighboring routers that can expand the paths based on their
+// happens-before subgraph").
+//
+// Each HBGNode holds only its router's subgraph plus, for every received
+// advertisement, a cross-reference to the sender's send event (which the
+// sender stamped onto the message when it was transmitted). A provenance
+// query walks backward through the local subgraph; when it reaches a
+// receive, the partially-built path is shipped to the sending router's
+// node, which keeps expanding. The coordinator ends up with the full
+// root-cause chain without any node ever exporting its whole log.
+
+package dist
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/hbg"
+)
+
+// CrossRef points from a received advertisement to the sender-side event.
+type CrossRef struct {
+	Router string
+	SendID uint64
+}
+
+// ProvQuery is a provenance walk in flight between HBG nodes.
+type ProvQuery struct {
+	QueryID int
+	// Cursor is the event to expand next (must live on the current node).
+	Cursor uint64
+	// Path accumulates the chain, fault first.
+	Path []capture.IO
+	Hops int
+	Done bool
+	Err  string `json:",omitempty"`
+}
+
+type hbgEnvelope struct {
+	Kind  string     `json:"kind"`
+	Query *ProvQuery `json:"query,omitempty"`
+}
+
+// HBGNode serves one router's happens-before subgraph.
+type HBGNode struct {
+	Router string
+	Sub    *hbg.Graph
+	Cross  map[uint64]CrossRef
+
+	ln        net.Listener
+	directory func(router string) (string, bool)
+	resultTo  string
+	wg        sync.WaitGroup
+}
+
+// StartHBGNode launches the node on 127.0.0.1.
+func StartHBGNode(router string, sub *hbg.Graph, cross map[uint64]CrossRef,
+	directory func(string) (string, bool), resultTo string) (*HBGNode, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	n := &HBGNode{Router: router, Sub: sub, Cross: cross, ln: ln, directory: directory, resultTo: resultTo}
+	n.wg.Add(1)
+	go n.serve()
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *HBGNode) Addr() string { return n.ln.Addr().String() }
+
+// Close shuts the node down.
+func (n *HBGNode) Close() error {
+	err := n.ln.Close()
+	n.wg.Wait()
+	return err
+}
+
+func (n *HBGNode) serve() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer conn.Close()
+			for {
+				var env hbgEnvelope
+				if err := readJSON(conn, &env); err != nil {
+					return
+				}
+				if env.Kind == "prov" && env.Query != nil {
+					n.HandleQuery(*env.Query)
+				}
+			}
+		}()
+	}
+}
+
+// HandleQuery expands the provenance chain through the local subgraph and
+// forwards or finishes.
+func (n *HBGNode) HandleQuery(q ProvQuery) {
+	cur := q.Cursor
+	for {
+		q.Hops++
+		if q.Hops > 1024 {
+			q.Done, q.Err = true, "provenance too deep"
+			n.reply(q)
+			return
+		}
+		io, ok := n.Sub.Node(cur)
+		if !ok {
+			q.Done, q.Err = true, fmt.Sprintf("%s: unknown event %d", n.Router, cur)
+			n.reply(q)
+			return
+		}
+		q.Path = append(q.Path, io)
+		// Crossing point: this event was received from another router.
+		if ref, isRecv := n.Cross[cur]; isRecv {
+			addr, ok := n.directory(ref.Router)
+			if !ok {
+				q.Done, q.Err = true, "no node for router "+ref.Router
+				n.reply(q)
+				return
+			}
+			q.Cursor = ref.SendID
+			n.forward(addr, q)
+			return
+		}
+		parents := n.Sub.Parents(cur)
+		if len(parents) == 0 {
+			q.Done = true // reached a root cause
+			n.reply(q)
+			return
+		}
+		// Follow the primary (lowest-ID) cause chain.
+		cur = parents[0]
+	}
+}
+
+func (n *HBGNode) forward(addr string, q ProvQuery) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	_ = writeJSON(conn, hbgEnvelope{Kind: "prov", Query: &q})
+}
+
+func (n *HBGNode) reply(q ProvQuery) {
+	conn, err := net.Dial("tcp", n.resultTo)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	_ = writeJSON(conn, hbgEnvelope{Kind: "prov-result", Query: &q})
+}
+
+// HBGCoordinator collects finished provenance chains.
+type HBGCoordinator struct {
+	ln      net.Listener
+	results chan ProvQuery
+	wg      sync.WaitGroup
+}
+
+// StartHBGCoordinator launches the sink.
+func StartHBGCoordinator() (*HBGCoordinator, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	c := &HBGCoordinator{ln: ln, results: make(chan ProvQuery, 64)}
+	c.wg.Add(1)
+	go c.serve()
+	return c, nil
+}
+
+// Addr returns the coordinator's listen address.
+func (c *HBGCoordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close shuts the coordinator down.
+func (c *HBGCoordinator) Close() error {
+	err := c.ln.Close()
+	c.wg.Wait()
+	return err
+}
+
+func (c *HBGCoordinator) serve() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			defer conn.Close()
+			for {
+				var env hbgEnvelope
+				if err := readJSON(conn, &env); err != nil {
+					return
+				}
+				if env.Kind == "prov-result" && env.Query != nil {
+					c.results <- *env.Query
+				}
+			}
+		}()
+	}
+}
+
+// Trace asks the fleet for the root-cause chain of (router, ioID). The
+// returned path runs fault-first and ends at the root cause.
+func (c *HBGCoordinator) Trace(nodes map[string]*HBGNode, router string, ioID uint64, timeout time.Duration) ([]capture.IO, error) {
+	node := nodes[router]
+	if node == nil {
+		return nil, fmt.Errorf("dist: no HBG node for %q", router)
+	}
+	node.HandleQuery(ProvQuery{QueryID: 1, Cursor: ioID})
+	select {
+	case q := <-c.results:
+		if q.Err != "" {
+			return q.Path, fmt.Errorf("dist: %s", q.Err)
+		}
+		return q.Path, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("dist: provenance query timed out")
+	}
+}
+
+// BuildHBGFleet splits a (centrally inferred) graph into per-router nodes.
+// The cross-references come from the graph's cross-router edges — in a
+// real deployment the sender's event ID rides on the wire with each
+// advertisement, which our protocol messages already do.
+func BuildHBGFleet(g *hbg.Graph) (*HBGCoordinator, map[string]*HBGNode, func(), error) {
+	coord, err := StartHBGCoordinator()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	routers := map[string]bool{}
+	for _, io := range g.Nodes() {
+		routers[io.Router] = true
+	}
+	cross := map[string]map[uint64]CrossRef{}
+	for _, e := range g.Edges() {
+		from, _ := g.Node(e.From)
+		to, _ := g.Node(e.To)
+		if from.Router == to.Router {
+			continue
+		}
+		if cross[to.Router] == nil {
+			cross[to.Router] = map[uint64]CrossRef{}
+		}
+		cross[to.Router][e.To] = CrossRef{Router: from.Router, SendID: e.From}
+	}
+	nodes := map[string]*HBGNode{}
+	var mu sync.Mutex
+	directory := func(r string) (string, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		nd, ok := nodes[r]
+		if !ok {
+			return "", false
+		}
+		return nd.Addr(), true
+	}
+	for r := range routers {
+		node, err := StartHBGNode(r, g.Subgraph(r), cross[r], directory, coord.Addr())
+		if err != nil {
+			coord.Close()
+			for _, nd := range nodes {
+				nd.Close()
+			}
+			return nil, nil, nil, err
+		}
+		mu.Lock()
+		nodes[r] = node
+		mu.Unlock()
+	}
+	teardown := func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+		coord.Close()
+	}
+	return coord, nodes, teardown, nil
+}
+
+// readJSON / writeJSON reuse the frame codec with typed envelopes.
+func writeJSON(conn net.Conn, env hbgEnvelope) error {
+	_, err := writeMsg(conn, envelope{Kind: env.Kind, HBG: &env})
+	return err
+}
+
+func readJSON(conn net.Conn, env *hbgEnvelope) error {
+	e, err := readMsg(conn)
+	if err != nil {
+		return err
+	}
+	if e.HBG == nil {
+		return fmt.Errorf("dist: not an HBG frame")
+	}
+	*env = *e.HBG
+	env.Kind = e.Kind
+	return nil
+}

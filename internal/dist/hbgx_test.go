@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/config"
+	"hbverify/internal/hbr"
+	"hbverify/internal/network"
+)
+
+func TestDistributedProvenanceTrace(t *testing.T) {
+	pn, err := network.BuildPaper(1, network.DefaultPaperOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn.Start()
+	if err := pn.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cc, err := pn.UpdateConfig("r2", "set uplink local-pref 10", func(c *config.Router) {
+		c.BGP.Neighbors[len(c.BGP.Neighbors)-1].LocalPref = 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pn.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ios := pn.Log.All()
+	g := hbr.Rules{}.Infer(capture.StripOracle(ios))
+	var faultID uint64
+	for _, io := range ios {
+		if io.Router == "r1" && io.Type == capture.FIBInstall && io.Prefix == pn.P {
+			faultID = io.ID
+		}
+	}
+
+	coord, nodes, teardown, err := BuildHBGFleet(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer teardown()
+	if len(nodes) != 5 {
+		t.Fatalf("fleet = %d nodes", len(nodes))
+	}
+	path, err := coord.Trace(nodes, "r1", faultID, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) < 5 {
+		t.Fatalf("path too short: %v", path)
+	}
+	// Fault first, root cause (the config change) last.
+	if path[0].ID != faultID {
+		t.Fatalf("path starts at %v", path[0])
+	}
+	last := path[len(path)-1]
+	if last.ID != cc.ID || last.Type != capture.ConfigChange || last.Router != "r2" {
+		t.Fatalf("root = %v, want config change %d", last, cc.ID)
+	}
+	// The chain crossed at least one router boundary via the network.
+	crossed := false
+	for i := 1; i < len(path); i++ {
+		if path[i].Router != path[i-1].Router {
+			crossed = true
+		}
+	}
+	if !crossed {
+		t.Fatal("trace never crossed routers")
+	}
+}
+
+func TestTraceUnknownRouter(t *testing.T) {
+	pn, err := network.BuildPaper(1, network.DefaultPaperOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn.Start()
+	if err := pn.Run(); err != nil {
+		t.Fatal(err)
+	}
+	g := hbr.Rules{}.Infer(capture.StripOracle(pn.Log.All()))
+	coord, nodes, teardown, err := BuildHBGFleet(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer teardown()
+	if _, err := coord.Trace(nodes, "ghost", 1, time.Second); err == nil {
+		t.Fatal("unknown router accepted")
+	}
+}
+
+func TestTraceUnknownEvent(t *testing.T) {
+	pn, err := network.BuildPaper(1, network.DefaultPaperOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn.Start()
+	if err := pn.Run(); err != nil {
+		t.Fatal(err)
+	}
+	g := hbr.Rules{}.Infer(capture.StripOracle(pn.Log.All()))
+	coord, nodes, teardown, err := BuildHBGFleet(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer teardown()
+	if _, err := coord.Trace(nodes, "r1", 999999, 5*time.Second); err == nil {
+		t.Fatal("bogus event accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package eqclass
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"hbverify/internal/fib"
+	"hbverify/internal/network"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s).Masked() }
+func addr(s string) netip.Addr  { return netip.MustParseAddr(s) }
+
+func TestSyntheticGrouping(t *testing.T) {
+	routers := []string{"a", "b", "c"}
+	fibs, prefixes := SyntheticFIBs(routers, 1000, 7)
+	classes := Compute(fibs, prefixes)
+	if len(classes) != 7 {
+		t.Fatalf("classes = %d, want 7", len(classes))
+	}
+	total := 0
+	for _, c := range classes {
+		total += len(c.Prefixes)
+	}
+	if total != 1000 {
+		t.Fatalf("prefixes covered = %d", total)
+	}
+	// Largest-first ordering.
+	for i := 1; i < len(classes); i++ {
+		if len(classes[i].Prefixes) > len(classes[i-1].Prefixes) {
+			t.Fatal("classes not sorted by size")
+		}
+	}
+}
+
+func TestHeadlineScale100K(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale class computation")
+	}
+	routers := []string{"r1", "r2", "r3", "r4", "r5"}
+	fibs, prefixes := SyntheticFIBs(routers, 100_000, 12)
+	classes := Compute(fibs, prefixes)
+	if len(classes) != 12 {
+		t.Fatalf("classes = %d, want 12 (<15 per §6)", len(classes))
+	}
+}
+
+func TestComputeFromLiveNetwork(t *testing.T) {
+	pn, err := network.BuildPaper(1, network.DefaultPaperOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn.Start()
+	if err := pn.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fibs := pn.FIBSnapshot()
+	classes := Compute(fibs, nil)
+	if len(classes) == 0 {
+		t.Fatal("no classes")
+	}
+	// P forms its own class (all routers push it toward r2/e2).
+	var pClass *Class
+	for i := range classes {
+		for _, p := range classes[i].Prefixes {
+			if p == pn.P {
+				pClass = &classes[i]
+			}
+		}
+	}
+	if pClass == nil {
+		t.Fatal("P not classified")
+	}
+	reps := Representatives(classes)
+	if len(reps) != len(classes) {
+		t.Fatalf("reps = %d classes = %d", len(reps), len(classes))
+	}
+}
+
+func TestSignatureDistinguishesBehaviour(t *testing.T) {
+	fibs := map[string]map[netip.Prefix]fib.Entry{
+		"a": {
+			pfx("10.0.0.0/8"): {Prefix: pfx("10.0.0.0/8"), NextHop: addr("1.1.1.1")},
+			pfx("20.0.0.0/8"): {Prefix: pfx("20.0.0.0/8"), NextHop: addr("2.2.2.2")},
+		},
+		"b": {
+			pfx("0.0.0.0/0"): {Prefix: pfx("0.0.0.0/0"), NextHop: addr("3.3.3.3")},
+		},
+	}
+	s1 := Signature(fibs, pfx("10.0.0.0/8"))
+	s2 := Signature(fibs, pfx("20.0.0.0/8"))
+	if s1 == s2 {
+		t.Fatal("different behaviour, same signature")
+	}
+	if s1 != "a=1.1.1.1;b=3.3.3.3" {
+		t.Fatalf("signature = %q", s1)
+	}
+	// Unrouted prefix renders "-" everywhere it misses.
+	s3 := Signature(map[string]map[netip.Prefix]fib.Entry{"a": {}}, pfx("99.0.0.0/8"))
+	if s3 != "a=-" {
+		t.Fatalf("unrouted signature = %q", s3)
+	}
+}
+
+func TestDirectEntriesInSignature(t *testing.T) {
+	fibs := map[string]map[netip.Prefix]fib.Entry{
+		"a": {pfx("10.0.0.0/8"): {Prefix: pfx("10.0.0.0/8"), OutIface: "eth0"}},
+	}
+	if got := Signature(fibs, pfx("10.0.0.0/8")); got != "a=direct:eth0" {
+		t.Fatalf("signature = %q", got)
+	}
+}
+
+// Property: the number of classes never exceeds the group count used to
+// generate the FIBs, for any sizes.
+func TestQuickClassCountBounded(t *testing.T) {
+	f := func(nPfx, nGrp uint8) bool {
+		n := int(nPfx)%500 + 1
+		g := int(nGrp)%15 + 1
+		fibs, prefixes := SyntheticFIBs([]string{"x", "y"}, n, g)
+		classes := Compute(fibs, prefixes)
+		want := g
+		if n < g {
+			want = n
+		}
+		return len(classes) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeNilPrefixesUsesFIBUnion(t *testing.T) {
+	fibs := map[string]map[netip.Prefix]fib.Entry{
+		"a": {pfx("10.0.0.0/8"): {Prefix: pfx("10.0.0.0/8"), NextHop: addr("1.1.1.1")}},
+		"b": {pfx("20.0.0.0/8"): {Prefix: pfx("20.0.0.0/8"), NextHop: addr("2.2.2.2")}},
+	}
+	classes := Compute(fibs, nil)
+	total := 0
+	for _, c := range classes {
+		total += len(c.Prefixes)
+	}
+	if total != 2 {
+		t.Fatalf("union covered %d prefixes", total)
+	}
+}

@@ -1,0 +1,203 @@
+// Package fib implements a router's forwarding information base. Routing
+// protocols offer candidate routes; the table arbitrates by administrative
+// distance (then protocol metric), installs the winner, and records
+// fib-install / fib-remove I/Os through the router's capture recorder —
+// these are exactly the "FIB updates" the paper's verifier consumes.
+package fib
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/route"
+	"hbverify/internal/trie"
+)
+
+// Entry is an installed forwarding entry.
+type Entry struct {
+	Prefix   netip.Prefix
+	NextHop  netip.Addr // invalid => directly delivered
+	OutIface string
+	Proto    route.Protocol
+	AD       uint8
+	Metric   uint32
+}
+
+func (e Entry) String() string {
+	nh := "direct"
+	if e.NextHop.IsValid() {
+		nh = e.NextHop.String()
+	}
+	return fmt.Sprintf("%s via %s (%s)", e.Prefix, nh, e.Proto)
+}
+
+// Update notifies a listener of a FIB change. IO is the recorded capture
+// event for the change.
+type Update struct {
+	Entry   Entry
+	Install bool // false = removed
+	IO      capture.IO
+}
+
+// Table is one router's FIB. Not safe for concurrent use; the simulator is
+// single-threaded.
+type Table struct {
+	rec        *capture.Recorder
+	lpm        *trie.Trie[Entry]
+	candidates map[netip.Prefix][]route.Route
+	onChange   []func(Update)
+}
+
+// NewTable builds an empty FIB that records changes through rec.
+func NewTable(rec *capture.Recorder) *Table {
+	return &Table{
+		rec:        rec,
+		lpm:        trie.New[Entry](),
+		candidates: map[netip.Prefix][]route.Route{},
+	}
+}
+
+// OnChange registers a listener for installs and removals.
+func (t *Table) OnChange(fn func(Update)) { t.onChange = append(t.onChange, fn) }
+
+// Offer installs or replaces proto's candidate route for r.Prefix and
+// re-arbitrates. causes are the capture IDs (typically the protocol's
+// rib-install event) that ground-truth the resulting FIB I/O. It returns
+// the recorded FIB I/O and true when the installed entry changed.
+func (t *Table) Offer(r route.Route, causes ...uint64) (capture.IO, bool) {
+	r.Prefix = r.Prefix.Masked()
+	cands := t.candidates[r.Prefix]
+	replaced := false
+	for i := range cands {
+		if cands[i].Proto == r.Proto {
+			cands[i] = r
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		cands = append(cands, r)
+	}
+	t.candidates[r.Prefix] = cands
+	return t.reselect(r.Prefix, causes)
+}
+
+// Withdraw removes proto's candidate for prefix and re-arbitrates. It is a
+// no-op if the protocol had no candidate. It returns the recorded FIB I/O
+// and true when the installed entry changed.
+func (t *Table) Withdraw(proto route.Protocol, prefix netip.Prefix, causes ...uint64) (capture.IO, bool) {
+	prefix = prefix.Masked()
+	cands := t.candidates[prefix]
+	out := cands[:0]
+	removed := false
+	for _, c := range cands {
+		if c.Proto == proto {
+			removed = true
+			continue
+		}
+		out = append(out, c)
+	}
+	if !removed {
+		return capture.IO{}, false
+	}
+	if len(out) == 0 {
+		delete(t.candidates, prefix)
+	} else {
+		t.candidates[prefix] = out
+	}
+	return t.reselect(prefix, causes)
+}
+
+func better(a, b route.Route) bool {
+	if a.AdminDistance() != b.AdminDistance() {
+		return a.AdminDistance() < b.AdminDistance()
+	}
+	return a.Metric < b.Metric
+}
+
+func (t *Table) reselect(prefix netip.Prefix, causes []uint64) (capture.IO, bool) {
+	cands := t.candidates[prefix]
+	var best *route.Route
+	for i := range cands {
+		if best == nil || better(cands[i], *best) {
+			best = &cands[i]
+		}
+	}
+	cur, had := t.lpm.Exact(prefix)
+	if best == nil {
+		if !had {
+			return capture.IO{}, false
+		}
+		t.lpm.Delete(prefix)
+		io := t.rec.Record(capture.IO{
+			Type: capture.FIBRemove, Prefix: prefix,
+			NextHop: cur.NextHop, Proto: cur.Proto, Causes: causes,
+		})
+		t.notify(Update{Entry: cur, Install: false, IO: io})
+		return io, true
+	}
+	next := Entry{
+		Prefix: prefix, NextHop: best.NextHop, OutIface: best.OutIface,
+		Proto: best.Proto, AD: best.AdminDistance(), Metric: best.Metric,
+	}
+	if had && cur == next {
+		return capture.IO{}, false
+	}
+	_ = t.lpm.Insert(prefix, next)
+	io := t.rec.Record(capture.IO{
+		Type: capture.FIBInstall, Prefix: prefix,
+		NextHop: next.NextHop, Proto: next.Proto, Causes: causes,
+	})
+	t.notify(Update{Entry: next, Install: true, IO: io})
+	return io, true
+}
+
+func (t *Table) notify(u Update) {
+	for _, fn := range t.onChange {
+		fn(u)
+	}
+}
+
+// Lookup performs the longest-prefix match for a destination address.
+func (t *Table) Lookup(dst netip.Addr) (Entry, bool) {
+	e, _, ok := t.lpm.Lookup(dst)
+	return e, ok
+}
+
+// Exact returns the installed entry for exactly prefix.
+func (t *Table) Exact(prefix netip.Prefix) (Entry, bool) {
+	return t.lpm.Exact(prefix.Masked())
+}
+
+// Entries returns all installed entries sorted by prefix.
+func (t *Table) Entries() []Entry {
+	var out []Entry
+	t.lpm.Walk(func(_ netip.Prefix, e Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Prefix.Addr().Compare(out[j].Prefix.Addr()); c != 0 {
+			return c < 0
+		}
+		return out[i].Prefix.Bits() < out[j].Prefix.Bits()
+	})
+	return out
+}
+
+// Snapshot returns a copy of the FIB as a plain map, for verifiers.
+func (t *Table) Snapshot() map[netip.Prefix]Entry {
+	out := make(map[netip.Prefix]Entry)
+	t.lpm.Walk(func(p netip.Prefix, e Entry) bool {
+		out[p] = e
+		return true
+	})
+	return out
+}
+
+// Candidates exposes the offered routes for a prefix (diagnostics).
+func (t *Table) Candidates(prefix netip.Prefix) []route.Route {
+	return append([]route.Route(nil), t.candidates[prefix.Masked()]...)
+}

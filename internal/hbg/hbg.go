@@ -1,0 +1,338 @@
+// Package hbg implements the happens-before graph (HBG) of §4.3: vertices
+// are captured control-plane I/Os and directed edges are happens-before
+// relationships. The graph answers the two questions the paper builds its
+// system on: *provenance* (which I/Os led to this FIB update?) and *root
+// cause* (which leaf inputs started the chain?).
+//
+// Graphs come from two sources: FromGroundTruth builds the oracle graph
+// from the simulator's causal tags, and internal/hbr builds inferred graphs
+// from observable I/O properties alone. Both produce the same structure, so
+// every downstream consumer (snapshot consistency, repair, visualization)
+// works with either.
+package hbg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hbverify/internal/capture"
+)
+
+// Edge is a happens-before pair: From happens before To.
+type Edge struct{ From, To uint64 }
+
+// Graph is a happens-before graph. The zero value is not usable; call New.
+type Graph struct {
+	nodes map[uint64]capture.IO
+	out   map[uint64][]uint64
+	in    map[uint64][]uint64
+	// Confidence optionally annotates edges with the inference confidence
+	// (§4.2: "a statistical confidence attached to each inferred HBR").
+	// Ground-truth and rule-matched edges carry confidence 1.
+	conf map[Edge]float64
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: map[uint64]capture.IO{},
+		out:   map[uint64][]uint64{},
+		in:    map[uint64][]uint64{},
+		conf:  map[Edge]float64{},
+	}
+}
+
+// AddNode inserts (or replaces) a vertex.
+func (g *Graph) AddNode(io capture.IO) { g.nodes[io.ID] = io }
+
+// AddEdge inserts a happens-before edge with confidence 1. Unknown
+// endpoints are tolerated (the vertex may arrive later during distributed
+// construction); duplicate edges are ignored.
+func (g *Graph) AddEdge(from, to uint64) { g.AddEdgeConf(from, to, 1) }
+
+// AddEdgeConf inserts an edge with an explicit confidence in (0, 1].
+func (g *Graph) AddEdgeConf(from, to uint64, conf float64) {
+	if from == to || from == 0 || to == 0 {
+		return
+	}
+	e := Edge{from, to}
+	if _, dup := g.conf[e]; dup {
+		if conf > g.conf[e] {
+			g.conf[e] = conf
+		}
+		return
+	}
+	g.conf[e] = conf
+	g.out[from] = append(g.out[from], to)
+	g.in[to] = append(g.in[to], from)
+}
+
+// Node returns the vertex with the given ID.
+func (g *Graph) Node(id uint64) (capture.IO, bool) {
+	io, ok := g.nodes[id]
+	return io, ok
+}
+
+// Nodes returns all vertices sorted by ID.
+func (g *Graph) Nodes() []capture.IO {
+	out := make([]capture.IO, 0, len(g.nodes))
+	for _, io := range g.nodes {
+		out = append(out, io)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Edges returns all edges sorted by (From, To).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.conf))
+	for e := range g.conf {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Confidence returns the edge's inference confidence, 0 if absent.
+func (g *Graph) Confidence(from, to uint64) float64 { return g.conf[Edge{from, to}] }
+
+// HasEdge reports whether from→to exists.
+func (g *Graph) HasEdge(from, to uint64) bool {
+	_, ok := g.conf[Edge{from, to}]
+	return ok
+}
+
+// Parents returns the direct happens-before predecessors of id, sorted.
+func (g *Graph) Parents(id uint64) []uint64 {
+	out := append([]uint64(nil), g.in[id]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Children returns the direct successors of id, sorted.
+func (g *Graph) Children(id uint64) []uint64 {
+	out := append([]uint64(nil), g.out[id]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NodeCount and EdgeCount report sizes.
+func (g *Graph) NodeCount() int { return len(g.nodes) }
+
+// EdgeCount reports the number of edges.
+func (g *Graph) EdgeCount() int { return len(g.conf) }
+
+// FromGroundTruth builds the oracle HBG from the simulator's causal tags.
+func FromGroundTruth(ios []capture.IO) *Graph {
+	g := New()
+	for _, io := range ios {
+		g.AddNode(io)
+	}
+	for _, io := range ios {
+		for _, c := range io.Causes {
+			if _, ok := g.nodes[c]; ok {
+				g.AddEdge(c, io.ID)
+			}
+		}
+	}
+	return g
+}
+
+// Provenance returns every ancestor of id (the I/Os that happened before
+// it, transitively), sorted by ID. The paper uses this to explain a
+// problematic FIB update.
+func (g *Graph) Provenance(id uint64) []capture.IO {
+	seen := map[uint64]bool{}
+	var frontier []uint64
+	frontier = append(frontier, g.in[id]...)
+	var out []capture.IO
+	for len(frontier) > 0 {
+		n := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if io, ok := g.nodes[n]; ok {
+			out = append(out, io)
+		}
+		frontier = append(frontier, g.in[n]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RootCauses returns the leaf ancestors of id: provenance vertices with no
+// parents of their own (§6: "any leaf nodes we encounter represent the
+// root cause(s) of the event"). If id itself has no parents it is its own
+// root cause.
+func (g *Graph) RootCauses(id uint64) []capture.IO {
+	prov := g.Provenance(id)
+	if len(prov) == 0 {
+		if io, ok := g.nodes[id]; ok {
+			return []capture.IO{io}
+		}
+		return nil
+	}
+	var out []capture.IO
+	for _, io := range prov {
+		if len(g.in[io.ID]) == 0 {
+			out = append(out, io)
+		}
+	}
+	return out
+}
+
+// Descendants returns every vertex reachable from id (the I/Os the event
+// led to), sorted by ID.
+func (g *Graph) Descendants(id uint64) []capture.IO {
+	seen := map[uint64]bool{}
+	frontier := append([]uint64(nil), g.out[id]...)
+	var out []capture.IO
+	for len(frontier) > 0 {
+		n := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if io, ok := g.nodes[n]; ok {
+			out = append(out, io)
+		}
+		frontier = append(frontier, g.out[n]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Subgraph returns the per-router happens-before subgraph (§5: each router
+// can store its own subgraph): vertices at the router plus edges between
+// them; cross-router edges are dropped.
+func (g *Graph) Subgraph(router string) *Graph {
+	sub := New()
+	for id, io := range g.nodes {
+		if io.Router == router {
+			sub.AddNode(io)
+			_ = id
+		}
+	}
+	for e, c := range g.conf {
+		if _, a := sub.nodes[e.From]; !a {
+			continue
+		}
+		if _, b := sub.nodes[e.To]; !b {
+			continue
+		}
+		sub.AddEdgeConf(e.From, e.To, c)
+	}
+	return sub
+}
+
+// Merge folds other's vertices and edges into g (distributed HBG
+// assembly).
+func (g *Graph) Merge(other *Graph) {
+	for _, io := range other.Nodes() {
+		if _, exists := g.nodes[io.ID]; !exists {
+			g.AddNode(io)
+		}
+	}
+	for e, c := range other.conf {
+		g.AddEdgeConf(e.From, e.To, c)
+	}
+}
+
+// TopoOrder returns a topological order of the vertices, or an error if
+// the graph has a cycle (which would mean the inferred "happens-before"
+// relation is inconsistent).
+func (g *Graph) TopoOrder() ([]uint64, error) {
+	indeg := map[uint64]int{}
+	for id := range g.nodes {
+		indeg[id] = 0
+	}
+	for e := range g.conf {
+		if _, ok := g.nodes[e.To]; ok {
+			indeg[e.To]++
+		}
+	}
+	var ready []uint64
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	var order []uint64
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		for _, m := range g.Children(n) {
+			if _, ok := g.nodes[m]; !ok {
+				continue
+			}
+			indeg[m]--
+			if indeg[m] == 0 {
+				ready = append(ready, m)
+			}
+		}
+		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	}
+	if len(order) != len(g.nodes) {
+		return nil, fmt.Errorf("hbg: cycle detected (%d of %d ordered)", len(order), len(g.nodes))
+	}
+	return order, nil
+}
+
+// DOT renders the graph in Graphviz format, one cluster per router, in the
+// style of the paper's Fig. 4.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph hbg {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+	byRouter := map[string][]capture.IO{}
+	for _, io := range g.Nodes() {
+		byRouter[io.Router] = append(byRouter[io.Router], io)
+	}
+	routers := make([]string, 0, len(byRouter))
+	for r := range byRouter {
+		routers = append(routers, r)
+	}
+	sort.Strings(routers)
+	for i, r := range routers {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", i, r)
+		for _, io := range byRouter[r] {
+			fmt.Fprintf(&b, "    n%d [label=%q];\n", io.ID, io.String())
+		}
+		b.WriteString("  }\n")
+	}
+	for _, e := range g.Edges() {
+		if c := g.conf[e]; c < 1 {
+			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, label=\"%.2f\"];\n", e.From, e.To, c)
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Text renders a human-readable listing: each vertex with its parents.
+func (g *Graph) Text() string {
+	var b strings.Builder
+	for _, io := range g.Nodes() {
+		fmt.Fprintf(&b, "#%d %s", io.ID, io)
+		if ps := g.Parents(io.ID); len(ps) > 0 {
+			b.WriteString("  <-")
+			for _, p := range ps {
+				fmt.Fprintf(&b, " #%d", p)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,233 @@
+// Package hbr infers happens-before relationships (HBRs) between captured
+// control-plane I/Os using only their observable properties — router,
+// type, protocol, prefix, peer, and (skewed) timestamps — implementing the
+// four strategies of §4.2:
+//
+//   - Timestamp: order events by observed wall clock (filter only; as the
+//     paper notes, sequential events are not necessarily dependent).
+//   - Prefix: relate I/Os sharing a prefix (filter only).
+//   - Rules: protocol-generic and protocol-specific rules from §4.1, e.g.
+//     BGP's [install P in RIB] → [send advertisement for P] versus EIGRP's
+//     [install P in FIB] → [send advertisement for P].
+//   - Patterns: statistics mined from a policy-compliant reference log,
+//     each inferred edge annotated with a confidence.
+//
+// The Combined strategy layers pattern mining under rule matching, which is
+// the configuration the paper expects to be necessary in practice.
+package hbr
+
+import (
+	"sort"
+	"time"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/hbg"
+	"hbverify/internal/netsim"
+)
+
+// Strategy is one inference algorithm.
+type Strategy interface {
+	Name() string
+	Infer(ios []capture.IO) *hbg.Graph
+}
+
+// index organizes a log for inference. All slices are sorted by observed
+// time with IDs as tie-breaker.
+type index struct {
+	all      []capture.IO
+	byRouter map[string][]capture.IO
+}
+
+func buildIndex(ios []capture.IO) *index {
+	idx := &index{byRouter: map[string][]capture.IO{}}
+	idx.all = append(idx.all, ios...)
+	sort.SliceStable(idx.all, func(i, j int) bool {
+		if idx.all[i].Time != idx.all[j].Time {
+			return idx.all[i].Time < idx.all[j].Time
+		}
+		return idx.all[i].ID < idx.all[j].ID
+	})
+	for _, io := range idx.all {
+		idx.byRouter[io.Router] = append(idx.byRouter[io.Router], io)
+	}
+	return idx
+}
+
+// precedingOnRouter visits events on io's router that were observed at or
+// before io (excluding io itself), nearest first, stopping after window.
+func (idx *index) precedingOnRouter(io capture.IO, window time.Duration, visit func(capture.IO) bool) {
+	evs := idx.byRouter[io.Router]
+	// Find io's position (observed order).
+	pos := sort.Search(len(evs), func(i int) bool {
+		if evs[i].Time != io.Time {
+			return evs[i].Time > io.Time
+		}
+		return evs[i].ID >= io.ID
+	})
+	for i := pos - 1; i >= 0; i-- {
+		if window > 0 && io.Time.Sub(evs[i].Time) > window {
+			return
+		}
+		if !visit(evs[i]) {
+			return
+		}
+	}
+}
+
+// sameAdvertKind reports whether a send and recv describe the same message
+// kind (advert vs withdraw).
+func sameAdvertKind(send, recv capture.Type) bool {
+	return (send == capture.SendAdvert && recv == capture.RecvAdvert) ||
+		(send == capture.SendWithdraw && recv == capture.RecvWithdraw)
+}
+
+// matchSendForRecv finds the sender-side event for a received
+// advertisement: a send at recv.Peer targeting recv.Router, same protocol
+// and prefix (or same Detail for prefix-less LSAs), nearest in |observed
+// time| within window. Clock skew is why this uses absolute distance.
+func (idx *index) matchSendForRecv(recv capture.IO, window time.Duration) (capture.IO, bool) {
+	var best capture.IO
+	var bestDist time.Duration
+	found := false
+	for _, cand := range idx.byRouter[recv.Peer] {
+		if !cand.Type.IsOutput() || !sameAdvertKind(cand.Type, recv.Type) {
+			continue
+		}
+		if cand.Proto != recv.Proto || cand.Peer != recv.Router {
+			continue
+		}
+		if recv.HasPrefix() || cand.HasPrefix() {
+			if cand.Prefix != recv.Prefix {
+				continue
+			}
+		} else if cand.Detail != recv.Detail {
+			continue
+		}
+		d := recv.Time.Sub(cand.Time)
+		if d < 0 {
+			d = -d
+		}
+		if window > 0 && d > window {
+			continue
+		}
+		if !found || d < bestDist {
+			best, bestDist, found = cand, d, true
+		}
+	}
+	return best, found
+}
+
+// Metrics compares an inferred graph against ground truth.
+type Metrics struct {
+	TP, FP, FN int
+	Precision  float64
+	Recall     float64
+	F1         float64
+}
+
+// Evaluate scores inferred edges against the simulator's causal tags. Only
+// edges whose endpoints both appear in the supplied log count.
+func Evaluate(inferred *hbg.Graph, truth []capture.IO) Metrics {
+	truthEdges := map[hbg.Edge]bool{}
+	present := map[uint64]bool{}
+	for _, io := range truth {
+		present[io.ID] = true
+	}
+	for _, io := range truth {
+		for _, c := range io.Causes {
+			if present[c] {
+				truthEdges[hbg.Edge{From: c, To: io.ID}] = true
+			}
+		}
+	}
+	var m Metrics
+	for _, e := range inferred.Edges() {
+		if truthEdges[e] {
+			m.TP++
+		} else {
+			m.FP++
+		}
+	}
+	m.FN = len(truthEdges) - m.TP
+	if m.TP+m.FP > 0 {
+		m.Precision = float64(m.TP) / float64(m.TP+m.FP)
+	}
+	if m.TP+m.FN > 0 {
+		m.Recall = float64(m.TP) / float64(m.TP+m.FN)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// Timestamp is the naive baseline: each event is linked to the immediately
+// preceding event on the same router. The paper: "timestamps cannot be
+// used as the sole mechanism for identifying HBRs" — this strategy exists
+// to quantify that claim.
+type Timestamp struct{}
+
+// Name implements Strategy.
+func (Timestamp) Name() string { return "timestamp" }
+
+// Infer implements Strategy.
+func (Timestamp) Infer(ios []capture.IO) *hbg.Graph {
+	idx := buildIndex(ios)
+	g := hbg.New()
+	for _, io := range ios {
+		g.AddNode(io)
+	}
+	for router := range idx.byRouter {
+		evs := idx.byRouter[router]
+		for i := 1; i < len(evs); i++ {
+			g.AddEdge(evs[i-1].ID, evs[i].ID)
+		}
+	}
+	return g
+}
+
+// Prefix links every output to all preceding same-prefix events on the same
+// router within Window, plus cross-router same-prefix send→recv pairs.
+// High recall, poor precision: a filter, not an identifier.
+type Prefix struct {
+	// Window bounds how far back relationships reach (default 500ms).
+	Window time.Duration
+}
+
+// Name implements Strategy.
+func (Prefix) Name() string { return "prefix" }
+
+// Infer implements Strategy.
+func (p Prefix) Infer(ios []capture.IO) *hbg.Graph {
+	window := p.Window
+	if window == 0 {
+		window = 500 * time.Millisecond
+	}
+	idx := buildIndex(ios)
+	g := hbg.New()
+	for _, io := range ios {
+		g.AddNode(io)
+	}
+	for _, io := range idx.all {
+		if !io.HasPrefix() {
+			continue
+		}
+		io := io
+		idx.precedingOnRouter(io, window, func(cand capture.IO) bool {
+			if cand.Prefix == io.Prefix {
+				g.AddEdge(cand.ID, io.ID)
+			}
+			return true
+		})
+		if io.Type == capture.RecvAdvert || io.Type == capture.RecvWithdraw {
+			if send, ok := idx.matchSendForRecv(io, window); ok {
+				g.AddEdge(send.ID, io.ID)
+			}
+		}
+	}
+	return g
+}
+
+// VirtualDuration converts a netsim time difference into a duration;
+// exported for experiment code that reasons about observed gaps.
+func VirtualDuration(a, b netsim.VirtualTime) time.Duration { return b.Sub(a) }

@@ -1,0 +1,211 @@
+// Pattern matching (§4.2): mine I/O orderings from a policy-compliant
+// reference network and apply them, with statistical confidence, to a
+// possibly-broken network. Fully automated — no protocol knowledge — at
+// the cost of missing HBRs that never occurred in the reference traces.
+
+package hbr
+
+import (
+	"sort"
+	"time"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/hbg"
+	"hbverify/internal/route"
+)
+
+// pairKey identifies a candidate ordering pattern: an event of kind A
+// (type+protocol) preceding an event of kind B on the same router (or
+// across a send/recv boundary when cross is set).
+type pairKey struct {
+	aType  capture.Type
+	aProto route.Protocol
+	bType  capture.Type
+	bProto route.Protocol
+	cross  bool
+}
+
+// Model is a trained pattern model: per-pair confidence that a B-kind event
+// is preceded by an A-kind event.
+type Model struct {
+	conf   map[pairKey]float64
+	window time.Duration
+}
+
+// Pairs returns the learned pairs above threshold, for diagnostics.
+func (m *Model) Pairs(threshold float64) int {
+	n := 0
+	for _, c := range m.conf {
+		if c >= threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// Miner trains pattern models.
+type Miner struct {
+	// Window bounds how far back a preceding event may be (default 500ms).
+	Window time.Duration
+}
+
+// Train mines pair statistics from a reference log. For every event B it
+// looks back Window on the same router for prefix-compatible events A
+// (same prefix, or A prefix-less) and counts each distinct kind once;
+// confidence(A→B) = (#B preceded by A) / (#B).
+func (m Miner) Train(ref []capture.IO) *Model {
+	window := m.Window
+	if window == 0 {
+		window = 500 * time.Millisecond
+	}
+	idx := buildIndex(ref)
+	hits := map[pairKey]int{}
+	totals := map[[2]interface{}]int{} // keyed by (bType,bProto)
+	for _, b := range idx.all {
+		b := b
+		tkey := [2]interface{}{b.Type, b.Proto}
+		totals[tkey]++
+		seen := map[pairKey]bool{}
+		idx.precedingOnRouter(b, window, func(a capture.IO) bool {
+			if a.HasPrefix() && b.HasPrefix() && a.Prefix != b.Prefix {
+				return true
+			}
+			k := pairKey{a.Type, a.Proto, b.Type, b.Proto, false}
+			if !seen[k] {
+				seen[k] = true
+				hits[k]++
+			}
+			return true
+		})
+		if b.Type == capture.RecvAdvert || b.Type == capture.RecvWithdraw {
+			if send, ok := idx.matchSendForRecv(b, window); ok {
+				k := pairKey{send.Type, send.Proto, b.Type, b.Proto, true}
+				hits[k]++
+			}
+		}
+	}
+	model := &Model{conf: map[pairKey]float64{}, window: window}
+	for k, h := range hits {
+		tkey := [2]interface{}{k.bType, k.bProto}
+		if t := totals[tkey]; t > 0 {
+			model.conf[k] = float64(h) / float64(t)
+		}
+	}
+	return model
+}
+
+// Patterns applies a trained model to a target log.
+type Patterns struct {
+	Model *Model
+	// Threshold drops pairs below this confidence (default 0.9). The
+	// paper: "only alerting and acting on a violation when [confidence]
+	// is high enough".
+	Threshold float64
+}
+
+// Name implements Strategy.
+func (Patterns) Name() string { return "patterns" }
+
+// Infer implements Strategy. For each event B, the nearest preceding
+// prefix-compatible event of each sufficiently-confident kind A becomes an
+// inferred HBR carrying the learned confidence.
+func (p Patterns) Infer(ios []capture.IO) *hbg.Graph {
+	threshold := p.Threshold
+	if threshold == 0 {
+		threshold = 0.9
+	}
+	g := hbg.New()
+	for _, io := range ios {
+		g.AddNode(io)
+	}
+	if p.Model == nil {
+		return g
+	}
+	idx := buildIndex(ios)
+	for _, b := range idx.all {
+		b := b
+		matched := map[pairKey]bool{}
+		idx.precedingOnRouter(b, p.Model.window, func(a capture.IO) bool {
+			if a.HasPrefix() && b.HasPrefix() && a.Prefix != b.Prefix {
+				return true
+			}
+			k := pairKey{a.Type, a.Proto, b.Type, b.Proto, false}
+			if matched[k] {
+				return true
+			}
+			if c, ok := p.Model.conf[k]; ok && c >= threshold {
+				matched[k] = true
+				g.AddEdgeConf(a.ID, b.ID, c)
+			}
+			return true
+		})
+		if b.Type == capture.RecvAdvert || b.Type == capture.RecvWithdraw {
+			if send, ok := idx.matchSendForRecv(b, p.Model.window); ok {
+				k := pairKey{send.Type, send.Proto, b.Type, b.Proto, true}
+				if c, ok := p.Model.conf[k]; ok && c >= threshold {
+					g.AddEdgeConf(send.ID, b.ID, c)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Combined layers pattern inference under rule matching: rules contribute
+// confidence-1 edges; pattern edges fill in relationships the rules missed.
+type Combined struct {
+	Rules    Rules
+	Patterns Patterns
+}
+
+// Name implements Strategy.
+func (Combined) Name() string { return "combined" }
+
+// Infer implements Strategy.
+func (c Combined) Infer(ios []capture.IO) *hbg.Graph {
+	g := c.Rules.Infer(ios)
+	if c.Patterns.Model == nil {
+		return g
+	}
+	pg := c.Patterns.Infer(ios)
+	for _, e := range pg.Edges() {
+		// Pattern edges only add what rules did not already explain: if
+		// the target vertex already has a rule-derived parent of the same
+		// source router, skip.
+		if g.HasEdge(e.From, e.To) {
+			continue
+		}
+		if len(g.Parents(e.To)) > 0 {
+			continue
+		}
+		g.AddEdgeConf(e.From, e.To, pg.Confidence(e.From, e.To))
+	}
+	return g
+}
+
+// Strategies returns the standard lineup for comparison experiments, with
+// the patterns/combined entries trained on ref.
+func Strategies(ref []capture.IO, window time.Duration) []Strategy {
+	model := Miner{Window: window}.Train(ref)
+	rules := Rules{Window: window}
+	return []Strategy{
+		Timestamp{},
+		Prefix{Window: window},
+		rules,
+		Patterns{Model: model},
+		Combined{Rules: rules, Patterns: Patterns{Model: model}},
+	}
+}
+
+// SortIOsByObservedTime sorts a copy of ios in collector order (observed
+// time, then ID) — the order an offline analyzer would see.
+func SortIOsByObservedTime(ios []capture.IO) []capture.IO {
+	out := append([]capture.IO(nil), ios...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -1,0 +1,201 @@
+// Rule matching (§4.2): protocol-generic and protocol-specific rules from
+// §4.1 applied over the timestamp- and prefix-filtered I/O stream.
+
+package hbr
+
+import (
+	"time"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/hbg"
+	"hbverify/internal/route"
+)
+
+// Rules is the rule-matching strategy. Given an I/O that matches the
+// right-hand side of a rule, it searches the filtered stream for the
+// nearest I/O matching the left-hand side.
+type Rules struct {
+	// Window bounds same-router matches for route-driven events
+	// (default 500ms).
+	Window time.Duration
+	// ConfigWindow bounds matches against configuration changes, which can
+	// precede their effects by tens of seconds (§7 measured 25s between
+	// the TTY change and the soft reconfiguration). Default 60s.
+	ConfigWindow time.Duration
+	// CrossWindow bounds cross-router send→recv matching (default 500ms).
+	CrossWindow time.Duration
+}
+
+// Name implements Strategy.
+func (Rules) Name() string { return "rules" }
+
+func (r Rules) windows() (w, cw, xw time.Duration) {
+	w, cw, xw = r.Window, r.ConfigWindow, r.CrossWindow
+	if w == 0 {
+		w = 500 * time.Millisecond
+	}
+	if cw == 0 {
+		cw = 60 * time.Second
+	}
+	if xw == 0 {
+		xw = 500 * time.Millisecond
+	}
+	return
+}
+
+// tier describes one left-hand-side pattern with a priority: lower tiers
+// are preferred; within a tier the nearest preceding match wins.
+type tier struct {
+	match  func(cand capture.IO) bool
+	window time.Duration
+}
+
+// Infer implements Strategy.
+func (r Rules) Infer(ios []capture.IO) *hbg.Graph {
+	w, cw, xw := r.windows()
+	idx := buildIndex(ios)
+	g := hbg.New()
+	for _, io := range ios {
+		g.AddNode(io)
+	}
+	for _, io := range idx.all {
+		io := io
+		// Link-state RIB changes come out of a debounced SPF run with
+		// potentially many antecedent LSA receipts; collect all in-window
+		// matches instead of just the nearest.
+		if io.Proto == route.ProtoOSPF && (io.Type == capture.RIBInstall || io.Type == capture.RIBRemove) {
+			matched := false
+			idx.precedingOnRouter(io, w, func(cand capture.IO) bool {
+				switch cand.Type {
+				case capture.RecvAdvert, capture.RecvWithdraw:
+					if cand.Proto == route.ProtoOSPF {
+						g.AddEdge(cand.ID, io.ID)
+						matched = true
+					}
+				case capture.SoftReconfig, capture.LinkDown, capture.LinkUp:
+					g.AddEdge(cand.ID, io.ID)
+					matched = true
+				}
+				return true
+			})
+			if !matched {
+				idx.precedingOnRouter(io, cw, func(cand capture.IO) bool {
+					if cand.Type == capture.ConfigChange {
+						g.AddEdge(cand.ID, io.ID)
+						return false
+					}
+					return true
+				})
+			}
+			continue
+		}
+		for _, t := range r.tiersFor(io, w, cw) {
+			var found *capture.IO
+			t := t
+			idx.precedingOnRouter(io, t.window, func(cand capture.IO) bool {
+				if t.match(cand) {
+					c := cand
+					found = &c
+					return false
+				}
+				return true
+			})
+			if found != nil {
+				g.AddEdge(found.ID, io.ID)
+				break
+			}
+		}
+		if io.Type == capture.RecvAdvert || io.Type == capture.RecvWithdraw {
+			// Cross-router rule: [R' send C advertisement for P] →
+			// [R receive C advertisement for P].
+			if send, ok := idx.matchSendForRecv(io, xw); ok {
+				g.AddEdge(send.ID, io.ID)
+			}
+		}
+	}
+	return g
+}
+
+// tiersFor returns the prioritized left-hand-side patterns for one I/O.
+func (r Rules) tiersFor(io capture.IO, w, cw time.Duration) []tier {
+	samePrefix := func(cand capture.IO) bool { return cand.Prefix == io.Prefix }
+	switch io.Type {
+	case capture.SoftReconfig:
+		// [config change] → [soft reconfiguration]; the gap can be large.
+		return []tier{{func(c capture.IO) bool { return c.Type == capture.ConfigChange }, cw}}
+
+	case capture.RIBInstall, capture.RIBRemove:
+		proto := io.Proto
+		// All plausible same-router triggers compete in one tier — the
+		// nearest preceding one wins. A strict priority among them would
+		// mis-attribute a reselection to a stale (but still in-window)
+		// receive when a soft reconfiguration happened in between.
+		return []tier{
+			{func(c capture.IO) bool {
+				switch c.Type {
+				case capture.RecvAdvert, capture.RecvWithdraw:
+					// [R receive C advertisement for P] → [R install P in
+					// C RIB]; withdrawals also trigger reselection.
+					return c.Proto == proto && (samePrefix(c) || !c.HasPrefix())
+				case capture.SoftReconfig, capture.LinkDown, capture.LinkUp:
+					return true
+				}
+				return false
+			}, w},
+			// Initial or direct configuration effects.
+			{func(c capture.IO) bool { return c.Type == capture.ConfigChange }, cw},
+		}
+
+	case capture.FIBInstall, capture.FIBRemove:
+		return []tier{
+			// [R install P in the C RIB] → [R install P in the FIB]
+			{func(c capture.IO) bool {
+				if (c.Type == capture.RIBInstall || c.Type == capture.RIBRemove) && samePrefix(c) {
+					return true
+				}
+				return c.Type == capture.LinkDown || c.Type == capture.LinkUp
+			}, w},
+			{func(c capture.IO) bool { return c.Type == capture.ConfigChange }, cw},
+		}
+
+	case capture.SendAdvert, capture.SendWithdraw:
+		switch io.Proto {
+		case route.ProtoEIGRP:
+			// §4.1: with EIGRP, [R install P in FIB] → [R send EIGRP
+			// advertisement for P].
+			return []tier{
+				{func(c capture.IO) bool {
+					return (c.Type == capture.FIBInstall || c.Type == capture.FIBRemove) && samePrefix(c)
+				}, w},
+				{func(c capture.IO) bool {
+					return (c.Type == capture.RIBInstall || c.Type == capture.RIBRemove) &&
+						c.Proto == route.ProtoEIGRP && samePrefix(c)
+				}, w},
+			}
+		case route.ProtoOSPF:
+			// Flooding: a sent LSA is caused by the received LSA it
+			// re-floods (same Detail), or by a local event that triggered
+			// re-origination.
+			return []tier{
+				{func(c capture.IO) bool {
+					return c.Type == capture.RecvAdvert && c.Proto == route.ProtoOSPF && c.Detail == io.Detail
+				}, w},
+				{func(c capture.IO) bool { return c.Type == capture.LinkDown || c.Type == capture.LinkUp }, w},
+				{func(c capture.IO) bool { return c.Type == capture.ConfigChange }, cw},
+			}
+		default:
+			// §4.1: with BGP (and RIP), [R install P in C RIB] → [R send C
+			// advertisement for P].
+			proto := io.Proto
+			return []tier{
+				{func(c capture.IO) bool {
+					return (c.Type == capture.RIBInstall || c.Type == capture.RIBRemove) &&
+						c.Proto == proto && samePrefix(c)
+				}, w},
+				{func(c capture.IO) bool { return c.Type == capture.SoftReconfig }, w},
+				{func(c capture.IO) bool { return c.Type == capture.ConfigChange }, cw},
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+// Package modelck is the control-plane *model* verifier baseline the paper
+// argues against relying on exclusively (§1–§2): it predicts the converged
+// forwarding state from topology and configuration using a canonical model
+// of BGP path selection. Like the tools it caricatures, it "models all
+// protocols and path selection criteria used in this network, but ignores
+// vendor-specific implementation details" — so when a router runs a vendor
+// quirk profile, the model's prediction can diverge from what the real
+// (simulated) control plane computes. Experiment E11 measures that gap.
+package modelck
+
+import (
+	"net/netip"
+	"sort"
+
+	"hbverify/internal/network"
+	"hbverify/internal/route"
+)
+
+// Prediction is the model's converged-state forecast: for each internal
+// router and prefix, the next hop it should install.
+type Prediction map[string]map[netip.Prefix]netip.Addr
+
+// origin is one externally learned route entering the AS.
+type origin struct {
+	border    string // internal border router name
+	peerAddr  netip.Addr
+	localPref uint32
+	asPathLen int
+	med       uint32
+	borderID  netip.Addr
+}
+
+// Predict computes the canonical-model forecast for the given prefixes
+// over the internal routers of n. It assumes: each external neighbor
+// advertising a prefix injects it at its internal border router with the
+// session's configured local-pref; all internal routers learn all border
+// routers' bests over an iBGP full mesh; ties break canonically
+// (local-pref, path length, eBGP-over-iBGP, router ID). IGP distances are
+// approximated as uniform — another modeling simplification real tools
+// make configurable but defaults often hide.
+func Predict(n *network.Network, internal func(string) bool, prefixes []netip.Prefix) Prediction {
+	// Discover external origins: external routers that originate each
+	// prefix, and the internal border sessions facing them.
+	pred := Prediction{}
+	var origins []origin
+	for _, r := range n.Routers() {
+		if internal(r.Name) || r.Cfg.BGP == nil {
+			continue
+		}
+		for _, nb := range r.Cfg.BGP.Neighbors {
+			borderName := n.Topo.OwnerOf(nb.Addr)
+			if borderName == "" || !internal(borderName) {
+				continue
+			}
+			border := n.Router(borderName)
+			if border == nil || border.Cfg.BGP == nil {
+				continue
+			}
+			// The border's session back toward this external router gives
+			// the ingress local-pref and the uplink next hop.
+			var lp uint32
+			var uplink netip.Addr
+			for _, bn := range border.Cfg.BGP.Neighbors {
+				if ownerOfAddr(n, bn.Addr) == r.Name {
+					lp = bn.LocalPref
+					uplink = bn.Addr
+				}
+			}
+			if !uplink.IsValid() {
+				continue
+			}
+			for range r.Cfg.BGP.Networks {
+				origins = append(origins, origin{
+					border: borderName, peerAddr: uplink, localPref: lp,
+					asPathLen: 1, borderID: border.Topo.Loopback,
+				})
+			}
+		}
+	}
+	// Per prefix: which externals originate it.
+	for _, p := range prefixes {
+		var cands []origin
+		for _, r := range n.Routers() {
+			if internal(r.Name) || r.Cfg.BGP == nil {
+				continue
+			}
+			for _, netw := range r.Cfg.BGP.Networks {
+				if netw.Masked() == p.Masked() {
+					for _, o := range origins {
+						if externalOf(n, o) == r.Name {
+							cands = append(cands, o)
+						}
+					}
+				}
+			}
+		}
+		cands = dedupe(cands)
+		if len(cands) == 0 {
+			continue
+		}
+		for _, r := range n.Routers() {
+			if !internal(r.Name) {
+				continue
+			}
+			if pred[r.Name] == nil {
+				pred[r.Name] = map[netip.Prefix]netip.Addr{}
+			}
+			best := selectCanonicalFor(r.Name, cands)
+			if r.Name == best.border {
+				pred[r.Name][p.Masked()] = best.peerAddr // exits via its own uplink
+			} else {
+				pred[r.Name][p.Masked()] = best.borderID // via the chosen border router
+			}
+		}
+	}
+	return pred
+}
+
+func ownerOfAddr(n *network.Network, a netip.Addr) string { return n.Topo.OwnerOf(a) }
+
+// externalOf reports the external router an origin's border session faces.
+func externalOf(n *network.Network, o origin) string {
+	border := n.Router(o.border)
+	if border == nil || border.Cfg.BGP == nil {
+		return ""
+	}
+	for _, bn := range border.Cfg.BGP.Neighbors {
+		if bn.LocalPref == o.localPref && bn.RemoteAS != border.Cfg.BGP.ASN {
+			return n.Topo.OwnerOf(bn.Addr)
+		}
+	}
+	return ""
+}
+
+func dedupe(in []origin) []origin {
+	seen := map[string]bool{}
+	var out []origin
+	for _, o := range in {
+		k := o.border + o.peerAddr.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// selectCanonicalFor applies the canonical (quirk-free) per-router
+// decision: highest local-pref, shortest path, eBGP-over-iBGP (a border
+// router prefers its own uplink on ties), lowest border router ID. MED is
+// deliberately *not* compared across neighboring ASes — exactly the detail
+// a vendor's always-compare-med quirk violates.
+func selectCanonicalFor(router string, cands []origin) origin {
+	c := append([]origin(nil), cands...)
+	sort.Slice(c, func(i, j int) bool {
+		a, b := c[i], c[j]
+		alp, blp := effLP(a.localPref), effLP(b.localPref)
+		if alp != blp {
+			return alp > blp
+		}
+		if a.asPathLen != b.asPathLen {
+			return a.asPathLen < b.asPathLen
+		}
+		aOwn, bOwn := a.border == router, b.border == router
+		if aOwn != bOwn {
+			return aOwn
+		}
+		return a.borderID.Compare(b.borderID) < 0
+	})
+	return c[0]
+}
+
+func effLP(lp uint32) uint32 {
+	if lp == 0 {
+		return 100
+	}
+	return lp
+}
+
+// Compare checks a prediction against the actual converged FIBs and
+// returns the (router, prefix) pairs where the model was wrong.
+type Mismatch struct {
+	Router    string
+	Prefix    netip.Prefix
+	Predicted netip.Addr
+	Actual    netip.Addr
+}
+
+// Diff compares predictions with live FIB state.
+func Diff(n *network.Network, pred Prediction) []Mismatch {
+	var out []Mismatch
+	names := make([]string, 0, len(pred))
+	for name := range pred {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := n.Router(name)
+		if r == nil {
+			continue
+		}
+		prefixes := make([]netip.Prefix, 0, len(pred[name]))
+		for p := range pred[name] {
+			prefixes = append(prefixes, p)
+		}
+		sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].String() < prefixes[j].String() })
+		for _, p := range prefixes {
+			want := pred[name][p]
+			e, ok := r.FIB.Exact(p)
+			actual := netip.Addr{}
+			if ok {
+				actual = e.NextHop
+			}
+			if actual != want {
+				out = append(out, Mismatch{Router: name, Prefix: p, Predicted: want, Actual: actual})
+			}
+		}
+	}
+	return out
+}
+
+// KnownProtocols lists what the model covers; route redistribution and
+// vendor quirks are deliberately outside it (that is the point of the
+// baseline).
+func KnownProtocols() []route.Protocol {
+	return []route.Protocol{route.ProtoBGP, route.ProtoOSPF}
+}

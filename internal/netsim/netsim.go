@@ -1,0 +1,230 @@
+// Package netsim provides a deterministic discrete-event simulation kernel.
+//
+// All control-plane activity in this repository runs on a single virtual
+// clock owned by a Scheduler. Events fire in (time, sequence) order, so a
+// simulation with a fixed seed is fully reproducible: the same inputs always
+// produce the same interleaving of route advertisements, RIB installs, and
+// FIB updates. Determinism is what lets the test suite assert exact
+// happens-before graphs and lets experiment E10 explore message-order
+// permutations purely through seed sweeps.
+//
+// Virtual time is an int64 nanosecond count (VirtualTime). Routers never read
+// the host clock; per-router "wall clock" skew is layered on top by
+// ClockModel so that captured timestamps are imperfect in the same way real
+// router logs are.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// VirtualTime is a point on the simulation clock, in nanoseconds since the
+// start of the run.
+type VirtualTime int64
+
+// Duration converts a standard library duration to virtual nanoseconds.
+func Duration(d time.Duration) VirtualTime { return VirtualTime(d.Nanoseconds()) }
+
+// Add returns t shifted by d.
+func (t VirtualTime) Add(d time.Duration) VirtualTime { return t + Duration(d) }
+
+// Sub returns the duration between t and u.
+func (t VirtualTime) Sub(u VirtualTime) time.Duration { return time.Duration(t - u) }
+
+// String formats the virtual time as a duration offset, e.g. "25.004s".
+func (t VirtualTime) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. Events are ordered by time, then by the
+// sequence number assigned at scheduling time, which makes simultaneous
+// events fire in schedule order.
+type event struct {
+	at   VirtualTime
+	seq  uint64
+	fn   func()
+	dead bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled event; Stop cancels it if it has not
+// fired yet.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It reports whether the event was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	return true
+}
+
+// Scheduler is the discrete-event simulation kernel. The zero value is not
+// usable; call NewScheduler.
+type Scheduler struct {
+	now     VirtualTime
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+	// Processed counts events that have fired; useful for run-length caps.
+	Processed uint64
+	// MaxEvents, when nonzero, aborts Run with ErrEventBudget after that
+	// many events. It guards against protocol bugs that would otherwise
+	// spin the simulation forever.
+	MaxEvents uint64
+}
+
+// ErrEventBudget is returned by Run variants when MaxEvents is exhausted.
+var ErrEventBudget = fmt.Errorf("netsim: event budget exhausted")
+
+// NewScheduler returns a scheduler whose internal randomness (used only by
+// Jitter) is derived from seed.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() VirtualTime { return s.now }
+
+// Rand exposes the scheduler's deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past is
+// clamped to the present: the event fires at Now.
+func (s *Scheduler) At(t VirtualTime, fn func()) *Timer {
+	if fn == nil {
+		panic("netsim: nil event func")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	return s.At(s.now.Add(d), fn)
+}
+
+// Jitter returns a duration uniformly distributed in [base, base+spread).
+// With spread <= 0 it returns base unchanged.
+func (s *Scheduler) Jitter(base, spread time.Duration) time.Duration {
+	if spread <= 0 {
+		return base
+	}
+	return base + time.Duration(s.rng.Int63n(int64(spread)))
+}
+
+// Stop makes the current Run return after the in-flight event completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Pending reports the number of events waiting to fire (including dead ones
+// not yet drained).
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Run fires events until the queue drains, Stop is called, or the event
+// budget is exhausted.
+func (s *Scheduler) Run() error { return s.RunUntil(VirtualTime(1<<62 - 1)) }
+
+// RunUntil fires events with time <= deadline. The virtual clock is left at
+// the later of the last fired event and its current value; it never jumps to
+// the deadline when the queue drains early.
+func (s *Scheduler) RunUntil(deadline VirtualTime) error {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		ev := s.queue[0]
+		if ev.at > deadline {
+			return nil
+		}
+		heap.Pop(&s.queue)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		s.Processed++
+		ev.fn()
+		if s.MaxEvents > 0 && s.Processed >= s.MaxEvents {
+			return ErrEventBudget
+		}
+	}
+	return nil
+}
+
+// Step fires exactly one live event and reports whether one fired.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		s.Processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// ClockModel maps virtual time to the wall clock a particular router would
+// stamp on a log line: a constant skew plus bounded uniform jitter. Real
+// routers are never perfectly synchronized, and the paper's timestamp
+// strategy (§4.2) must cope with exactly this imperfection.
+type ClockModel struct {
+	Skew   time.Duration // constant offset from true virtual time
+	Jitter time.Duration // maximum additional per-reading noise (uniform)
+	rng    *rand.Rand
+}
+
+// NewClockModel builds a clock with the given skew and jitter. Readings are
+// deterministic for a given seed.
+func NewClockModel(skew, jitter time.Duration, seed int64) *ClockModel {
+	return &ClockModel{Skew: skew, Jitter: jitter, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Read returns the wall-clock the router observes at virtual time t.
+func (c *ClockModel) Read(t VirtualTime) VirtualTime {
+	if c == nil {
+		return t
+	}
+	out := t.Add(c.Skew)
+	if c.Jitter > 0 {
+		out = out.Add(time.Duration(c.rng.Int63n(int64(c.Jitter))))
+	}
+	if out < 0 {
+		out = 0
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+// Package snapshot implements §5 of the paper: assembling a *consistent*
+// data-plane snapshot from per-router capture logs using the happens-before
+// graph.
+//
+// A snapshot is defined by a Cut: for each router, the observed-time
+// horizon up to which that router's log has been collected. Because
+// collection is asynchronous, a cut can be inconsistent — Fig. 1c's
+// verifier holds R2's stale FIB while R1's and R3's logs already reflect
+// R2's update, so it sees a phantom loop.
+//
+// The consistency condition (per §5): if the snapshot includes a FIB
+// update on R that depends on a received advertisement, the matching send
+// on the advertising router R' must also be in the snapshot. Because every
+// router applies an update to its FIB before advertising it (the ordering
+// invariant the protocols maintain), the presence of R”s send guarantees
+// R”s own FIB update is in its collected log prefix, and the condition
+// recurses for free.
+package snapshot
+
+import (
+	"net/netip"
+	"sort"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/fib"
+	"hbverify/internal/hbg"
+	"hbverify/internal/netsim"
+)
+
+// Cut maps each router to the observed-time horizon through which its log
+// has been collected. Routers absent from the cut are fully collected.
+type Cut map[string]netsim.VirtualTime
+
+// Clone copies the cut.
+func (c Cut) Clone() Cut {
+	out := make(Cut, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// Collect returns the I/Os visible under the cut, preserving order.
+func Collect(ios []capture.IO, cut Cut) []capture.IO {
+	var out []capture.IO
+	for _, io := range ios {
+		if horizon, limited := cut[io.Router]; limited && io.Time > horizon {
+			continue
+		}
+		out = append(out, io)
+	}
+	return out
+}
+
+// BuildFIBs reconstructs each router's FIB by replaying the collected FIB
+// install/remove events — exactly what a verifier fed by FIB update
+// streams would hold.
+func BuildFIBs(ios []capture.IO) map[string]map[netip.Prefix]fib.Entry {
+	out := map[string]map[netip.Prefix]fib.Entry{}
+	for _, io := range ios {
+		switch io.Type {
+		case capture.FIBInstall:
+			if out[io.Router] == nil {
+				out[io.Router] = map[netip.Prefix]fib.Entry{}
+			}
+			out[io.Router][io.Prefix] = fib.Entry{
+				Prefix: io.Prefix, NextHop: io.NextHop, Proto: io.Proto,
+			}
+		case capture.FIBRemove:
+			delete(out[io.Router], io.Prefix)
+		default:
+			// Make sure every router appears even with an empty FIB.
+			if out[io.Router] == nil {
+				out[io.Router] = map[netip.Prefix]fib.Entry{}
+			}
+		}
+	}
+	return out
+}
+
+// Result reports a consistency check.
+type Result struct {
+	Consistent bool
+	// Missing lists received advertisements whose sender-side output is
+	// absent from the snapshot.
+	Missing []capture.IO
+	// WaitFor names the routers whose logs must advance before the
+	// snapshot can be verified (sorted, deduplicated).
+	WaitFor []string
+}
+
+// Check applies the §5 condition to a happens-before graph built over the
+// collected I/Os. external reports routers outside the administrative
+// domain (updates received from them terminate the recursion); it may be
+// nil.
+func Check(g *hbg.Graph, external func(string) bool) Result {
+	res := Result{Consistent: true}
+	waitSet := map[string]bool{}
+	reported := map[uint64]bool{}
+	for _, io := range g.Nodes() {
+		if io.Type != capture.FIBInstall && io.Type != capture.FIBRemove {
+			continue
+		}
+		// Examine every received advertisement in this FIB update's
+		// provenance, plus any direct recv parents.
+		for _, anc := range g.Provenance(io.ID) {
+			if anc.Type != capture.RecvAdvert && anc.Type != capture.RecvWithdraw {
+				continue
+			}
+			if external != nil && external(anc.Peer) {
+				continue
+			}
+			if reported[anc.ID] {
+				continue
+			}
+			hasSend := false
+			for _, pid := range g.Parents(anc.ID) {
+				p, ok := g.Node(pid)
+				if !ok {
+					continue
+				}
+				if (p.Type == capture.SendAdvert || p.Type == capture.SendWithdraw) && p.Router != anc.Router {
+					hasSend = true
+					break
+				}
+			}
+			if !hasSend {
+				reported[anc.ID] = true
+				res.Consistent = false
+				res.Missing = append(res.Missing, anc)
+				if anc.Peer != "" {
+					waitSet[anc.Peer] = true
+				}
+			}
+		}
+	}
+	for r := range waitSet {
+		res.WaitFor = append(res.WaitFor, r)
+	}
+	sort.Strings(res.WaitFor)
+	return res
+}
+
+// Infer is the graph constructor used when assembling snapshots; callers
+// supply their HBR strategy (typically hbr.Rules).
+type Infer func([]capture.IO) *hbg.Graph
+
+// ConsistentCollect repeatedly extends an inconsistent cut — advancing the
+// logs of the routers named by Check's WaitFor set, as the §7 prototype
+// does ("the verifier can wait until it receives the up-to-date HBG from
+// R1") — until the snapshot is consistent or no progress is possible. It
+// returns the final collected I/Os, the final cut, and the last check.
+func ConsistentCollect(ios []capture.IO, cut Cut, infer Infer, external func(string) bool) ([]capture.IO, Cut, Result) {
+	cur := cut.Clone()
+	for {
+		collected := Collect(ios, cur)
+		g := infer(collected)
+		res := Check(g, external)
+		if res.Consistent || len(res.WaitFor) == 0 {
+			return collected, cur, res
+		}
+		progressed := false
+		for _, router := range res.WaitFor {
+			if next, ok := nextEventTime(ios, router, cur[router]); ok {
+				if _, limited := cur[router]; limited {
+					cur[router] = next
+					progressed = true
+				}
+			} else if _, limited := cur[router]; limited {
+				// Log exhausted: lift the horizon entirely.
+				delete(cur, router)
+				progressed = true
+			}
+		}
+		if !progressed {
+			return collected, cur, res
+		}
+	}
+}
+
+// nextEventTime finds the observed time of router's earliest event after
+// horizon.
+func nextEventTime(ios []capture.IO, router string, horizon netsim.VirtualTime) (netsim.VirtualTime, bool) {
+	best := netsim.VirtualTime(0)
+	found := false
+	for _, io := range ios {
+		if io.Router != router || io.Time <= horizon {
+			continue
+		}
+		if !found || io.Time < best {
+			best, found = io.Time, true
+		}
+	}
+	return best, found
+}
+
+// CutAt builds a uniform cut placing every listed router's horizon at t.
+func CutAt(routers []string, t netsim.VirtualTime) Cut {
+	c := Cut{}
+	for _, r := range routers {
+		c[r] = t
+	}
+	return c
+}

@@ -1,0 +1,268 @@
+// Package topology models the physical network: routers, interfaces,
+// point-to-point links, and link status. It is purely structural; protocol
+// state lives in the protocol packages and is assembled by internal/network.
+package topology
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// Interface is one end of a link (or a stub LAN attachment). Addr is the
+// interface address; Prefix is the connected subnet it implies.
+type Interface struct {
+	Router string
+	Name   string
+	Addr   netip.Addr
+	Prefix netip.Prefix
+	// Link is the link this interface attaches to, nil for stub interfaces
+	// (e.g. a LAN with no modelled peer).
+	Link *Link
+}
+
+// Peer returns the interface on the other end of the attached link, or nil
+// for stub interfaces.
+func (i *Interface) Peer() *Interface {
+	if i.Link == nil {
+		return nil
+	}
+	if i.Link.A == i {
+		return i.Link.B
+	}
+	return i.Link.A
+}
+
+// ID returns the canonical "router:ifname" identifier.
+func (i *Interface) ID() string { return i.Router + ":" + i.Name }
+
+// Link is a point-to-point connection between two interfaces.
+type Link struct {
+	A, B *Interface
+	// Delay is the one-way propagation delay applied to control messages.
+	Delay time.Duration
+	// Jitter, when nonzero, adds uniform random delay in [0, Jitter).
+	Jitter time.Duration
+	// Cost is the IGP cost advertised for this link (both directions).
+	Cost uint32
+	up   bool
+}
+
+// Up reports link status.
+func (l *Link) Up() bool { return l.up }
+
+// SetUp changes link status; the network layer is responsible for notifying
+// attached routers.
+func (l *Link) SetUp(up bool) { l.up = up }
+
+// ID returns a stable "a:if<->b:if" identifier with endpoints in router-name
+// order, so both directions map to the same string.
+func (l *Link) ID() string {
+	a, b := l.A.ID(), l.B.ID()
+	if a > b {
+		a, b = b, a
+	}
+	return a + "<->" + b
+}
+
+// Router is a named node with interfaces. LoopbackAddr doubles as the BGP
+// router ID.
+type Router struct {
+	Name     string
+	Loopback netip.Addr
+	ifaces   map[string]*Interface
+}
+
+// Interfaces returns the router's interfaces sorted by name.
+func (r *Router) Interfaces() []*Interface {
+	out := make([]*Interface, 0, len(r.ifaces))
+	for _, i := range r.ifaces {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+// Interface returns the named interface, or nil.
+func (r *Router) Interface(name string) *Interface { return r.ifaces[name] }
+
+// InterfaceByAddr returns the interface holding addr, or nil.
+func (r *Router) InterfaceByAddr(addr netip.Addr) *Interface {
+	for _, i := range r.ifaces {
+		if i.Addr == addr {
+			return i
+		}
+	}
+	return nil
+}
+
+// ConnectedPrefixes returns the subnets the router is directly attached to,
+// sorted, with the delivering interface name.
+func (r *Router) ConnectedPrefixes() map[netip.Prefix]string {
+	out := make(map[netip.Prefix]string, len(r.ifaces))
+	for _, i := range r.ifaces {
+		if i.Link != nil && !i.Link.Up() {
+			continue
+		}
+		out[i.Prefix] = i.Name
+	}
+	return out
+}
+
+// Topology is a collection of routers and links.
+type Topology struct {
+	routers map[string]*Router
+	links   []*Link
+}
+
+// New returns an empty topology.
+func New() *Topology {
+	return &Topology{routers: map[string]*Router{}}
+}
+
+// AddRouter creates a router. Loopback must be unique; it is used as the
+// router ID everywhere.
+func (t *Topology) AddRouter(name string, loopback netip.Addr) (*Router, error) {
+	if _, dup := t.routers[name]; dup {
+		return nil, fmt.Errorf("topology: duplicate router %q", name)
+	}
+	for _, r := range t.routers {
+		if r.Loopback == loopback {
+			return nil, fmt.Errorf("topology: loopback %v already used by %q", loopback, r.Name)
+		}
+	}
+	r := &Router{Name: name, Loopback: loopback, ifaces: map[string]*Interface{}}
+	t.routers[name] = r
+	return r, nil
+}
+
+// Router returns the named router, or nil.
+func (t *Topology) Router(name string) *Router { return t.routers[name] }
+
+// Routers returns all routers sorted by name.
+func (t *Topology) Routers() []*Router {
+	out := make([]*Router, 0, len(t.routers))
+	for _, r := range t.routers {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Links returns all links in creation order.
+func (t *Topology) Links() []*Link { return t.links }
+
+// LinkSpec configures AddLink.
+type LinkSpec struct {
+	ARouter, AIface string
+	AAddr           netip.Addr
+	BRouter, BIface string
+	BAddr           netip.Addr
+	Prefix          netip.Prefix
+	Delay           time.Duration
+	Jitter          time.Duration
+	Cost            uint32
+}
+
+// AddLink connects two routers with a point-to-point subnet. Both addresses
+// must fall in Prefix. The link starts up. Cost defaults to 1, Delay to 1ms.
+func (t *Topology) AddLink(spec LinkSpec) (*Link, error) {
+	ra, rb := t.routers[spec.ARouter], t.routers[spec.BRouter]
+	if ra == nil || rb == nil {
+		return nil, fmt.Errorf("topology: unknown router in link %s-%s", spec.ARouter, spec.BRouter)
+	}
+	if !spec.Prefix.Contains(spec.AAddr) || !spec.Prefix.Contains(spec.BAddr) {
+		return nil, fmt.Errorf("topology: addresses %v,%v outside %v", spec.AAddr, spec.BAddr, spec.Prefix)
+	}
+	if spec.AAddr == spec.BAddr {
+		return nil, fmt.Errorf("topology: identical endpoint addresses %v", spec.AAddr)
+	}
+	for _, side := range []struct {
+		r  *Router
+		nm string
+	}{{ra, spec.AIface}, {rb, spec.BIface}} {
+		if _, dup := side.r.ifaces[side.nm]; dup {
+			return nil, fmt.Errorf("topology: duplicate interface %s:%s", side.r.Name, side.nm)
+		}
+	}
+	if spec.Cost == 0 {
+		spec.Cost = 1
+	}
+	if spec.Delay == 0 {
+		spec.Delay = time.Millisecond
+	}
+	ia := &Interface{Router: ra.Name, Name: spec.AIface, Addr: spec.AAddr, Prefix: spec.Prefix.Masked()}
+	ib := &Interface{Router: rb.Name, Name: spec.BIface, Addr: spec.BAddr, Prefix: spec.Prefix.Masked()}
+	l := &Link{A: ia, B: ib, Delay: spec.Delay, Jitter: spec.Jitter, Cost: spec.Cost, up: true}
+	ia.Link, ib.Link = l, l
+	ra.ifaces[spec.AIface] = ia
+	rb.ifaces[spec.BIface] = ib
+	t.links = append(t.links, l)
+	return l, nil
+}
+
+// AddStub attaches a stub subnet (e.g. an external LAN or customer prefix)
+// to a router. Stub interfaces have no peer and never go down.
+func (t *Topology) AddStub(router, iface string, addr netip.Addr, prefix netip.Prefix) (*Interface, error) {
+	r := t.routers[router]
+	if r == nil {
+		return nil, fmt.Errorf("topology: unknown router %q", router)
+	}
+	if _, dup := r.ifaces[iface]; dup {
+		return nil, fmt.Errorf("topology: duplicate interface %s:%s", router, iface)
+	}
+	if !prefix.Contains(addr) {
+		return nil, fmt.Errorf("topology: %v outside %v", addr, prefix)
+	}
+	i := &Interface{Router: router, Name: iface, Addr: addr, Prefix: prefix.Masked()}
+	r.ifaces[iface] = i
+	return i, nil
+}
+
+// LinkBetween returns the link connecting two routers, or nil. With multiple
+// parallel links it returns the first.
+func (t *Topology) LinkBetween(a, b string) *Link {
+	for _, l := range t.links {
+		if (l.A.Router == a && l.B.Router == b) || (l.A.Router == b && l.B.Router == a) {
+			return l
+		}
+	}
+	return nil
+}
+
+// Neighbors returns the names of routers adjacent to r over up links,
+// sorted and deduplicated.
+func (t *Topology) Neighbors(r string) []string {
+	seen := map[string]bool{}
+	for _, l := range t.links {
+		if !l.Up() {
+			continue
+		}
+		switch r {
+		case l.A.Router:
+			seen[l.B.Router] = true
+		case l.B.Router:
+			seen[l.A.Router] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OwnerOf returns the router whose interface holds addr, or "".
+func (t *Topology) OwnerOf(addr netip.Addr) string {
+	for _, r := range t.Routers() {
+		if r.Loopback == addr {
+			return r.Name
+		}
+		if r.InterfaceByAddr(addr) != nil {
+			return r.Name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,183 @@
+// Package verify implements the data-plane verifier: given a (snapshot or
+// live) FIB view and a set of policies, it walks representative packets and
+// reports violations — forwarding loops, blackholes, wrong egress points,
+// and missed waypoints.
+//
+// The verifier deliberately knows nothing about the control plane; as §2
+// of the paper stresses, that is both its strength (full coverage of
+// whatever the control plane actually computed) and its weakness (it
+// cannot explain violations — that is the happens-before machinery's job).
+package verify
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"hbverify/internal/dataplane"
+)
+
+// Kind selects a policy check.
+type Kind uint8
+
+// Policy kinds.
+const (
+	// Reachable: packets from every source must be Delivered.
+	Reachable Kind = iota
+	// NoLoop: no walk may revisit a router.
+	NoLoop
+	// NoBlackhole: no walk may be Dropped or Stuck.
+	NoBlackhole
+	// Egress: delivered packets must exit at the Expect router.
+	Egress
+	// Waypoint: every walk must traverse the Expect router.
+	Waypoint
+	// Avoid: no walk may traverse the Expect router.
+	Avoid
+)
+
+var kindNames = [...]string{"reachable", "no-loop", "no-blackhole", "egress", "waypoint", "avoid"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Policy is one declarative requirement on the data plane.
+type Policy struct {
+	Kind   Kind
+	Prefix netip.Prefix
+	// Sources restricts which routers packets are injected at; empty means
+	// the checker's default source set.
+	Sources []string
+	// Expect names the required egress/waypoint/avoided router for the
+	// kinds that need one.
+	Expect string
+}
+
+func (p Policy) String() string {
+	s := fmt.Sprintf("%s(%s", p.Kind, p.Prefix)
+	if p.Expect != "" {
+		s += " @" + p.Expect
+	}
+	return s + ")"
+}
+
+// Violation is one failed check.
+type Violation struct {
+	Policy Policy
+	Source string
+	Walk   dataplane.Walk
+	Reason string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s from %s: %s (%s)", v.Policy, v.Source, v.Reason, v.Walk)
+}
+
+// Report aggregates a verification run.
+type Report struct {
+	Violations []Violation
+	Checked    int // number of (policy, source) walks performed
+}
+
+// OK reports whether the run found no violations.
+func (r Report) OK() bool { return len(r.Violations) == 0 }
+
+// Summary renders "ok (N checks)" or the violation count.
+func (r Report) Summary() string {
+	if r.OK() {
+		return fmt.Sprintf("ok (%d checks)", r.Checked)
+	}
+	return fmt.Sprintf("%d violations in %d checks", len(r.Violations), r.Checked)
+}
+
+// Checker runs policies over a FIB view.
+type Checker struct {
+	Walker *dataplane.Walker
+	// Sources is the default packet injection set.
+	Sources []string
+}
+
+// NewChecker builds a checker.
+func NewChecker(w *dataplane.Walker, sources []string) *Checker {
+	s := append([]string(nil), sources...)
+	sort.Strings(s)
+	return &Checker{Walker: w, Sources: s}
+}
+
+// Check runs every policy and aggregates violations.
+func (c *Checker) Check(policies []Policy) Report {
+	var rep Report
+	for _, p := range policies {
+		sources := p.Sources
+		if len(sources) == 0 {
+			sources = c.Sources
+		}
+		for _, src := range sources {
+			rep.Checked++
+			walk := c.Walker.ForwardPrefix(src, p.Prefix)
+			if v, bad := Evaluate(p, src, walk); bad {
+				rep.Violations = append(rep.Violations, v)
+			}
+		}
+	}
+	return rep
+}
+
+// Evaluate applies one policy to one finished walk.
+func Evaluate(p Policy, src string, walk dataplane.Walk) (Violation, bool) {
+	fail := func(reason string) (Violation, bool) {
+		return Violation{Policy: p, Source: src, Walk: walk, Reason: reason}, true
+	}
+	switch p.Kind {
+	case Reachable:
+		if walk.Outcome != dataplane.Delivered {
+			return fail("not delivered: " + walk.Outcome.String())
+		}
+	case NoLoop:
+		if walk.Outcome == dataplane.Looped {
+			return fail("forwarding loop")
+		}
+	case NoBlackhole:
+		if walk.Outcome == dataplane.Dropped || walk.Outcome == dataplane.Stuck {
+			return fail("blackhole: " + walk.Outcome.String())
+		}
+	case Egress:
+		if walk.Outcome != dataplane.Delivered {
+			return fail("not delivered: " + walk.Outcome.String())
+		}
+		if walk.Egress != p.Expect {
+			return fail(fmt.Sprintf("egress %s, want %s", walk.Egress, p.Expect))
+		}
+	case Waypoint:
+		for _, r := range walk.Path {
+			if r == p.Expect {
+				return Violation{}, false
+			}
+		}
+		return fail("waypoint " + p.Expect + " bypassed")
+	case Avoid:
+		for _, r := range walk.Path {
+			if r == p.Expect {
+				return fail("traversed avoided router " + p.Expect)
+			}
+		}
+	}
+	return Violation{}, false
+}
+
+// PreferredEgressPolicy expresses the paper's running policy — "R2 is the
+// preferred exit point when its uplink is up; otherwise R1 should be used"
+// — as a concrete Egress policy given current availability.
+func PreferredEgressPolicy(prefix netip.Prefix, ordered []string, available func(string) bool) Policy {
+	for _, e := range ordered {
+		if available == nil || available(e) {
+			return Policy{Kind: Egress, Prefix: prefix, Expect: e}
+		}
+	}
+	// Nothing available: the best we can require is no loops.
+	return Policy{Kind: NoLoop, Prefix: prefix}
+}
