@@ -771,3 +771,73 @@ func BenchmarkWhatIf(b *testing.B) {
 		fmt.Printf("  %-32s %-10v %s\n", "commit LP-10 on r2", cfgRes.OK(), cfgRes.Report.Summary())
 	})
 }
+
+// BenchmarkIncrementalReVerify measures the tentpole optimization of the
+// incremental HBG inference: on a Fig. 5-scale log grown by one more
+// convergence round (a few percent of the I/Os), re-inferring through
+// hbr.Incremental touches only the new suffix plus the bounded look-back
+// window, versus re-matching the whole log from scratch.
+func BenchmarkIncrementalReVerify(b *testing.B) {
+	pn := mustPaper(b, 1, network.DefaultPaperOpts())
+	runNet(b, pn)
+	lp := uint32(10)
+	churn := func() {
+		if _, err := pn.UpdateConfig("r2", "toggle uplink local-pref", func(c *config.Router) {
+			c.BGP.Neighbors[len(c.BGP.Neighbors)-1].LocalPref = lp
+		}); err != nil {
+			b.Fatal(err)
+		}
+		lp = 310 - lp
+		if err := pn.Run(); err != nil {
+			b.Fatal(err)
+		}
+		// Idle virtual time between rounds so the total span dwarfs the
+		// 60 s config look-back window, as in a real deployment. The clock
+		// only advances through events, so schedule a no-op marker.
+		pn.Sched.After(90*time.Second, func() {})
+		if err := pn.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		churn()
+	}
+	base := capture.StripOracle(pn.Log.All())
+	churn()
+	grown := capture.StripOracle(pn.Log.All())
+	tail := len(grown) - len(base)
+
+	rules := hbr.Rules{}
+	// Cost of the from-scratch alternative.
+	const fullRuns = 5
+	fullStart := time.Now()
+	for i := 0; i < fullRuns; i++ {
+		rules.Infer(grown)
+	}
+	fullPer := time.Since(fullStart) / fullRuns
+
+	var incTotal time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		inc := hbr.NewIncremental(rules, nil)
+		inc.Infer(base) // prime the cache on the pre-growth log
+		b.StartTimer()
+		t0 := time.Now()
+		inc.Infer(grown)
+		incTotal += time.Since(t0)
+	}
+	b.StopTimer()
+	incPer := incTotal / time.Duration(b.N)
+	speedup := float64(fullPer) / float64(incPer)
+	once("increverify", func() {
+		fmt.Println("\n[tentpole] incremental re-inference after log growth")
+		fmt.Printf("  log: %d I/Os, tail %d I/Os (%.1f%%)\n",
+			len(grown), tail, 100*float64(tail)/float64(len(grown)))
+		fmt.Printf("  full re-inference:        %v\n", fullPer)
+		fmt.Printf("  incremental re-inference: %v (%.1fx speedup)\n", incPer, speedup)
+	})
+	if speedup < 10 {
+		b.Errorf("incremental speedup %.1fx, want >= 10x (full %v vs incremental %v)", speedup, fullPer, incPer)
+	}
+}

@@ -16,7 +16,10 @@ import (
 	"os"
 
 	"hbverify/internal/config"
+	"hbverify/internal/dataplane"
 	"hbverify/internal/dist"
+	"hbverify/internal/fib"
+	"hbverify/internal/metrics"
 	"hbverify/internal/network"
 	"hbverify/internal/route"
 	"hbverify/internal/verify"
@@ -27,15 +30,16 @@ func main() {
 		violate = flag.Bool("violate", false, "inject the Fig. 2 misconfiguration first")
 		grid    = flag.Int("grid", 0, "use an NxN OSPF grid instead of the paper network")
 		seed    = flag.Int64("seed", 1, "simulation seed")
+		workers = flag.Int("workers", 0, "local verification walk pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*violate, *grid, *seed); err != nil {
+	if err := run(*violate, *grid, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "verifyd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(violate bool, grid int, seed int64) error {
+func run(violate bool, grid int, seed int64, workers int) error {
 	var (
 		n        *network.Network
 		policies []verify.Policy
@@ -108,5 +112,18 @@ func run(violate bool, grid int, seed int64) error {
 	}
 	fmt.Printf("overhead: %d walks, %d messages, %d bytes on the wire\n", stats.Walks, stats.Messages, stats.Bytes)
 	fmt.Printf("centralized alternative would ship %d bytes of FIB state\n", central)
+
+	// Same policy suite through the local parallel checker, for comparison
+	// and to surface the verify.* instrumentation.
+	tables := map[string]*fib.Table{}
+	for _, r := range n.Routers() {
+		tables[r.Name] = r.FIB
+	}
+	checker := verify.NewChecker(dataplane.NewWalker(n.Topo, dataplane.TableView(tables)), sources)
+	checker.Workers = workers
+	checker.Metrics = metrics.NewRegistry()
+	rep := checker.Check(policies)
+	fmt.Printf("local parallel checker: %s (%d walks, %d deduped)\n", rep.Summary(), rep.Walks, rep.Deduped)
+	fmt.Printf("metrics: %s\n", checker.Metrics)
 	return nil
 }

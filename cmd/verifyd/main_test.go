@@ -3,19 +3,19 @@ package main
 import "testing"
 
 func TestPaperHealthy(t *testing.T) {
-	if err := run(false, 0, 1); err != nil {
+	if err := run(false, 0, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestPaperViolated(t *testing.T) {
-	if err := run(true, 0, 1); err != nil {
+	if err := run(true, 0, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestGridMode(t *testing.T) {
-	if err := run(false, 3, 1); err != nil {
+	if err := run(false, 3, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"hbverify/internal/fib"
 	"hbverify/internal/hbg"
 	"hbverify/internal/hbr"
+	"hbverify/internal/metrics"
 	"hbverify/internal/network"
 	"hbverify/internal/repair"
 	"hbverify/internal/snapshot"
@@ -43,22 +44,33 @@ import (
 // Pipeline bundles the verification-and-repair loop over one network.
 type Pipeline struct {
 	Net *network.Network
-	// Strategy infers happens-before relationships; defaults to rule
-	// matching (hbr.Rules).
+	// Strategy infers happens-before relationships; defaults to incremental
+	// rule matching (hbr.Rules wrapped in hbr.Incremental), which caches the
+	// inferred graph across the append-only capture log.
 	Strategy hbr.Strategy
 	// Sources is the packet-injection set for data-plane checks.
 	Sources []string
 	// External marks routers outside the administrative domain for the
 	// snapshot-consistency recursion (§5).
 	External func(string) bool
+	// Workers bounds the parallel verification walk pool (0 = GOMAXPROCS).
+	Workers int
+	// Metrics collects pipeline instrumentation (inference cache behaviour,
+	// walk counts, latencies). Always non-nil for pipelines built with
+	// NewPipeline.
+	Metrics *metrics.Registry
 
 	engine *repair.Engine
 }
 
-// NewPipeline builds a pipeline with the rule-matching strategy.
+// NewPipeline builds a pipeline with the incremental rule-matching strategy.
 func NewPipeline(n *network.Network, sources []string) *Pipeline {
-	p := &Pipeline{Net: n, Strategy: hbr.Rules{}, Sources: sources}
+	reg := metrics.NewRegistry()
+	inc := hbr.NewIncremental(hbr.Rules{}, reg)
+	p := &Pipeline{Net: n, Strategy: inc, Sources: sources, Metrics: reg}
 	p.engine = repair.NewEngine(n, p.infer, sources)
+	p.engine.Metrics = reg
+	p.engine.Invalidate = inc.Invalidate
 	return p
 }
 
@@ -89,9 +101,18 @@ func (p *Pipeline) Walker() *dataplane.Walker {
 	return dataplane.NewWalker(p.Net.Topo, dataplane.TableView(tables))
 }
 
+// checker builds a checker wired with the pipeline's worker bound and
+// metrics registry.
+func (p *Pipeline) checker(w *dataplane.Walker) *verify.Checker {
+	c := verify.NewChecker(w, p.Sources)
+	c.Workers = p.Workers
+	c.Metrics = p.Metrics
+	return c
+}
+
 // Verify checks policies against the live data plane.
 func (p *Pipeline) Verify(policies []verify.Policy) verify.Report {
-	return verify.NewChecker(p.Walker(), p.Sources).Check(policies)
+	return p.checker(p.Walker()).Check(policies)
 }
 
 // VerifySnapshot checks policies against a log-derived snapshot under a
@@ -101,18 +122,20 @@ func (p *Pipeline) VerifySnapshot(cut snapshot.Cut, policies []verify.Policy) (v
 	collected, _, res := snapshot.ConsistentCollect(p.Net.Log.All(), cut, p.infer, p.External)
 	fibs := snapshot.BuildFIBs(collected)
 	w := dataplane.NewWalker(p.Net.Topo, dataplane.SnapshotView(fibs))
-	return verify.NewChecker(w, p.Sources).Check(policies), res
+	return p.checker(w).Check(policies), res
 }
 
 // Detect verifies and, on violation, traces the problematic FIB update to
 // its root causes via the inferred HBG.
 func (p *Pipeline) Detect(policies []verify.Policy) *repair.Diagnosis {
+	p.engine.Workers = p.Workers
 	return p.engine.Detect(policies)
 }
 
 // DetectAndRepair additionally rolls back the root-cause configuration
 // change. Run the network afterwards to let the repair converge.
 func (p *Pipeline) DetectAndRepair(policies []verify.Policy) (*repair.Diagnosis, error) {
+	p.engine.Workers = p.Workers
 	return p.engine.DetectAndRepair(policies)
 }
 
@@ -121,8 +144,13 @@ func (p *Pipeline) RootCause(ioID uint64) []capture.IO {
 	return p.Graph().RootCauses(ioID)
 }
 
-// Summary renders a one-line pipeline state description.
+// Summary renders a one-line pipeline state description, followed by the
+// collected metrics when any instrument has fired.
 func (p *Pipeline) Summary() string {
-	return fmt.Sprintf("%d routers, %d captured I/Os, strategy=%s",
+	s := fmt.Sprintf("%d routers, %d captured I/Os, strategy=%s",
 		len(p.Net.Routers()), p.Net.Log.Len(), p.Strategy.Name())
+	if m := p.Metrics.String(); m != "" {
+		s += "\nmetrics: " + m
+	}
+	return s
 }

@@ -21,6 +21,7 @@ import (
 	"hbverify/internal/dataplane"
 	"hbverify/internal/fib"
 	"hbverify/internal/network"
+	"hbverify/internal/trie"
 	"hbverify/internal/verify"
 )
 
@@ -43,6 +44,9 @@ type LocalView struct {
 	Loopback netip.Addr
 	Ifaces   []IfaceInfo
 	FIB      map[netip.Prefix]fib.Entry
+
+	// lpmTrie indexes FIB for longest-prefix matching; built by Compile.
+	lpmTrie *trie.Trie[fib.Entry]
 }
 
 // LocalViewOf extracts a router's local view from a built network.
@@ -58,6 +62,17 @@ func LocalViewOf(r *network.Router) LocalView {
 		v.Ifaces = append(v.Ifaces, info)
 	}
 	return v
+}
+
+// Compile (re)builds the longest-prefix-match index over the FIB. It must
+// be called again after mutating FIB; views constructed by hand without
+// calling it are compiled lazily on first lookup.
+func (v *LocalView) Compile() {
+	t := trie.New[fib.Entry]()
+	for p, e := range v.FIB {
+		t.Insert(p, e)
+	}
+	v.lpmTrie = t
 }
 
 // StepResult is one local forwarding decision.
@@ -93,8 +108,14 @@ func (v *LocalView) Step(dst netip.Addr) StepResult {
 	if !e.NextHop.IsValid() {
 		return StepResult{Terminal: true, Outcome: dataplane.Delivered}
 	}
-	next, ok := v.resolve(e.NextHop, 4)
-	if !ok {
+	next, status := v.resolve(e.NextHop, map[netip.Addr]bool{})
+	switch status {
+	case resolveCycle:
+		// Recursive resolution chased its own tail (e.g. two static routes
+		// resolving through each other) — a control-plane loop, not a
+		// missing route.
+		return StepResult{Terminal: true, Outcome: dataplane.Looped}
+	case resolveStuck:
 		return StepResult{Terminal: true, Outcome: dataplane.Stuck}
 	}
 	if next == v.Router {
@@ -104,53 +125,79 @@ func (v *LocalView) Step(dst netip.Addr) StepResult {
 }
 
 func (v *LocalView) lpm(dst netip.Addr) (fib.Entry, bool) {
-	var best fib.Entry
-	bits := -1
-	for p, e := range v.FIB {
-		if p.Contains(dst) && p.Bits() > bits {
-			best, bits = e, p.Bits()
-		}
+	if v.lpmTrie == nil {
+		v.Compile()
 	}
-	return best, bits >= 0
+	e, _, ok := v.lpmTrie.Lookup(dst)
+	return e, ok
 }
 
-func (v *LocalView) resolve(nh netip.Addr, depth int) (string, bool) {
+// maxResolveDepth bounds recursive next-hop resolution. The visited set
+// catches cycles, so the depth bound only cuts off pathologically long
+// acyclic resolution chains.
+const maxResolveDepth = 8
+
+// resolveStatus classifies a failed (or successful) next-hop resolution.
+type resolveStatus int
+
+const (
+	// resolveOK: the next hop resolved to an adjacent router (or self).
+	resolveOK resolveStatus = iota
+	// resolveStuck: no route covers the next hop — a blackhole.
+	resolveStuck
+	// resolveCycle: resolution revisited a next hop — a resolution loop,
+	// reported distinctly from a blackhole.
+	resolveCycle
+)
+
+// resolve recursively resolves nh to an adjacent router using only local
+// knowledge. visited carries the next hops already being resolved on this
+// chain so cycles are detected rather than conflated with blackholes.
+func (v *LocalView) resolve(nh netip.Addr, visited map[netip.Addr]bool) (string, resolveStatus) {
+	if visited[nh] {
+		return "", resolveCycle
+	}
+	visited[nh] = true
 	for _, i := range v.Ifaces {
 		if !i.Up {
 			continue
 		}
 		if i.Prefix.Contains(nh) && i.Addr != nh {
 			if i.PeerAddr == nh {
-				return i.PeerName, true
+				return i.PeerName, resolveOK
 			}
 			if i.Stub {
-				return v.Router, true
+				return v.Router, resolveOK
 			}
 		}
 		if i.Addr == nh {
-			return v.Router, true
+			return v.Router, resolveOK
 		}
 	}
 	if nh == v.Loopback {
-		return v.Router, true
+		return v.Router, resolveOK
 	}
-	if depth <= 0 {
-		return "", false
+	if len(visited) > maxResolveDepth {
+		return "", resolveStuck
 	}
 	e, ok := v.lpm(nh)
-	if !ok || e.NextHop == nh {
-		return "", false
+	if !ok {
+		return "", resolveStuck
+	}
+	if e.NextHop == nh {
+		// A route that resolves through itself is the one-hop cycle.
+		return "", resolveCycle
 	}
 	if !e.NextHop.IsValid() {
 		// Connected route covers nh: find the interface and its peer.
 		for _, i := range v.Ifaces {
 			if i.Up && i.Prefix.Contains(nh) && i.PeerAddr == nh {
-				return i.PeerName, true
+				return i.PeerName, resolveOK
 			}
 		}
-		return "", false
+		return "", resolveStuck
 	}
-	return v.resolve(e.NextHop, depth-1)
+	return v.resolve(e.NextHop, visited)
 }
 
 // WalkMsg is a verification walk in flight between nodes.
@@ -232,6 +279,9 @@ func StartNode(view LocalView, directory func(string) (string, bool), resultTo s
 		return nil, err
 	}
 	n := &Node{View: view, ln: ln, directory: directory, resultTo: resultTo}
+	// Compile the LPM index up front: walk handlers run concurrently and
+	// must not race on the lazy build.
+	n.View.Compile()
 	n.wg.Add(1)
 	go n.serve()
 	return n, nil

@@ -1,0 +1,68 @@
+package dist
+
+import (
+	"net/netip"
+	"testing"
+
+	"hbverify/internal/dataplane"
+	"hbverify/internal/fib"
+)
+
+// resolveView builds a hand-made view with one up interface and a FIB
+// routing 50.0.0.0/24 through nh, plus extra recursive routes.
+func resolveView(nh netip.Addr, extra map[netip.Prefix]fib.Entry) LocalView {
+	v := LocalView{
+		Router:   "x",
+		Loopback: addr("9.9.9.1"),
+		Ifaces: []IfaceInfo{{
+			Name: "eth0", Addr: addr("10.0.0.1"), Prefix: pfx("10.0.0.0/30"),
+			PeerAddr: addr("10.0.0.2"), PeerName: "y", Up: true,
+		}},
+		FIB: map[netip.Prefix]fib.Entry{
+			pfx("50.0.0.0/24"): {Prefix: pfx("50.0.0.0/24"), NextHop: nh},
+		},
+	}
+	for p, e := range extra {
+		v.FIB[p] = e
+	}
+	return v
+}
+
+// TestResolveCycleIsLoopedNotStuck is the regression for recursive next-hop
+// resolution: two routes that resolve through each other are a resolution
+// cycle and must surface as Looped, while a genuinely unresolvable next hop
+// stays Stuck (blackhole).
+func TestResolveCycleIsLoopedNotStuck(t *testing.T) {
+	dst := addr("50.0.0.9")
+
+	// Two-route cycle: 60/24 resolves via 70.0.0.1, 70/24 via 60.0.0.1.
+	cyclic := resolveView(addr("60.0.0.1"), map[netip.Prefix]fib.Entry{
+		pfx("60.0.0.0/24"): {Prefix: pfx("60.0.0.0/24"), NextHop: addr("70.0.0.1")},
+		pfx("70.0.0.0/24"): {Prefix: pfx("70.0.0.0/24"), NextHop: addr("60.0.0.1")},
+	})
+	if got := cyclic.Step(dst); !got.Terminal || got.Outcome != dataplane.Looped {
+		t.Fatalf("two-route resolution cycle: got %+v, want terminal Looped", got)
+	}
+
+	// One-route self cycle: 60/24 resolves via an address inside itself.
+	self := resolveView(addr("60.0.0.1"), map[netip.Prefix]fib.Entry{
+		pfx("60.0.0.0/24"): {Prefix: pfx("60.0.0.0/24"), NextHop: addr("60.0.0.1")},
+	})
+	if got := self.Step(dst); !got.Terminal || got.Outcome != dataplane.Looped {
+		t.Fatalf("self-referential resolution: got %+v, want terminal Looped", got)
+	}
+
+	// No covering route at all: that is a blackhole, not a loop.
+	stuck := resolveView(addr("80.0.0.1"), nil)
+	if got := stuck.Step(dst); !got.Terminal || got.Outcome != dataplane.Stuck {
+		t.Fatalf("unresolvable next hop: got %+v, want terminal Stuck", got)
+	}
+
+	// And a healthy recursive chain still resolves to the peer.
+	viaPeer := resolveView(addr("60.0.0.1"), map[netip.Prefix]fib.Entry{
+		pfx("60.0.0.0/24"): {Prefix: pfx("60.0.0.0/24"), NextHop: addr("10.0.0.2")},
+	})
+	if got := viaPeer.Step(dst); got.Terminal || got.Next != "y" {
+		t.Fatalf("recursive resolution to peer: got %+v, want Next=y", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"hbverify/internal/capture"
 	"hbverify/internal/route"
@@ -41,9 +42,13 @@ type Update struct {
 	IO      capture.IO
 }
 
-// Table is one router's FIB. Not safe for concurrent use; the simulator is
-// single-threaded.
+// Table is one router's FIB. Reads and mutations are safe for concurrent
+// use: the simulator mutates tables single-threaded, while the parallel
+// verifier's walk workers read them concurrently. Capture recording and
+// change notification happen outside the table lock, so listeners may read
+// the table freely.
 type Table struct {
+	mu         sync.RWMutex
 	rec        *capture.Recorder
 	lpm        *trie.Trie[Entry]
 	candidates map[netip.Prefix][]route.Route
@@ -59,8 +64,13 @@ func NewTable(rec *capture.Recorder) *Table {
 	}
 }
 
-// OnChange registers a listener for installs and removals.
-func (t *Table) OnChange(fn func(Update)) { t.onChange = append(t.onChange, fn) }
+// OnChange registers a listener for installs and removals. Listeners run
+// outside the table lock and may read the table.
+func (t *Table) OnChange(fn func(Update)) {
+	t.mu.Lock()
+	t.onChange = append(t.onChange, fn)
+	t.mu.Unlock()
+}
 
 // Offer installs or replaces proto's candidate route for r.Prefix and
 // re-arbitrates. causes are the capture IDs (typically the protocol's
@@ -68,6 +78,7 @@ func (t *Table) OnChange(fn func(Update)) { t.onChange = append(t.onChange, fn) 
 // the recorded FIB I/O and true when the installed entry changed.
 func (t *Table) Offer(r route.Route, causes ...uint64) (capture.IO, bool) {
 	r.Prefix = r.Prefix.Masked()
+	t.mu.Lock()
 	cands := t.candidates[r.Prefix]
 	replaced := false
 	for i := range cands {
@@ -81,7 +92,12 @@ func (t *Table) Offer(r route.Route, causes ...uint64) (capture.IO, bool) {
 		cands = append(cands, r)
 	}
 	t.candidates[r.Prefix] = cands
-	return t.reselect(r.Prefix, causes)
+	change, changed := t.reselectLocked(r.Prefix)
+	t.mu.Unlock()
+	if !changed {
+		return capture.IO{}, false
+	}
+	return t.emit(change, causes), true
 }
 
 // Withdraw removes proto's candidate for prefix and re-arbitrates. It is a
@@ -89,6 +105,7 @@ func (t *Table) Offer(r route.Route, causes ...uint64) (capture.IO, bool) {
 // and true when the installed entry changed.
 func (t *Table) Withdraw(proto route.Protocol, prefix netip.Prefix, causes ...uint64) (capture.IO, bool) {
 	prefix = prefix.Masked()
+	t.mu.Lock()
 	cands := t.candidates[prefix]
 	out := cands[:0]
 	removed := false
@@ -100,6 +117,7 @@ func (t *Table) Withdraw(proto route.Protocol, prefix netip.Prefix, causes ...ui
 		out = append(out, c)
 	}
 	if !removed {
+		t.mu.Unlock()
 		return capture.IO{}, false
 	}
 	if len(out) == 0 {
@@ -107,7 +125,12 @@ func (t *Table) Withdraw(proto route.Protocol, prefix netip.Prefix, causes ...ui
 	} else {
 		t.candidates[prefix] = out
 	}
-	return t.reselect(prefix, causes)
+	change, changed := t.reselectLocked(prefix)
+	t.mu.Unlock()
+	if !changed {
+		return capture.IO{}, false
+	}
+	return t.emit(change, causes), true
 }
 
 func better(a, b route.Route) bool {
@@ -117,7 +140,17 @@ func better(a, b route.Route) bool {
 	return a.Metric < b.Metric
 }
 
-func (t *Table) reselect(prefix netip.Prefix, causes []uint64) (capture.IO, bool) {
+// change is a pending install/removal computed under the lock, recorded
+// and broadcast after it is released.
+type change struct {
+	entry   Entry
+	install bool
+}
+
+// reselectLocked re-arbitrates prefix and applies the winner to the trie.
+// Callers hold t.mu; the capture record and listener notification for the
+// returned change happen later, via emit, outside the lock.
+func (t *Table) reselectLocked(prefix netip.Prefix) (change, bool) {
 	cands := t.candidates[prefix]
 	var best *route.Route
 	for i := range cands {
@@ -128,56 +161,67 @@ func (t *Table) reselect(prefix netip.Prefix, causes []uint64) (capture.IO, bool
 	cur, had := t.lpm.Exact(prefix)
 	if best == nil {
 		if !had {
-			return capture.IO{}, false
+			return change{}, false
 		}
 		t.lpm.Delete(prefix)
-		io := t.rec.Record(capture.IO{
-			Type: capture.FIBRemove, Prefix: prefix,
-			NextHop: cur.NextHop, Proto: cur.Proto, Causes: causes,
-		})
-		t.notify(Update{Entry: cur, Install: false, IO: io})
-		return io, true
+		return change{entry: cur, install: false}, true
 	}
 	next := Entry{
 		Prefix: prefix, NextHop: best.NextHop, OutIface: best.OutIface,
 		Proto: best.Proto, AD: best.AdminDistance(), Metric: best.Metric,
 	}
 	if had && cur == next {
-		return capture.IO{}, false
+		return change{}, false
 	}
 	_ = t.lpm.Insert(prefix, next)
-	io := t.rec.Record(capture.IO{
-		Type: capture.FIBInstall, Prefix: prefix,
-		NextHop: next.NextHop, Proto: next.Proto, Causes: causes,
-	})
-	t.notify(Update{Entry: next, Install: true, IO: io})
-	return io, true
+	return change{entry: next, install: true}, true
 }
 
-func (t *Table) notify(u Update) {
-	for _, fn := range t.onChange {
-		fn(u)
+// emit records the FIB I/O for a change and notifies listeners, outside the
+// table lock so both the recorder and the listeners may read the table.
+func (t *Table) emit(c change, causes []uint64) capture.IO {
+	typ := capture.FIBInstall
+	if !c.install {
+		typ = capture.FIBRemove
 	}
+	io := t.rec.Record(capture.IO{
+		Type: typ, Prefix: c.entry.Prefix,
+		NextHop: c.entry.NextHop, Proto: c.entry.Proto, Causes: causes,
+	})
+	t.mu.RLock()
+	var listeners []func(Update)
+	listeners = append(listeners, t.onChange...)
+	t.mu.RUnlock()
+	for _, fn := range listeners {
+		fn(Update{Entry: c.entry, Install: c.install, IO: io})
+	}
+	return io
 }
 
 // Lookup performs the longest-prefix match for a destination address.
 func (t *Table) Lookup(dst netip.Addr) (Entry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	e, _, ok := t.lpm.Lookup(dst)
 	return e, ok
 }
 
 // Exact returns the installed entry for exactly prefix.
 func (t *Table) Exact(prefix netip.Prefix) (Entry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.lpm.Exact(prefix.Masked())
 }
 
 // Entries returns all installed entries sorted by prefix.
 func (t *Table) Entries() []Entry {
 	var out []Entry
+	t.mu.RLock()
 	t.lpm.Walk(func(_ netip.Prefix, e Entry) bool {
 		out = append(out, e)
 		return true
 	})
+	t.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {
 		if c := out[i].Prefix.Addr().Compare(out[j].Prefix.Addr()); c != 0 {
 			return c < 0
@@ -190,14 +234,18 @@ func (t *Table) Entries() []Entry {
 // Snapshot returns a copy of the FIB as a plain map, for verifiers.
 func (t *Table) Snapshot() map[netip.Prefix]Entry {
 	out := make(map[netip.Prefix]Entry)
+	t.mu.RLock()
 	t.lpm.Walk(func(p netip.Prefix, e Entry) bool {
 		out[p] = e
 		return true
 	})
+	t.mu.RUnlock()
 	return out
 }
 
 // Candidates exposes the offered routes for a prefix (diagnostics).
 func (t *Table) Candidates(prefix netip.Prefix) []route.Route {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return append([]route.Route(nil), t.candidates[prefix.Masked()]...)
 }

@@ -9,12 +9,18 @@
 // from observable I/O properties alone. Both produce the same structure, so
 // every downstream consumer (snapshot consistency, repair, visualization)
 // works with either.
+//
+// A Graph is safe for concurrent use: the incremental inference cache
+// merges new edges into a shared graph while the parallel verifier and
+// root-cause tracer may still be reading it, so every accessor takes the
+// graph's reader lock and every mutator its writer lock.
 package hbg
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"hbverify/internal/capture"
 )
@@ -24,10 +30,11 @@ type Edge struct{ From, To uint64 }
 
 // Graph is a happens-before graph. The zero value is not usable; call New.
 type Graph struct {
+	mu    sync.RWMutex
 	nodes map[uint64]capture.IO
 	out   map[uint64][]uint64
 	in    map[uint64][]uint64
-	// Confidence optionally annotates edges with the inference confidence
+	// conf optionally annotates edges with the inference confidence
 	// (§4.2: "a statistical confidence attached to each inferred HBR").
 	// Ground-truth and rule-matched edges carry confidence 1.
 	conf map[Edge]float64
@@ -44,7 +51,11 @@ func New() *Graph {
 }
 
 // AddNode inserts (or replaces) a vertex.
-func (g *Graph) AddNode(io capture.IO) { g.nodes[io.ID] = io }
+func (g *Graph) AddNode(io capture.IO) {
+	g.mu.Lock()
+	g.nodes[io.ID] = io
+	g.mu.Unlock()
+}
 
 // AddEdge inserts a happens-before edge with confidence 1. Unknown
 // endpoints are tolerated (the vertex may arrive later during distributed
@@ -53,6 +64,12 @@ func (g *Graph) AddEdge(from, to uint64) { g.AddEdgeConf(from, to, 1) }
 
 // AddEdgeConf inserts an edge with an explicit confidence in (0, 1].
 func (g *Graph) AddEdgeConf(from, to uint64, conf float64) {
+	g.mu.Lock()
+	g.addEdgeConfLocked(from, to, conf)
+	g.mu.Unlock()
+}
+
+func (g *Graph) addEdgeConfLocked(from, to uint64, conf float64) {
 	if from == to || from == 0 || to == 0 {
 		return
 	}
@@ -70,26 +87,32 @@ func (g *Graph) AddEdgeConf(from, to uint64, conf float64) {
 
 // Node returns the vertex with the given ID.
 func (g *Graph) Node(id uint64) (capture.IO, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	io, ok := g.nodes[id]
 	return io, ok
 }
 
 // Nodes returns all vertices sorted by ID.
 func (g *Graph) Nodes() []capture.IO {
+	g.mu.RLock()
 	out := make([]capture.IO, 0, len(g.nodes))
 	for _, io := range g.nodes {
 		out = append(out, io)
 	}
+	g.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // Edges returns all edges sorted by (From, To).
 func (g *Graph) Edges() []Edge {
+	g.mu.RLock()
 	out := make([]Edge, 0, len(g.conf))
 	for e := range g.conf {
 		out = append(out, e)
 	}
+	g.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].From != out[j].From {
 			return out[i].From < out[j].From
@@ -100,44 +123,62 @@ func (g *Graph) Edges() []Edge {
 }
 
 // Confidence returns the edge's inference confidence, 0 if absent.
-func (g *Graph) Confidence(from, to uint64) float64 { return g.conf[Edge{from, to}] }
+func (g *Graph) Confidence(from, to uint64) float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.conf[Edge{from, to}]
+}
 
 // HasEdge reports whether from→to exists.
 func (g *Graph) HasEdge(from, to uint64) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	_, ok := g.conf[Edge{from, to}]
 	return ok
 }
 
 // Parents returns the direct happens-before predecessors of id, sorted.
 func (g *Graph) Parents(id uint64) []uint64 {
+	g.mu.RLock()
 	out := append([]uint64(nil), g.in[id]...)
+	g.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Children returns the direct successors of id, sorted.
 func (g *Graph) Children(id uint64) []uint64 {
+	g.mu.RLock()
 	out := append([]uint64(nil), g.out[id]...)
+	g.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // NodeCount and EdgeCount report sizes.
-func (g *Graph) NodeCount() int { return len(g.nodes) }
+func (g *Graph) NodeCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.nodes)
+}
 
 // EdgeCount reports the number of edges.
-func (g *Graph) EdgeCount() int { return len(g.conf) }
+func (g *Graph) EdgeCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.conf)
+}
 
 // FromGroundTruth builds the oracle HBG from the simulator's causal tags.
 func FromGroundTruth(ios []capture.IO) *Graph {
 	g := New()
 	for _, io := range ios {
-		g.AddNode(io)
+		g.nodes[io.ID] = io
 	}
 	for _, io := range ios {
 		for _, c := range io.Causes {
 			if _, ok := g.nodes[c]; ok {
-				g.AddEdge(c, io.ID)
+				g.addEdgeConfLocked(c, io.ID, 1)
 			}
 		}
 	}
@@ -148,6 +189,14 @@ func FromGroundTruth(ios []capture.IO) *Graph {
 // it, transitively), sorted by ID. The paper uses this to explain a
 // problematic FIB update.
 func (g *Graph) Provenance(id uint64) []capture.IO {
+	g.mu.RLock()
+	out := g.provenanceLocked(id)
+	g.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (g *Graph) provenanceLocked(id uint64) []capture.IO {
 	seen := map[uint64]bool{}
 	var frontier []uint64
 	frontier = append(frontier, g.in[id]...)
@@ -164,7 +213,6 @@ func (g *Graph) Provenance(id uint64) []capture.IO {
 		}
 		frontier = append(frontier, g.in[n]...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -173,13 +221,16 @@ func (g *Graph) Provenance(id uint64) []capture.IO {
 // root cause(s) of the event"). If id itself has no parents it is its own
 // root cause.
 func (g *Graph) RootCauses(id uint64) []capture.IO {
-	prov := g.Provenance(id)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	prov := g.provenanceLocked(id)
 	if len(prov) == 0 {
 		if io, ok := g.nodes[id]; ok {
 			return []capture.IO{io}
 		}
 		return nil
 	}
+	sort.Slice(prov, func(i, j int) bool { return prov[i].ID < prov[j].ID })
 	var out []capture.IO
 	for _, io := range prov {
 		if len(g.in[io.ID]) == 0 {
@@ -192,6 +243,7 @@ func (g *Graph) RootCauses(id uint64) []capture.IO {
 // Descendants returns every vertex reachable from id (the I/Os the event
 // led to), sorted by ID.
 func (g *Graph) Descendants(id uint64) []capture.IO {
+	g.mu.RLock()
 	seen := map[uint64]bool{}
 	frontier := append([]uint64(nil), g.out[id]...)
 	var out []capture.IO
@@ -207,6 +259,7 @@ func (g *Graph) Descendants(id uint64) []capture.IO {
 		}
 		frontier = append(frontier, g.out[n]...)
 	}
+	g.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
@@ -216,10 +269,11 @@ func (g *Graph) Descendants(id uint64) []capture.IO {
 // them; cross-router edges are dropped.
 func (g *Graph) Subgraph(router string) *Graph {
 	sub := New()
-	for id, io := range g.nodes {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, io := range g.nodes {
 		if io.Router == router {
-			sub.AddNode(io)
-			_ = id
+			sub.nodes[io.ID] = io
 		}
 	}
 	for e, c := range g.conf {
@@ -229,21 +283,33 @@ func (g *Graph) Subgraph(router string) *Graph {
 		if _, b := sub.nodes[e.To]; !b {
 			continue
 		}
-		sub.AddEdgeConf(e.From, e.To, c)
+		sub.addEdgeConfLocked(e.From, e.To, c)
 	}
 	return sub
 }
 
-// Merge folds other's vertices and edges into g (distributed HBG
-// assembly).
+// Merge folds other's vertices and edges into g (distributed HBG assembly,
+// and the incremental inference cache's suffix merge). It holds g's writer
+// lock for the whole merge so concurrent readers observe either the old or
+// the new graph, never a half-merged one.
 func (g *Graph) Merge(other *Graph) {
-	for _, io := range other.Nodes() {
+	otherNodes := other.Nodes()
+	otherEdges := make(map[Edge]float64, other.EdgeCount())
+	other.mu.RLock()
+	for e, c := range other.conf {
+		otherEdges[e] = c
+	}
+	other.mu.RUnlock()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, io := range otherNodes {
 		if _, exists := g.nodes[io.ID]; !exists {
-			g.AddNode(io)
+			g.nodes[io.ID] = io
 		}
 	}
-	for e, c := range other.conf {
-		g.AddEdgeConf(e.From, e.To, c)
+	for e, c := range otherEdges {
+		g.addEdgeConfLocked(e.From, e.To, c)
 	}
 }
 
@@ -251,6 +317,8 @@ func (g *Graph) Merge(other *Graph) {
 // the graph has a cycle (which would mean the inferred "happens-before"
 // relation is inconsistent).
 func (g *Graph) TopoOrder() ([]uint64, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	indeg := map[uint64]int{}
 	for id := range g.nodes {
 		indeg[id] = 0
@@ -272,7 +340,9 @@ func (g *Graph) TopoOrder() ([]uint64, error) {
 		n := ready[0]
 		ready = ready[1:]
 		order = append(order, n)
-		for _, m := range g.Children(n) {
+		children := append([]uint64(nil), g.out[n]...)
+		sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
+		for _, m := range children {
 			if _, ok := g.nodes[m]; !ok {
 				continue
 			}
@@ -292,10 +362,12 @@ func (g *Graph) TopoOrder() ([]uint64, error) {
 // DOT renders the graph in Graphviz format, one cluster per router, in the
 // style of the paper's Fig. 4.
 func (g *Graph) DOT() string {
+	nodes := g.Nodes()
+	edges := g.Edges()
 	var b strings.Builder
 	b.WriteString("digraph hbg {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
 	byRouter := map[string][]capture.IO{}
-	for _, io := range g.Nodes() {
+	for _, io := range nodes {
 		byRouter[io.Router] = append(byRouter[io.Router], io)
 	}
 	routers := make([]string, 0, len(byRouter))
@@ -310,8 +382,8 @@ func (g *Graph) DOT() string {
 		}
 		b.WriteString("  }\n")
 	}
-	for _, e := range g.Edges() {
-		if c := g.conf[e]; c < 1 {
+	for _, e := range edges {
+		if c := g.Confidence(e.From, e.To); c < 1 {
 			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, label=\"%.2f\"];\n", e.From, e.To, c)
 		} else {
 			fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)

@@ -1,0 +1,202 @@
+// Incremental inference: the control-plane integration of §5 makes HBG
+// inference a hot path — every verification tick re-asks for the graph —
+// yet the capture log is append-only and every rule's reach is bounded by
+// a look-back window. Incremental exploits both: it caches the inferred
+// graph keyed on the covered log prefix and, when new I/Os arrive, re-runs
+// the base strategy only over the new suffix plus the bounded look-back
+// window, merging the resulting edges into the cached graph instead of
+// rebuilding it from scratch.
+
+package hbr
+
+import (
+	"sync"
+	"time"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/hbg"
+	"hbverify/internal/metrics"
+	"hbverify/internal/netsim"
+)
+
+// Lookbacker is implemented by strategies whose inference for one event
+// never reaches further back in observed time than a bounded window. That
+// bound is what makes suffix-only re-inference sound: any in-window
+// candidate for a new event lies inside the look-back slice.
+type Lookbacker interface {
+	// LookbackWindow returns the maximum reach of any rule, in observed
+	// (router-clock) time.
+	LookbackWindow() time.Duration
+}
+
+// LookbackWindow implements Lookbacker: the widest of the three rule
+// windows (config matching reaches the furthest, §7's 25 s TTY→soft-reconfig
+// gap being the motivating case).
+func (r Rules) LookbackWindow() time.Duration {
+	w, cw, xw := r.windows()
+	return maxDuration(w, maxDuration(cw, xw))
+}
+
+// LookbackWindow implements Lookbacker.
+func (p Prefix) LookbackWindow() time.Duration {
+	if p.Window == 0 {
+		return 500 * time.Millisecond
+	}
+	return p.Window
+}
+
+// LookbackWindow implements Lookbacker. A Patterns strategy without a
+// trained model infers no edges, so any window is sound.
+func (p Patterns) LookbackWindow() time.Duration {
+	if p.Model == nil || p.Model.window == 0 {
+		return 500 * time.Millisecond
+	}
+	return p.Model.window
+}
+
+// LookbackWindow implements Lookbacker.
+func (c Combined) LookbackWindow() time.Duration {
+	return maxDuration(c.Rules.LookbackWindow(), c.Patterns.LookbackWindow())
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Incremental wraps a base Strategy with a graph cache over the append-only
+// capture log.
+//
+//   - Same log as last time (length and last ID match): return the cached
+//     graph untouched — a cache hit.
+//   - The log grew and its covered prefix is unchanged: run the base
+//     strategy over the new suffix plus the look-back slice and merge the
+//     result into the cached graph.
+//   - Anything else (shorter log, different prefix — e.g. a cut-filtered
+//     snapshot collection): fall back to a one-off full inference WITHOUT
+//     disturbing the cache, so snapshot sweeps cannot poison the pipeline's
+//     incremental state.
+//
+// The suffix-merge path is available only when the base strategy implements
+// Lookbacker; otherwise every growth falls back to (cached-as-new-baseline)
+// full inference.
+//
+// Incremental is safe for concurrent use. The returned *hbg.Graph is shared
+// across calls; hbg.Graph is itself concurrency-safe, and Invalidate
+// provides the reset path for when the repair engine rolls configuration
+// back and conservative full re-inference is wanted.
+type Incremental struct {
+	// Base is the wrapped inference strategy.
+	Base Strategy
+	// Metrics optionally receives infer.full / infer.incremental timers and
+	// infer.cache.* counters.
+	Metrics *metrics.Registry
+
+	mu      sync.Mutex
+	cached  *hbg.Graph
+	covered int    // number of I/Os the cached graph covers
+	lastID  uint64 // ID of the last covered I/O (generation check)
+}
+
+// NewIncremental wraps base. A nil registry disables metrics.
+func NewIncremental(base Strategy, reg *metrics.Registry) *Incremental {
+	return &Incremental{Base: base, Metrics: reg}
+}
+
+// Name implements Strategy.
+func (inc *Incremental) Name() string { return "incremental(" + inc.Base.Name() + ")" }
+
+// Invalidate drops the cached graph; the next Infer performs a full
+// inference. The repair engine calls this after rolling back a
+// configuration so the post-repair graph is rebuilt from scratch rather
+// than accreted through windowed merges.
+func (inc *Incremental) Invalidate() {
+	inc.mu.Lock()
+	inc.cached, inc.covered, inc.lastID = nil, 0, 0
+	inc.mu.Unlock()
+	inc.Metrics.Counter("infer.cache.invalidations").Inc()
+}
+
+// Infer implements Strategy.
+func (inc *Incremental) Infer(ios []capture.IO) *hbg.Graph {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+
+	// Exact hit: the log has not moved.
+	if inc.cached != nil && len(ios) == inc.covered && inc.lastID == lastIDOf(ios) {
+		inc.Metrics.Counter("infer.cache.hits").Inc()
+		return inc.cached
+	}
+
+	// Append-only growth of the covered prefix?
+	if inc.cached != nil && len(ios) > inc.covered && inc.covered > 0 &&
+		ios[inc.covered-1].ID == inc.lastID {
+		if lb, ok := inc.Base.(Lookbacker); ok {
+			return inc.extend(ios, lb.LookbackWindow())
+		}
+	}
+
+	// Fallback: full inference. A log at least as long as the covered
+	// prefix becomes the new baseline; a shorter or diverged log (snapshot
+	// cuts, a different capture source) is served without touching the
+	// cache.
+	start := time.Now()
+	g := inc.Base.Infer(ios)
+	inc.Metrics.Timer("infer.full").Observe(time.Since(start))
+	inc.Metrics.Counter("infer.cache.misses").Inc()
+	if inc.cached == nil || (len(ios) >= inc.covered && prefixIntact(ios, inc.covered, inc.lastID)) {
+		inc.cached, inc.covered, inc.lastID = g, len(ios), lastIDOf(ios)
+	}
+	return g
+}
+
+// extend runs the base strategy over the new suffix plus the look-back
+// slice and merges the result into the cached graph. Soundness: every rule
+// candidate for a suffix event lies within lookback of that event's
+// observed time, and every suffix event's observed time is at least
+// minSuffixTime, so the slice starting at the last old event with
+// Time >= minSuffixTime-lookback contains all of them. Edges between old
+// events re-derived inside the slice merge idempotently.
+func (inc *Incremental) extend(ios []capture.IO, lookback time.Duration) *hbg.Graph {
+	start := time.Now()
+	suffix := ios[inc.covered:]
+	minTime := suffix[0].Time
+	for _, io := range suffix[1:] {
+		if io.Time < minTime {
+			minTime = io.Time
+		}
+	}
+	cutoff := minTime - netsim.VirtualTime(lookback)
+	// Observed times are TrueTime ± bounded skew, so append order is
+	// near-sorted; scan backward until the first event older than the
+	// cutoff.
+	lo := inc.covered
+	for lo > 0 && ios[lo-1].Time >= cutoff {
+		lo--
+	}
+	window := ios[lo:]
+	inc.cached.Merge(inc.Base.Infer(window))
+	inc.covered, inc.lastID = len(ios), lastIDOf(ios)
+	inc.Metrics.Timer("infer.incremental").Observe(time.Since(start))
+	inc.Metrics.Counter("infer.suffix.ios").Add(int64(len(suffix)))
+	inc.Metrics.Counter("infer.window.ios").Add(int64(len(window)))
+	return inc.cached
+}
+
+// prefixIntact reports whether ios still starts with the covered prefix
+// (checked by the dense, append-ordered ID of its last element).
+func prefixIntact(ios []capture.IO, covered int, lastID uint64) bool {
+	if covered == 0 {
+		return true
+	}
+	return len(ios) >= covered && ios[covered-1].ID == lastID
+}
+
+func lastIDOf(ios []capture.IO) uint64 {
+	if len(ios) == 0 {
+		return 0
+	}
+	return ios[len(ios)-1].ID
+}

@@ -1,0 +1,155 @@
+package hbr_test
+
+import (
+	"testing"
+	"time"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/config"
+	"hbverify/internal/hbg"
+	"hbverify/internal/hbr"
+	"hbverify/internal/metrics"
+	"hbverify/internal/network"
+)
+
+// grow converges the paper network, then appends rounds of config churn
+// separated by idle virtual time, returning the log snapshot after each
+// round.
+func grow(t *testing.T, rounds int) [][]capture.IO {
+	t.Helper()
+	pn, err := network.BuildPaper(1, network.DefaultPaperOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn.Start()
+	if err := pn.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snaps := [][]capture.IO{capture.StripOracle(pn.Log.All())}
+	lp := uint32(10)
+	for i := 0; i < rounds; i++ {
+		if _, err := pn.UpdateConfig("r2", "toggle uplink local-pref", func(c *config.Router) {
+			c.BGP.Neighbors[len(c.BGP.Neighbors)-1].LocalPref = lp
+		}); err != nil {
+			t.Fatal(err)
+		}
+		lp = 310 - lp // toggle between 10 and 300
+		if err := pn.Run(); err != nil {
+			t.Fatal(err)
+		}
+		// Idle virtual time between rounds; the clock only advances through
+		// events, so schedule a no-op marker.
+		pn.Sched.After(90*time.Second, func() {})
+		if err := pn.Run(); err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, capture.StripOracle(pn.Log.All()))
+	}
+	return snaps
+}
+
+func edgesEqual(t *testing.T, a, b *hbg.Graph) {
+	t.Helper()
+	if a.NodeCount() != b.NodeCount() {
+		t.Fatalf("node counts diverge: %d vs %d", a.NodeCount(), b.NodeCount())
+	}
+	ae, be := a.Edges(), b.Edges()
+	seen := map[hbg.Edge]bool{}
+	for _, e := range ae {
+		seen[e] = true
+	}
+	for _, e := range be {
+		if !seen[e] {
+			t.Errorf("full inference has edge %v missing from incremental graph", e)
+		}
+		delete(seen, e)
+	}
+	for e := range seen {
+		t.Errorf("incremental graph has extra edge %v", e)
+	}
+	if t.Failed() {
+		t.Fatalf("edge sets diverge (%d incremental vs %d full)", len(ae), len(be))
+	}
+}
+
+// TestIncrementalMatchesFull grows the log through several config-churn
+// rounds and checks the suffix-merged graph equals full re-inference at
+// every step.
+func TestIncrementalMatchesFull(t *testing.T) {
+	snaps := grow(t, 4)
+	rules := hbr.Rules{}
+	inc := hbr.NewIncremental(rules, nil)
+	for i, ios := range snaps {
+		got := inc.Infer(ios)
+		want := rules.Infer(ios)
+		_ = i
+		edgesEqual(t, got, want)
+	}
+}
+
+// TestIncrementalCacheBehaviour pins the cache-management contract: hits on
+// an unchanged log, exactly one full inference across repeated growth, a
+// non-poisoning fallback for cut-filtered logs, and invalidation.
+func TestIncrementalCacheBehaviour(t *testing.T) {
+	snaps := grow(t, 2)
+	reg := metrics.NewRegistry()
+	inc := hbr.NewIncremental(hbr.Rules{}, reg)
+
+	full := func() int64 { return reg.Counter("infer.cache.misses").Value() }
+	hits := func() int64 { return reg.Counter("infer.cache.hits").Value() }
+
+	g0 := inc.Infer(snaps[0])
+	if full() != 1 {
+		t.Fatalf("first inference: full=%d, want 1", full())
+	}
+	if g1 := inc.Infer(snaps[0]); g1 != g0 || hits() != 1 {
+		t.Fatalf("unchanged log must hit the cache (hits=%d)", hits())
+	}
+
+	// Growth goes through the incremental path: no new full inference.
+	inc.Infer(snaps[1])
+	inc.Infer(snaps[2])
+	if full() != 1 {
+		t.Fatalf("growth triggered full inference: full=%d, want 1", full())
+	}
+	if n := reg.Counter("infer.suffix.ios").Value(); n == 0 {
+		t.Fatal("incremental path did not record suffix I/Os")
+	}
+
+	// A cut-filtered subset (e.g. a snapshot collection) is served by a
+	// one-off full inference and must not disturb the cached baseline.
+	subset := append([]capture.IO(nil), snaps[2][:len(snaps[2])/2]...)
+	subset = append(subset, snaps[2][len(snaps[2])/2+1:]...)
+	inc.Infer(subset)
+	if full() != 2 {
+		t.Fatalf("subset must full-infer: full=%d, want 2", full())
+	}
+	if g := inc.Infer(snaps[2]); g == nil || hits() != 2 {
+		t.Fatalf("cache was poisoned by the subset inference (hits=%d)", hits())
+	}
+
+	inc.Invalidate()
+	inc.Infer(snaps[2])
+	if full() != 3 {
+		t.Fatalf("invalidate must force full inference: full=%d, want 3", full())
+	}
+}
+
+// TestIncrementalLookbackWindows pins the windows the look-back slice is
+// derived from.
+func TestIncrementalLookbackWindows(t *testing.T) {
+	if got := (hbr.Rules{}).LookbackWindow(); got != 60*time.Second {
+		t.Fatalf("Rules default lookback = %v, want 60s", got)
+	}
+	r := hbr.Rules{Window: time.Second, ConfigWindow: 2 * time.Second, CrossWindow: 3 * time.Second}
+	if got := r.LookbackWindow(); got != 3*time.Second {
+		t.Fatalf("Rules lookback = %v, want 3s", got)
+	}
+	if got := (hbr.Prefix{}).LookbackWindow(); got != 500*time.Millisecond {
+		t.Fatalf("Prefix default lookback = %v", got)
+	}
+	c := hbr.Combined{Rules: r}
+	if got := c.LookbackWindow(); got != 3*time.Second {
+		t.Fatalf("Combined lookback = %v, want 3s", got)
+	}
+}

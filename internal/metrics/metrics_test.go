@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Timer("y").Observe(time.Second)
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Fatalf("nil counter value = %d", got)
+	}
+	if got := r.Timer("y").Count(); got != 0 {
+		t.Fatalf("nil timer count = %d", got)
+	}
+	if r.String() != "" || len(r.Snapshot()) != 0 {
+		t.Fatal("nil registry must render empty")
+	}
+}
+
+func TestCountersAndTimers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	r.Counter("hits").Inc()
+	if got := r.Counter("hits").Value(); got != 4 {
+		t.Fatalf("hits = %d, want 4", got)
+	}
+	tm := r.Timer("infer")
+	tm.Observe(2 * time.Millisecond)
+	tm.Observe(6 * time.Millisecond)
+	if tm.Count() != 2 || tm.Total() != 8*time.Millisecond {
+		t.Fatalf("timer count=%d total=%v", tm.Count(), tm.Total())
+	}
+	if tm.Max() != 6*time.Millisecond || tm.Mean() != 4*time.Millisecond {
+		t.Fatalf("timer max=%v mean=%v", tm.Max(), tm.Mean())
+	}
+	snap := r.Snapshot()
+	if snap["hits"] != 4 || snap["infer.count"] != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	s := r.String()
+	if !strings.Contains(s, "hits=4") || !strings.Contains(s, "infer=2x") {
+		t.Fatalf("string = %q", s)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Timer("t").Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 8000 {
+		t.Fatalf("n = %d, want 8000", got)
+	}
+	if got := r.Timer("t").Count(); got != 8000 {
+		t.Fatalf("t.count = %d, want 8000", got)
+	}
+}

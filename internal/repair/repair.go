@@ -27,6 +27,7 @@ import (
 	"hbverify/internal/dataplane"
 	"hbverify/internal/fib"
 	"hbverify/internal/hbg"
+	"hbverify/internal/metrics"
 	"hbverify/internal/network"
 	"hbverify/internal/verify"
 )
@@ -144,6 +145,15 @@ type Engine struct {
 	Sources []string
 	// Walker walks the data plane; defaults to the live FIB tables.
 	Walker *dataplane.Walker
+	// Workers bounds the verification walk pool (0 = GOMAXPROCS).
+	Workers int
+	// Metrics optionally receives verify.* instrumentation.
+	Metrics *metrics.Registry
+	// Invalidate, when set, is called after a successful configuration
+	// rollback so cached inference state (hbr.Incremental) is rebuilt from
+	// scratch rather than accreted through windowed merges across the
+	// rollback boundary.
+	Invalidate func()
 }
 
 // NewEngine builds an engine verifying over the live FIBs.
@@ -162,6 +172,8 @@ func NewEngine(n *network.Network, infer func([]capture.IO) *hbg.Graph, sources 
 // root causes. No repair is performed.
 func (e *Engine) Detect(policies []verify.Policy) *Diagnosis {
 	checker := verify.NewChecker(e.Walker, e.Sources)
+	checker.Workers = e.Workers
+	checker.Metrics = e.Metrics
 	d := &Diagnosis{Report: checker.Check(policies)}
 	if d.Report.OK() {
 		return d
@@ -220,6 +232,9 @@ func (e *Engine) Repair(d *Diagnosis) error {
 		d.RolledBack = true
 		d.RollbackRouter = ref.Router
 		d.RollbackVersion = ref.Version - 1
+		if e.Invalidate != nil {
+			e.Invalidate()
+		}
 		return nil
 	}
 	return fmt.Errorf("repair: no revertible root cause among %d roots", len(d.Roots))

@@ -1,0 +1,92 @@
+package verify
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+
+	"hbverify/internal/dataplane"
+	"hbverify/internal/fib"
+	"hbverify/internal/metrics"
+	"hbverify/internal/network"
+	"hbverify/internal/route"
+)
+
+// TestParallelCheckUnderFIBChurn runs the parallel checker from several
+// goroutines while a mutator churns one router's live FIB — exactly the
+// §5 deployment where verification ticks race with control-plane
+// convergence. Run under -race: it exercises the fib.Table RWMutex, the
+// walk worker pool, and the metrics registry together.
+func TestParallelCheckUnderFIBChurn(t *testing.T) {
+	pn, err := network.BuildPaper(1, network.DefaultPaperOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn.Start()
+	if err := pn.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tables := map[string]*fib.Table{}
+	for _, r := range pn.Routers() {
+		tables[r.Name] = r.FIB
+	}
+	w := dataplane.NewWalker(pn.Topo, dataplane.TableView(tables))
+	checker := NewChecker(w, []string{"r1", "r2", "r3"})
+	checker.Workers = 8
+	checker.Metrics = metrics.NewRegistry()
+
+	churnPrefix := netip.MustParsePrefix("55.0.0.0/24")
+	policies := []Policy{
+		{Kind: Egress, Prefix: pn.P, Expect: "e2"},
+		{Kind: NoLoop, Prefix: pn.P},
+		{Kind: NoBlackhole, Prefix: pn.P},
+		{Kind: NoLoop, Prefix: churnPrefix},
+	}
+
+	stop := make(chan struct{})
+	var mutWg sync.WaitGroup
+	mutWg.Add(1)
+	go func() {
+		defer mutWg.Done()
+		r1 := tables["r1"]
+		rt := route.Route{
+			Prefix: churnPrefix, Proto: route.ProtoStatic,
+			NextHop: netip.MustParseAddr("10.0.12.2"),
+		}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r1.Offer(rt)
+			r1.Withdraw(route.ProtoStatic, churnPrefix)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rep := checker.Check(policies)
+				// The paper-network policies must hold regardless of the
+				// unrelated churn prefix's state.
+				for _, v := range rep.Violations {
+					if v.Policy.Prefix == pn.P {
+						t.Errorf("stable policy violated during churn: %v", v)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	mutWg.Wait()
+
+	if got := checker.Metrics.Counter("verify.checks").Value(); got == 0 {
+		t.Fatal("metrics did not record any checks")
+	}
+}

@@ -12,9 +12,14 @@ package verify
 import (
 	"fmt"
 	"net/netip"
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 
 	"hbverify/internal/dataplane"
+	"hbverify/internal/eqclass"
+	"hbverify/internal/metrics"
 )
 
 // Kind selects a policy check.
@@ -80,7 +85,13 @@ func (v Violation) String() string {
 // Report aggregates a verification run.
 type Report struct {
 	Violations []Violation
-	Checked    int // number of (policy, source) walks performed
+	Checked    int // number of (policy, source) checks evaluated
+	// Walks is the number of distinct data-plane walks executed; Deduped is
+	// how many checks were answered by a walk shared with another check
+	// (same source and destination header, or same forwarding equivalence
+	// class when the checker is class-sharded).
+	Walks   int
+	Deduped int
 }
 
 // OK reports whether the run found no violations.
@@ -94,33 +105,151 @@ func (r Report) Summary() string {
 	return fmt.Sprintf("%d violations in %d checks", len(r.Violations), r.Checked)
 }
 
-// Checker runs policies over a FIB view.
+// Checker runs policies over a FIB view. Checks fan out over a bounded
+// worker pool: the (policy × source) grid is first deduplicated into
+// distinct (source, destination) walks — optionally sharded by forwarding
+// equivalence class so equivalent headers are walked once — and the walks
+// execute in parallel while evaluation and violation ordering stay
+// deterministic.
 type Checker struct {
 	Walker *dataplane.Walker
 	// Sources is the default packet injection set.
 	Sources []string
+	// Workers bounds the walk pool; 0 means GOMAXPROCS, 1 forces serial
+	// execution.
+	Workers int
+	// Metrics optionally receives verify.* counters and per-policy-kind
+	// latency timers.
+	Metrics *metrics.Registry
+
+	classRep map[netip.Prefix]netip.Addr
 }
 
-// NewChecker builds a checker.
+// NewChecker builds a checker with the default worker pool (GOMAXPROCS).
 func NewChecker(w *dataplane.Walker, sources []string) *Checker {
 	s := append([]string(nil), sources...)
 	sort.Strings(s)
 	return &Checker{Walker: w, Sources: s}
 }
 
-// Check runs every policy and aggregates violations.
+// ShardByClasses makes the checker walk one representative per forwarding
+// equivalence class: every policy whose prefix belongs to a class probes
+// the class representative's header instead of its own. Forwarding
+// equivalence (identical per-router behaviour, §6) is exactly the
+// guarantee that makes the shared walk's verdict valid for every member.
+func (c *Checker) ShardByClasses(classes []eqclass.Class) {
+	c.classRep = map[netip.Prefix]netip.Addr{}
+	for _, cl := range classes {
+		if len(cl.Prefixes) == 0 {
+			continue
+		}
+		rep := dataplane.Representative(cl.Prefixes[0])
+		for _, p := range cl.Prefixes {
+			c.classRep[p.Masked()] = rep
+		}
+	}
+}
+
+// probe maps a policy prefix to the header its walk uses.
+func (c *Checker) probe(p netip.Prefix) netip.Addr {
+	if rep, ok := c.classRep[p.Masked()]; ok {
+		return rep
+	}
+	return dataplane.Representative(p)
+}
+
+// workKey identifies one distinct data-plane walk.
+type workKey struct {
+	src string
+	dst netip.Addr
+}
+
+// check is one (policy, source) evaluation awaiting its walk.
+type check struct {
+	policy Policy
+	src    string
+	walk   int // index into the deduplicated walk list
+}
+
+// Check runs every policy and aggregates violations. Violation order is
+// deterministic (policy order, then sorted source order) regardless of the
+// worker count.
 func (c *Checker) Check(policies []Policy) Report {
-	var rep Report
+	start := time.Now()
+	var (
+		checks []check
+		keys   []workKey
+		walkIx = map[workKey]int{}
+	)
 	for _, p := range policies {
 		sources := p.Sources
 		if len(sources) == 0 {
 			sources = c.Sources
 		}
+		dst := c.probe(p.Prefix)
 		for _, src := range sources {
-			rep.Checked++
-			walk := c.Walker.ForwardPrefix(src, p.Prefix)
-			if v, bad := Evaluate(p, src, walk); bad {
-				rep.Violations = append(rep.Violations, v)
+			k := workKey{src: src, dst: dst}
+			ix, ok := walkIx[k]
+			if !ok {
+				ix = len(keys)
+				walkIx[k] = ix
+				keys = append(keys, k)
+			}
+			checks = append(checks, check{policy: p, src: src, walk: ix})
+		}
+	}
+
+	walks := make([]dataplane.Walk, len(keys))
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	if workers <= 1 {
+		for i, k := range keys {
+			walks[i] = c.Walker.Forward(k.src, k.dst)
+		}
+	} else {
+		var (
+			wg   sync.WaitGroup
+			next = make(chan int)
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					walks[i] = c.Walker.Forward(keys[i].src, keys[i].dst)
+				}
+			}()
+		}
+		for i := range keys {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	rep := Report{Checked: len(checks), Walks: len(keys), Deduped: len(checks) - len(keys)}
+	for _, ch := range checks {
+		if v, bad := Evaluate(ch.policy, ch.src, walks[ch.walk]); bad {
+			rep.Violations = append(rep.Violations, v)
+		}
+	}
+	if m := c.Metrics; m != nil {
+		m.Counter("verify.checks").Add(int64(rep.Checked))
+		m.Counter("verify.walks.executed").Add(int64(rep.Walks))
+		m.Counter("verify.walks.deduped").Add(int64(rep.Deduped))
+		m.Counter("verify.violations").Add(int64(len(rep.Violations)))
+		m.Timer("verify.check").Observe(time.Since(start))
+		elapsed := time.Since(start)
+		kinds := map[Kind]bool{}
+		for _, p := range policies {
+			if !kinds[p.Kind] {
+				kinds[p.Kind] = true
+				m.Timer("verify.policy." + p.Kind.String()).Observe(elapsed)
 			}
 		}
 	}
