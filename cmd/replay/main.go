@@ -7,11 +7,14 @@
 //	replay -gen logs/        # generate the Fig. 5 logs into logs/<router>.log
 //	replay logs/*.log        # parse logs (router name = file basename)
 //	replay -dot logs/*.log   # also emit the inferred HBG as DOT
+//	replay -seed 7           # run randomized scenario seed 7 end to end
+//	replay -schedule f.json  # replay a scenario failure artifact exactly
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/netip"
 	"os"
 	"path/filepath"
@@ -23,19 +26,36 @@ import (
 	"hbverify/internal/config"
 	"hbverify/internal/hbr"
 	"hbverify/internal/network"
+	"hbverify/internal/scenario"
 	"hbverify/internal/snapshot"
 )
 
 func main() {
 	var (
-		gen = flag.String("gen", "", "generate Fig. 5 logs into this directory and exit")
-		dot = flag.Bool("dot", false, "print the inferred HBG as Graphviz DOT")
+		gen      = flag.String("gen", "", "generate Fig. 5 logs into this directory and exit")
+		dot      = flag.Bool("dot", false, "print the inferred HBG as Graphviz DOT")
+		seed     = flag.Int64("seed", 0, "run the randomized scenario with this seed (nonzero)")
+		shape    = flag.String("shape", "", "override the scenario topology shape (ring|mesh|fattree)")
+		rounds   = flag.Int("rounds", 0, "override the scenario churn-round count")
+		schedule = flag.String("schedule", "", "replay a scenario failure artifact (JSON) exactly")
 	)
 	flag.Parse()
 	if *gen != "" {
 		if err := generate(*gen); err != nil {
 			fmt.Fprintln(os.Stderr, "replay:", err)
 			os.Exit(1)
+		}
+		return
+	}
+	if *seed != 0 || *schedule != "" {
+		cfg := scenario.Config{Seed: *seed, Shape: *shape, Rounds: *rounds}
+		failed, err := runScenario(cfg, *schedule, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			os.Exit(1)
+		}
+		if failed {
+			os.Exit(3)
 		}
 		return
 	}
@@ -47,6 +67,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "replay:", err)
 		os.Exit(1)
 	}
+}
+
+// runScenario executes one randomized scenario — either fresh from cfg
+// or replaying a failure artifact byte-exactly — and reports the oracle
+// verdict. It returns failed=true (exit code 3) when an oracle fails, so
+// a reproduced failure is distinguishable from a tool error.
+func runScenario(cfg scenario.Config, schedulePath string, out io.Writer) (failed bool, err error) {
+	if schedulePath != "" {
+		a, err := scenario.ReadArtifact(schedulePath)
+		if err != nil {
+			return false, err
+		}
+		cfg = a.Config
+		if cfg.Schedule == nil {
+			cfg.Schedule = []scenario.Event{}
+		}
+		fmt.Fprintf(out, "replaying artifact %s (expecting oracle %s to fail)\n", schedulePath, a.Failure.Oracle)
+	}
+	mat, err := scenario.Materialize(cfg)
+	if err != nil {
+		return false, err
+	}
+	fmt.Fprintf(out, "scenario seed=%d shape=%s mix=%s routers=%d rounds=%d (%d churn events)\n",
+		mat.Seed, mat.Shape, mat.Mix, mat.Routers, mat.Rounds, len(mat.Schedule))
+	res := scenario.Run(cfg)
+	if res.Failure != nil {
+		if schedulePath != "" {
+			// Already minimized: report without re-shrinking.
+			fmt.Fprint(out, scenario.FailureReport(scenario.Artifact{Config: res.Config, Failure: *res.Failure}, ""))
+		} else {
+			_, report := scenario.ReportFailure(res.Config, *res.Failure, "")
+			fmt.Fprint(out, report)
+		}
+		return true, nil
+	}
+	fmt.Fprintf(out, "ok: %d rounds, %d IOs, all oracles passed\n", res.Rounds, res.IOs)
+	return false, nil
 }
 
 // generate runs the §7 scenario and writes per-router IOS-style logs.

@@ -3,7 +3,10 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"hbverify/internal/scenario"
 )
 
 func TestGenerateAndAnalyze(t *testing.T) {
@@ -36,6 +39,55 @@ func TestGenerateAndAnalyze(t *testing.T) {
 func TestAnalyzeMissingFile(t *testing.T) {
 	if err := analyze([]string{"/nonexistent/r1.log"}, false); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunScenarioSeed(t *testing.T) {
+	var b strings.Builder
+	failed, err := runScenario(scenario.Config{Seed: 1}, "", &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("seed 1 failed an oracle:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "all oracles passed") {
+		t.Fatalf("unexpected output:\n%s", b.String())
+	}
+}
+
+// TestRunScenarioSchedule writes a forced-failure artifact and replays it
+// through the exact path the printed repro command uses.
+func TestRunScenarioSchedule(t *testing.T) {
+	cfg, err := scenario.Materialize(scenario.Config{Seed: 3, Bug: scenario.BugSkipRollback})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := scenario.Run(cfg)
+	if res.Failure == nil {
+		t.Fatal("forced bug did not fail")
+	}
+	path := filepath.Join(t.TempDir(), "artifact.json")
+	if err := scenario.WriteArtifact(path, scenario.Artifact{Config: res.Config, Failure: *res.Failure}); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	failed, err := runScenario(scenario.Config{}, path, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("artifact replay did not reproduce the failure:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), res.Failure.Oracle) {
+		t.Fatalf("replay output does not name oracle %q:\n%s", res.Failure.Oracle, b.String())
+	}
+}
+
+func TestRunScenarioBadArtifact(t *testing.T) {
+	if _, err := runScenario(scenario.Config{}, "/nonexistent/artifact.json", &strings.Builder{}); err == nil {
+		t.Fatal("missing artifact accepted")
 	}
 }
 

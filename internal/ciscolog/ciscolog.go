@@ -181,6 +181,9 @@ func NewParser(resolve Resolver) *Parser {
 // ParseLine parses one log line captured at the named router.
 func (p *Parser) ParseLine(router, line string) (capture.IO, error) {
 	line = strings.TrimSpace(line)
+	if strings.ContainsAny(line, "\n\r") {
+		return capture.IO{}, fmt.Errorf("ciscolog: embedded newline in %q", line)
+	}
 	colon := strings.Index(line, ": ")
 	if colon < 0 {
 		return capture.IO{}, fmt.Errorf("ciscolog: no timestamp separator in %q", line)
@@ -282,7 +285,10 @@ func (p *Parser) parseProtoLine(io capture.IO, rest string) (capture.IO, error) 
 		if io.Prefix, err = netip.ParsePrefix(parts[0]); err != nil {
 			return io, err
 		}
-		nh := strings.Fields(parts[1])[0]
+		nh, ok := firstField(parts[1])
+		if !ok {
+			return io, fmt.Errorf("ciscolog: bad revise line %q", body)
+		}
 		if nh != "self" {
 			if io.NextHop, err = netip.ParseAddr(nh); err != nil {
 				return io, err
@@ -291,7 +297,11 @@ func (p *Parser) parseProtoLine(io capture.IO, rest string) (capture.IO, error) 
 	case strings.HasPrefix(body, "Revise route removing "):
 		io.Type = capture.RIBRemove
 		body = strings.TrimPrefix(body, "Revise route removing ")
-		if io.Prefix, err = netip.ParsePrefix(strings.Fields(body)[0]); err != nil {
+		pfx, ok := firstField(body)
+		if !ok {
+			return io, fmt.Errorf("ciscolog: bad revise line %q", body)
+		}
+		if io.Prefix, err = netip.ParsePrefix(pfx); err != nil {
 			return io, err
 		}
 	default:
@@ -329,19 +339,34 @@ func (p *Parser) parseProtoLine(io capture.IO, rest string) (capture.IO, error) 
 	return io, nil
 }
 
+// firstField returns the first whitespace-separated field of s, reporting
+// false when s is empty or all whitespace. Log lines truncated mid-field
+// (a real hazard with UDP syslog) must parse as errors, not panic.
+func firstField(s string) (string, bool) {
+	f := strings.Fields(s)
+	if len(f) == 0 {
+		return "", false
+	}
+	return f[0], true
+}
+
 func parseUpdateTail(io *capture.IO, body string) {
 	if i := strings.Index(body, "next hop "); i >= 0 {
-		nh := strings.TrimSuffix(strings.Fields(body[i+len("next hop "):])[0], ",")
-		if nh != "self" {
-			if a, err := netip.ParseAddr(nh); err == nil {
-				io.NextHop = a
+		if f, ok := firstField(body[i+len("next hop "):]); ok {
+			nh := strings.TrimSuffix(f, ",")
+			if nh != "self" {
+				if a, err := netip.ParseAddr(nh); err == nil {
+					io.NextHop = a
+				}
 			}
 		}
 	}
 	if i := strings.Index(body, "localpref "); i >= 0 {
-		lp := strings.TrimSuffix(strings.Fields(body[i+len("localpref "):])[0], ",")
-		if v, err := strconv.ParseUint(lp, 10, 32); err == nil {
-			io.Attrs.LocalPref = uint32(v)
+		if f, ok := firstField(body[i+len("localpref "):]); ok {
+			lp := strings.TrimSuffix(f, ",")
+			if v, err := strconv.ParseUint(lp, 10, 32); err == nil {
+				io.Attrs.LocalPref = uint32(v)
+			}
 		}
 	}
 	if i := strings.Index(body, "path "); i >= 0 {

@@ -150,6 +150,35 @@ func (e *Instance) NeighborDown(addr netip.Addr, cause ...uint64) {
 	}
 }
 
+// NeighborUp restores the adjacency after a link recovery and schedules a
+// full re-advertisement, so the revived neighbor relearns our routes. The
+// advertisement honours EIGRP's FIB-before-advertise ordering by firing
+// after the FIB delay.
+func (e *Instance) NeighborUp(addr netip.Addr, cause ...uint64) {
+	n := e.neighbors[addr]
+	if n == nil || n.Up {
+		return
+	}
+	n.Up = true
+	seen := map[netip.Prefix]bool{}
+	for p := range e.sel {
+		seen[p] = true
+	}
+	for p := range e.local {
+		seen[p] = true
+	}
+	prefixes := make([]netip.Prefix, 0, len(seen))
+	for p := range seen {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return lessPrefix(prefixes[i], prefixes[j]) })
+	cs := append([]uint64(nil), cause...)
+	for _, p := range prefixes {
+		p := p
+		e.sched.After(e.timing.FIBDelay, func() { e.advertise(p, cs) })
+	}
+}
+
 // HandleUpdate processes a neighbor's triggered update.
 func (e *Instance) HandleUpdate(from netip.Addr, msg Message, sendIO uint64) {
 	n := e.neighbors[from]

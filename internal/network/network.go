@@ -590,12 +590,16 @@ func (n *Network) SetLinkUp(a, b string, up bool) ([]capture.IO, error) {
 		if r.RIP != nil {
 			if up {
 				r.RIP.Originate(end.Prefix, cause)
+				r.RIP.NeighborUp(end.Peer().Addr, cause)
 			} else {
 				r.RIP.NeighborDown(end.Peer().Addr, cause)
 			}
 		}
 		if r.EIGRP != nil {
-			if !up {
+			if up {
+				r.EIGRP.Originate(end.Prefix, cause)
+				r.EIGRP.NeighborUp(end.Peer().Addr, cause)
+			} else {
 				r.EIGRP.NeighborDown(end.Peer().Addr, cause)
 			}
 		}
@@ -613,6 +617,42 @@ func (n *Network) SetLinkUp(a, b string, up bool) ([]capture.IO, error) {
 		}
 	}
 	return ios, nil
+}
+
+// ResetBGPSession hard-clears the BGP session between routers a and b at
+// both ends (the operator's "clear ip bgp"): routes learned over the
+// session are purged immediately, and the session re-establishes after
+// BGPSessionDelay with each side re-advertising its table. Resetting both
+// ends is essential — a one-sided reset would lose the peer's routes
+// forever, since BGP only re-advertises on session establishment.
+func (n *Network) ResetBGPSession(a, b string) error {
+	ra, rb := n.routers[a], n.routers[b]
+	if ra == nil || rb == nil || ra.BGP == nil || rb.BGP == nil {
+		return fmt.Errorf("network: no BGP speakers for session %s-%s", a, b)
+	}
+	var sa, sb *bgp.Session
+	for _, s := range ra.BGP.Sessions() {
+		if s.PeerName == b {
+			sa = s
+			break
+		}
+	}
+	for _, s := range rb.BGP.Sessions() {
+		if s.PeerName == a {
+			sb = s
+			break
+		}
+	}
+	if sa == nil || sb == nil {
+		return fmt.Errorf("network: no BGP session %s-%s", a, b)
+	}
+	ra.BGP.PeerDown(sa.PeerAddr)
+	rb.BGP.PeerDown(sb.PeerAddr)
+	n.Sched.After(n.BGPSessionDelay, func() {
+		ra.BGP.PeerUp(sa.PeerAddr)
+		rb.BGP.PeerUp(sb.PeerAddr)
+	})
+	return nil
 }
 
 // FIBSnapshot returns every router's FIB keyed by router name.

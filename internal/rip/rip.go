@@ -138,6 +138,25 @@ func (r *Instance) NeighborDown(addr netip.Addr, cause ...uint64) {
 	}
 }
 
+// NeighborUp restores the adjacency after a link recovery and schedules
+// triggered updates for the full table, so the revived neighbor relearns
+// our routes (and, symmetrically, re-advertises its own).
+func (r *Instance) NeighborUp(addr netip.Addr, cause ...uint64) {
+	n := r.neighbors[addr]
+	if n == nil || n.Up {
+		return
+	}
+	n.Up = true
+	var prefixes []netip.Prefix
+	for p := range r.table {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return lessPrefix(prefixes[i], prefixes[j]) })
+	for _, p := range prefixes {
+		r.scheduleAdvert(p, cause)
+	}
+}
+
 // HandleUpdate processes a triggered update from a neighbor.
 func (r *Instance) HandleUpdate(from netip.Addr, msg Message, sendIO uint64) {
 	n := r.neighbors[from]

@@ -1,0 +1,401 @@
+// The four differential oracles checked after every convergence round.
+
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"runtime"
+	"sort"
+	"time"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/config"
+	"hbverify/internal/dataplane"
+	"hbverify/internal/eqclass"
+	"hbverify/internal/fib"
+	"hbverify/internal/hbg"
+	"hbverify/internal/route"
+	"hbverify/internal/snapshot"
+	"hbverify/internal/verify"
+)
+
+// Oracle names, as they appear in failures and artifacts.
+const (
+	OracleIncremental = "incremental-vs-full"
+	OracleSnapshot    = "snapshot-consistency"
+	OracleChecker     = "checker-determinism"
+	OracleRepair      = "repair-rollback"
+)
+
+// oracleIncrementalVsFull asserts the incremental strategy's graph is
+// node- and edge-identical to a fresh full inference over the same
+// stripped log.
+func (h *harness) oracleIncrementalVsFull(round int) *Failure {
+	ios := capture.StripOracle(h.w.net.Log.All())
+	got := h.strat.Infer(ios)
+	want := h.full.Infer(ios)
+
+	gotNodes, wantNodes := nodeIDs(got.Nodes()), nodeIDs(want.Nodes())
+	if !reflect.DeepEqual(gotNodes, wantNodes) {
+		return &Failure{Oracle: OracleIncremental, Round: round, Detail: fmt.Sprintf(
+			"node sets differ: incremental=%d full=%d (first diff: %s)",
+			len(gotNodes), len(wantNodes), firstIDDiff(gotNodes, wantNodes))}
+	}
+	gotEdges, wantEdges := got.Edges(), want.Edges()
+	if !reflect.DeepEqual(gotEdges, wantEdges) {
+		return &Failure{Oracle: OracleIncremental, Round: round, Detail: fmt.Sprintf(
+			"edge sets differ: incremental=%d full=%d (first diff: %s)",
+			len(gotEdges), len(wantEdges), firstEdgeDiff(gotEdges, wantEdges))}
+	}
+	return nil
+}
+
+func nodeIDs(ios []capture.IO) []uint64 {
+	out := make([]uint64, len(ios))
+	for i, io := range ios {
+		out[i] = io.ID
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func firstIDDiff(a, b []uint64) string {
+	in := func(s []uint64, v uint64) bool {
+		i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+		return i < len(s) && s[i] == v
+	}
+	for _, v := range a {
+		if !in(b, v) {
+			return fmt.Sprintf("io %d only in incremental", v)
+		}
+	}
+	for _, v := range b {
+		if !in(a, v) {
+			return fmt.Sprintf("io %d only in full", v)
+		}
+	}
+	return "ordering"
+}
+
+func firstEdgeDiff(a, b []hbg.Edge) string {
+	key := func(e hbg.Edge) string { return fmt.Sprintf("%d->%d", e.From, e.To) }
+	am, bm := map[string]bool{}, map[string]bool{}
+	for _, e := range a {
+		am[key(e)] = true
+	}
+	for _, e := range b {
+		bm[key(e)] = true
+	}
+	for k := range am {
+		if !bm[k] {
+			return k + " only in incremental"
+		}
+	}
+	for k := range bm {
+		if !am[k] {
+			return k + " only in full"
+		}
+	}
+	return "ordering"
+}
+
+// oracleSnapshots checks the §5 snapshot machinery three ways:
+// (a) replaying every captured FIB event reproduces the live FIBs exactly
+// (no mixed-generation entries can survive a faithful replay);
+// (b) a randomly lagged collection cut, extended by ConsistentCollect,
+// reaches consistency whenever full-log inference itself is consistent;
+// (c) any forwarding loop visible in the collected snapshot existed in
+// some instantaneous ground-truth state — phantom loops are forbidden.
+func (h *harness) oracleSnapshots(round int) *Failure {
+	all := h.w.net.Log.All()
+	stripped := capture.StripOracle(all)
+
+	// (a) full-log replay == live FIBs.
+	replayed := snapshot.BuildFIBs(stripped)
+	live := h.w.net.FIBSnapshot()
+	if detail := diffFIBs(replayed, live); detail != "" {
+		return &Failure{Oracle: OracleSnapshot, Round: round,
+			Detail: "FIB replay diverges from live tables: " + detail}
+	}
+
+	// (b) lagged-cut collection reaches consistency.
+	rng := deriveRNG(h.cfg.Seed, int64(round)+1)
+	cut := snapshot.Cut{}
+	now := h.w.net.Sched.Now()
+	for _, r := range h.w.net.Routers() {
+		if rng.Intn(2) == 0 {
+			cut[r.Name] = now.Add(-randDuration(rng, 600))
+		}
+	}
+	collected, _, res := snapshot.ConsistentCollect(stripped, cut, h.full.Infer, h.w.isExternal)
+	if !res.Consistent {
+		// Tolerate inference misses the full log shows too; only an
+		// inconsistency *introduced* by cut collection is a failure.
+		if full := snapshot.Check(h.full.Infer(stripped), h.w.isExternal); full.Consistent {
+			return &Failure{Oracle: OracleSnapshot, Round: round, Detail: fmt.Sprintf(
+				"extended cut stays inconsistent (missing %d, waiting for %v) though the full log is consistent",
+				len(res.Missing), res.WaitFor)}
+		}
+	}
+
+	// (c) no phantom loops.
+	fibs := snapshot.BuildFIBs(collected)
+	w := dataplane.NewWalker(h.w.net.Topo, dataplane.SnapshotView(fibs))
+	for _, src := range h.w.internals {
+		for _, p := range []netip.Prefix{PrefixP, PrefixQ} {
+			walk := w.ForwardPrefix(src, p)
+			if walk.Outcome == dataplane.Looped && !h.loopWasReal(src, dataplane.Representative(p)) {
+				return &Failure{Oracle: OracleSnapshot, Round: round, Detail: fmt.Sprintf(
+					"phantom loop in collected snapshot: %s from %s (%s), never present in any instantaneous state",
+					p, src, walk)}
+			}
+		}
+	}
+	return nil
+}
+
+// loopWasReal replays the FIB event stream in true-time order and reports
+// whether forwarding from src to dst looped in any instantaneous state.
+// It uses the simulator's oracle timestamps on purpose: this is the
+// ground-truth side of the differential check.
+func (h *harness) loopWasReal(src string, dst netip.Addr) bool {
+	var evs []capture.IO
+	for _, io := range h.w.net.Log.All() {
+		if io.Type == capture.FIBInstall || io.Type == capture.FIBRemove {
+			evs = append(evs, io)
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].TrueTime != evs[j].TrueTime {
+			return evs[i].TrueTime < evs[j].TrueTime
+		}
+		return evs[i].ID < evs[j].ID
+	})
+	fibs := map[string]map[netip.Prefix]fib.Entry{}
+	for _, r := range h.w.net.Routers() {
+		fibs[r.Name] = map[netip.Prefix]fib.Entry{}
+	}
+	w := dataplane.NewWalker(h.w.net.Topo, dataplane.SnapshotView(fibs))
+	for _, io := range evs {
+		if io.Type == capture.FIBInstall {
+			fibs[io.Router][io.Prefix] = fib.Entry{Prefix: io.Prefix, NextHop: io.NextHop, Proto: io.Proto}
+		} else {
+			delete(fibs[io.Router], io.Prefix)
+		}
+		// Only events on a prefix covering dst can change dst's forwarding.
+		if io.Prefix.Contains(dst) && w.Forward(src, dst).Outcome == dataplane.Looped {
+			return true
+		}
+	}
+	return false
+}
+
+// diffFIBs compares a replayed FIB set against the live tables on the
+// fields a FIB event carries (prefix, next hop, protocol).
+func diffFIBs(replayed map[string]map[netip.Prefix]fib.Entry, live map[string]map[netip.Prefix]fib.Entry) string {
+	for router, l := range live {
+		r := replayed[router]
+		if len(r) != len(l) {
+			return fmt.Sprintf("%s: %d replayed entries vs %d live", router, len(r), len(l))
+		}
+		for p, le := range l {
+			re, ok := r[p]
+			if !ok {
+				return fmt.Sprintf("%s: %s live but not replayed", router, p)
+			}
+			if re.NextHop != le.NextHop || re.Proto != le.Proto {
+				return fmt.Sprintf("%s: %s replayed %v/%v vs live %v/%v",
+					router, p, re.NextHop, re.Proto, le.NextHop, le.Proto)
+			}
+		}
+	}
+	for router, r := range replayed {
+		if _, ok := live[router]; !ok && len(r) > 0 {
+			return fmt.Sprintf("%s: replayed but no live table", router)
+		}
+	}
+	return ""
+}
+
+// policies is the scenario's standing policy set: reachability, loop- and
+// blackhole-freedom for both destination prefixes from every internal
+// router. Violations are expected under churn — the oracles compare
+// verdicts, not validity.
+func (h *harness) policies() []verify.Policy {
+	var out []verify.Policy
+	for _, p := range []netip.Prefix{PrefixP, PrefixQ} {
+		out = append(out,
+			verify.Policy{Kind: verify.Reachable, Prefix: p},
+			verify.Policy{Kind: verify.NoLoop, Prefix: p},
+			verify.Policy{Kind: verify.NoBlackhole, Prefix: p})
+	}
+	return out
+}
+
+func (h *harness) liveWalker() *dataplane.Walker {
+	tables := map[string]*fib.Table{}
+	for _, r := range h.w.net.Routers() {
+		tables[r.Name] = r.FIB
+	}
+	return dataplane.NewWalker(h.w.net.Topo, dataplane.TableView(tables))
+}
+
+// oracleCheckerDeterminism asserts verify.Checker reports identical
+// violation lists for 1 worker, GOMAXPROCS workers, and a repeated run,
+// and that eqclass sharding flags the same (policy, source) pairs.
+func (h *harness) oracleCheckerDeterminism(round int) *Failure {
+	pols := h.policies()
+	walker := h.liveWalker()
+	run := func(workers int) verify.Report {
+		c := verify.NewChecker(walker, h.w.internals)
+		c.Workers = workers
+		return c.Check(pols)
+	}
+	serial := run(1)
+	parallel := run(runtime.GOMAXPROCS(0))
+	if !reflect.DeepEqual(serial.Violations, parallel.Violations) {
+		return &Failure{Oracle: OracleChecker, Round: round, Detail: fmt.Sprintf(
+			"worker counts disagree: 1 worker found %d violations, %d workers found %d",
+			len(serial.Violations), runtime.GOMAXPROCS(0), len(parallel.Violations))}
+	}
+	if again := run(1); !reflect.DeepEqual(serial.Violations, again.Violations) {
+		return &Failure{Oracle: OracleChecker, Round: round, Detail: fmt.Sprintf(
+			"repeated runs disagree: %d vs %d violations", len(serial.Violations), len(again.Violations))}
+	}
+
+	sharded := verify.NewChecker(walker, h.w.internals)
+	sharded.ShardByClasses(eqclass.Compute(h.w.net.FIBSnapshot(), []netip.Prefix{PrefixP, PrefixQ}))
+	shardedRep := sharded.Check(pols)
+	if d := diffVerdictSets(serial, shardedRep); d != "" {
+		return &Failure{Oracle: OracleChecker, Round: round,
+			Detail: "eqclass sharding changes verdicts: " + d}
+	}
+	return nil
+}
+
+// diffVerdictSets compares which (policy, source) checks failed; sharded
+// walks probe a different representative header, so walk contents may
+// legitimately differ while verdicts may not.
+func diffVerdictSets(a, b verify.Report) string {
+	key := func(v verify.Violation) string { return v.Policy.String() + "|" + v.Source }
+	am, bm := map[string]bool{}, map[string]bool{}
+	for _, v := range a.Violations {
+		am[key(v)] = true
+	}
+	for _, v := range b.Violations {
+		bm[key(v)] = true
+	}
+	for k := range am {
+		if !bm[k] {
+			return k + " fails unsharded only"
+		}
+	}
+	for k := range bm {
+		if !am[k] {
+			return k + " fails sharded only"
+		}
+	}
+	return ""
+}
+
+// faultNextHop is an unreachable next hop (TEST-NET-1); a static route
+// through it wins FIB arbitration at distance 1 and blackholes the prefix.
+var faultNextHop = netip.MustParseAddr("192.0.2.254")
+
+// oracleRepairRollback injects a faulty static route for P on a router
+// that can currently reach P, lets the violation be detected and traced
+// through the HBG, rolls back the root-cause config version, and asserts
+// the network reconverges to the exact pre-fault data plane.
+func (h *harness) oracleRepairRollback(round int) *Failure {
+	// Let the round's churn age out of the 500ms rule window so the fault's
+	// FIB update can only be attributed to the fault config change.
+	if err := advance(h.w.net, roundGap); err != nil {
+		return &Failure{Oracle: OracleRepair, Round: round, Detail: fmt.Sprintf("advance: %v", err)}
+	}
+	walker := h.liveWalker()
+	live := h.w.net.FIBSnapshot()
+	victim := ""
+	for _, src := range h.w.internals {
+		// A router that owns P as a connected stub is immune to the fault:
+		// the connected route's distance 0 beats the static's 1.
+		if live[src][PrefixP].Proto == route.ProtoConnected {
+			continue
+		}
+		if walker.ForwardPrefix(src, PrefixP).Outcome == dataplane.Delivered {
+			victim = src
+			break
+		}
+	}
+	if victim == "" {
+		return nil // P unreachable everywhere (e.g. shrink stranded a partition): nothing to repair
+	}
+
+	pre := h.w.net.FIBSnapshot()
+	if _, err := h.w.net.UpdateConfig(victim, "inject faulty static for P", func(c *config.Router) {
+		c.Statics = append(c.Statics, config.StaticRoute{Prefix: PrefixP, NextHop: faultNextHop})
+	}); err != nil {
+		return &Failure{Oracle: OracleRepair, Round: round, Detail: fmt.Sprintf("inject: %v", err)}
+	}
+	if err := h.w.net.Run(); err != nil {
+		return &Failure{Oracle: OracleRepair, Round: round, Detail: fmt.Sprintf("fault convergence: %v", err)}
+	}
+
+	pols := []verify.Policy{{Kind: verify.NoBlackhole, Prefix: PrefixP, Sources: []string{victim}}}
+	d := h.engine.Detect(pols)
+	if d.Report.OK() {
+		return &Failure{Oracle: OracleRepair, Round: round,
+			Detail: fmt.Sprintf("injected blackhole on %s not detected", victim)}
+	}
+	if h.cfg.Bug != BugSkipRollback {
+		if err := h.engine.Repair(d); err != nil {
+			return &Failure{Oracle: OracleRepair, Round: round, Detail: fmt.Sprintf(
+				"repair failed on %s: %v (fault=%s, %d roots)", victim, err, d.Fault, len(d.Roots))}
+		}
+		if !d.RolledBack || d.RollbackRouter != victim {
+			return &Failure{Oracle: OracleRepair, Round: round,
+				Detail: fmt.Sprintf("rollback targeted %q, want %q", d.RollbackRouter, victim)}
+		}
+	}
+	if err := h.w.net.Run(); err != nil {
+		return &Failure{Oracle: OracleRepair, Round: round, Detail: fmt.Sprintf("repair convergence: %v", err)}
+	}
+
+	post := h.w.net.FIBSnapshot()
+	if detail := diffSnapshots(pre, post); detail != "" {
+		return &Failure{Oracle: OracleRepair, Round: round,
+			Detail: "data plane differs from pre-fault state after repair: " + detail}
+	}
+	if rep := verify.NewChecker(h.liveWalker(), h.w.internals).Check(pols); !rep.OK() {
+		return &Failure{Oracle: OracleRepair, Round: round,
+			Detail: "violation persists after repair: " + rep.Violations[0].String()}
+	}
+	return nil
+}
+
+// diffSnapshots compares two live FIB snapshots entry-for-entry.
+func diffSnapshots(a, b map[string]map[netip.Prefix]fib.Entry) string {
+	for router, at := range a {
+		bt := b[router]
+		if len(at) != len(bt) {
+			return fmt.Sprintf("%s: %d entries before vs %d after", router, len(at), len(bt))
+		}
+		for p, ae := range at {
+			be, ok := bt[p]
+			if !ok {
+				return fmt.Sprintf("%s: %s missing after repair", router, p)
+			}
+			if ae != be {
+				return fmt.Sprintf("%s: %s was %s, now %s", router, p, ae, be)
+			}
+		}
+	}
+	return ""
+}
+
+// randDuration draws a uniform duration in [0, maxMillis) milliseconds.
+func randDuration(rng *rand.Rand, maxMillis int64) time.Duration {
+	return time.Duration(rng.Int63n(maxMillis * int64(time.Millisecond)))
+}

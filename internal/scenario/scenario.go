@@ -1,0 +1,238 @@
+// Package scenario is the randomized correctness harness: it generates
+// seeded deterministic networks, drives them through churn schedules, and
+// checks four differential oracles after every convergence round —
+//
+//  1. incremental-vs-full: hbr.Incremental yields a node- and
+//     edge-identical HBG to a fresh full inference over the same log;
+//  2. snapshot-consistency: snapshots assembled from HBR cuts replay to
+//     the live FIBs, reach §5-consistency from lagged cuts, and show no
+//     loop that never existed in any instantaneous ground-truth state;
+//  3. checker-determinism: verify.Checker verdicts are identical across
+//     worker counts, repeated runs, and eqclass sharding;
+//  4. repair-rollback: after injecting a faulty config and repairing it
+//     via HBG root-cause rollback, the network reconverges to the exact
+//     pre-fault data plane.
+//
+// A failure carries the seed and churn schedule; Shrink greedily drops
+// events until the failure is minimal, and the artifact replays with
+// `go run ./cmd/replay -schedule <file>`.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/hbg"
+	"hbverify/internal/hbr"
+	"hbverify/internal/metrics"
+	"hbverify/internal/network"
+	"hbverify/internal/repair"
+)
+
+// Known injectable bugs, used to prove the oracles can fail.
+const (
+	// BugStaleCache freezes the inference cache at its first result, as if
+	// the incremental layer never noticed the log growing.
+	BugStaleCache = "stale-cache"
+	// BugSkipRollback detects the violation but silently skips applying
+	// the repair rollback, as a repair engine that reports success without
+	// acting would.
+	BugSkipRollback = "skip-rollback"
+)
+
+// Config describes one deterministic scenario. The zero values of Shape,
+// Mix, Routers, and Rounds are derived from Seed; a nil Schedule is
+// generated from Seed, while a non-nil (even empty) Schedule is replayed
+// verbatim — that distinction is what makes shrunk artifacts exact.
+type Config struct {
+	Seed     int64   `json:"seed"`
+	Shape    string  `json:"shape,omitempty"`
+	Mix      string  `json:"mix,omitempty"`
+	Routers  int     `json:"routers,omitempty"`
+	Rounds   int     `json:"rounds,omitempty"`
+	Bug      string  `json:"bug,omitempty"`
+	Schedule []Event `json:"schedule,omitempty"`
+}
+
+// Normalize fills unset fields deterministically from Seed.
+func Normalize(cfg Config) Config {
+	rng := deriveRNG(cfg.Seed, 0)
+	shape := Shapes[rng.Intn(len(Shapes))]
+	mix := Mixes[rng.Intn(len(Mixes))]
+	routers := 4 + rng.Intn(3)
+	if cfg.Shape == "" {
+		cfg.Shape = shape
+	}
+	if cfg.Mix == "" {
+		cfg.Mix = mix
+	}
+	if cfg.Routers == 0 {
+		cfg.Routers = routers
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 3
+	}
+	return cfg
+}
+
+// Materialize normalizes cfg and, when the schedule is unset, fills it
+// with the generated churn — the form Shrink and artifacts need.
+func Materialize(cfg Config) (Config, error) {
+	cfg = Normalize(cfg)
+	if cfg.Schedule != nil {
+		return cfg, nil
+	}
+	w, err := buildWorld(cfg)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Schedule = generateSchedule(cfg, w)
+	return cfg, nil
+}
+
+// Failure is one oracle violation, tied to the round that produced it.
+type Failure struct {
+	Oracle string `json:"oracle"`
+	Round  int    `json:"round"`
+	Detail string `json:"detail"`
+}
+
+func (f Failure) Error() string {
+	return fmt.Sprintf("oracle %s failed at round %d: %s", f.Oracle, f.Round, f.Detail)
+}
+
+// Result summarizes one scenario run.
+type Result struct {
+	Config  Config
+	Failure *Failure
+	// IOs is the final capture-log length; Rounds is how many rounds
+	// completed before the run ended.
+	IOs    int
+	Rounds int
+}
+
+// roundGap separates rounds (and the oracle-4 fault injection) in virtual
+// time. It must exceed hbr.Rules' 500ms same-router window so the
+// injected fault's FIB update cannot be mis-attributed to leftover churn.
+const roundGap = 2 * time.Second
+
+// Run executes the scenario and returns the first oracle failure, if any.
+func Run(cfg Config) *Result {
+	cfg = Normalize(cfg)
+	res := &Result{Config: cfg}
+	fail := func(oracle string, round int, format string, args ...interface{}) *Result {
+		res.Failure = &Failure{Oracle: oracle, Round: round, Detail: fmt.Sprintf(format, args...)}
+		if res.Config.Schedule == nil {
+			res.Config.Schedule = []Event{}
+		}
+		return res
+	}
+
+	w, err := buildWorld(cfg)
+	if err != nil {
+		return fail("harness", -1, "build: %v", err)
+	}
+	if cfg.Schedule == nil {
+		cfg.Schedule = generateSchedule(cfg, w)
+		res.Config.Schedule = cfg.Schedule
+	}
+	w.net.Start()
+	if err := w.net.Run(); err != nil {
+		return fail("convergence", -1, "initial convergence: %v", err)
+	}
+
+	h := newHarness(cfg, w)
+	byRound := map[int][]Event{}
+	for _, ev := range cfg.Schedule {
+		byRound[ev.Round] = append(byRound[ev.Round], ev)
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		base := w.net.Sched.Now().Add(roundGap)
+		for _, ev := range byRound[round] {
+			ev := ev
+			w.net.Sched.At(base.Add(time.Duration(ev.At)), func() { applyEvent(w, ev) })
+		}
+		if err := w.net.Run(); err != nil {
+			return fail("convergence", round, "churn convergence: %v", err)
+		}
+		if f := h.checkRound(round); f != nil {
+			res.Failure = f
+			res.IOs = w.net.Log.Len()
+			res.Rounds = round
+			return res
+		}
+		res.Rounds = round + 1
+	}
+	res.IOs = w.net.Log.Len()
+	return res
+}
+
+// harness holds the inference / verification / repair stack under test.
+// It mirrors the production wiring in hbverify.NewPipeline but owns its
+// pieces so bugs can be injected between them.
+type harness struct {
+	cfg    Config
+	w      *world
+	reg    *metrics.Registry
+	inc    *hbr.Incremental
+	strat  hbr.Strategy
+	full   hbr.Rules
+	engine *repair.Engine
+}
+
+func newHarness(cfg Config, w *world) *harness {
+	h := &harness{cfg: cfg, w: w, reg: metrics.NewRegistry()}
+	h.inc = hbr.NewIncremental(hbr.Rules{}, h.reg)
+	h.strat = h.inc
+	if cfg.Bug == BugStaleCache {
+		h.strat = &staleStrategy{base: h.strat}
+	}
+	h.engine = repair.NewEngine(w.net, h.infer, w.internals)
+	h.engine.Metrics = h.reg
+	h.engine.Invalidate = h.inc.Invalidate
+	return h
+}
+
+// infer is the harness's production inference path: the (possibly bugged)
+// incremental strategy over the oracle-stripped log.
+func (h *harness) infer(ios []capture.IO) *hbg.Graph {
+	return h.strat.Infer(capture.StripOracle(ios))
+}
+
+// checkRound runs the four oracles in order and returns the first failure.
+func (h *harness) checkRound(round int) *Failure {
+	if f := h.oracleIncrementalVsFull(round); f != nil {
+		return f
+	}
+	if f := h.oracleSnapshots(round); f != nil {
+		return f
+	}
+	if f := h.oracleCheckerDeterminism(round); f != nil {
+		return f
+	}
+	return h.oracleRepairRollback(round)
+}
+
+// staleStrategy is BugStaleCache: it computes once and then returns the
+// frozen graph forever.
+type staleStrategy struct {
+	base hbr.Strategy
+	g    *hbg.Graph
+}
+
+func (s *staleStrategy) Name() string { return "stale(" + s.base.Name() + ")" }
+
+func (s *staleStrategy) Infer(ios []capture.IO) *hbg.Graph {
+	if s.g == nil {
+		s.g = s.base.Infer(ios)
+	}
+	return s.g
+}
+
+// advance moves virtual time forward by d even when the event queue is
+// empty (RunUntil alone never advances the clock past the last event).
+func advance(n *network.Network, d time.Duration) error {
+	n.Sched.At(n.Sched.Now().Add(d), func() {})
+	return n.Run()
+}

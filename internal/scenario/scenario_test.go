@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// rounds is the opt-in soak knob: `go test ./internal/scenario
+// -scenario.rounds=25` runs each seed through 25 churn rounds instead of
+// the quick default.
+var rounds = flag.Int("scenario.rounds", 0, "churn rounds per scenario seed (0 = quick default)")
+
+// TestScenario drives ten seeded scenarios through churn and the four
+// differential oracles. Each seed is a subtest so a failure names the
+// seed directly.
+func TestScenario(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		seed := seed
+		norm := Normalize(Config{Seed: seed})
+		t.Run(fmt.Sprintf("seed%d-%s-%s", seed, norm.Shape, norm.Mix), func(t *testing.T) {
+			cfg := Config{Seed: seed, Rounds: *rounds}
+			res := Run(cfg)
+			if res.Failure != nil {
+				_, report := ReportFailure(res.Config, *res.Failure, t.TempDir())
+				t.Fatal(report)
+			}
+			if res.IOs == 0 {
+				t.Fatalf("seed %d: no IOs captured", seed)
+			}
+		})
+	}
+}
+
+// TestScenarioDeterminism re-runs one scenario and requires the identical
+// materialized schedule and capture-log length — the property replay and
+// shrinking depend on.
+func TestScenarioDeterminism(t *testing.T) {
+	cfg, err := Materialize(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := Run(cfg), Run(cfg)
+	if a.Failure != nil || b.Failure != nil {
+		t.Fatalf("unexpected failures: %v / %v", a.Failure, b.Failure)
+	}
+	if a.IOs != b.IOs || a.Rounds != b.Rounds {
+		t.Fatalf("runs diverge: %d IOs/%d rounds vs %d IOs/%d rounds", a.IOs, a.Rounds, b.IOs, b.Rounds)
+	}
+	if !reflect.DeepEqual(a.Config.Schedule, b.Config.Schedule) {
+		t.Fatal("materialized schedules diverge between runs")
+	}
+}
+
+// forceBug runs a seeded scenario with a known bug injected and requires
+// the named oracle (or oracles) to catch it, the shrink to produce a
+// reproducible artifact, and the artifact to reproduce the failure.
+func forceBug(t *testing.T, bug string, oracles ...string) {
+	t.Helper()
+	cfg := Config{Seed: 3, Bug: bug}
+	res := Run(cfg)
+	if res.Failure == nil {
+		t.Fatalf("bug %q not caught by any oracle", bug)
+	}
+	found := false
+	for _, o := range oracles {
+		if res.Failure.Oracle == o {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bug %q caught by oracle %q, want one of %v", bug, res.Failure.Oracle, oracles)
+	}
+
+	a, report := ReportFailure(res.Config, *res.Failure, t.TempDir())
+	t.Logf("forced-bug report:\n%s", report)
+	if len(a.Config.Schedule) > len(res.Config.Schedule) {
+		t.Fatalf("shrink grew the schedule: %d > %d", len(a.Config.Schedule), len(res.Config.Schedule))
+	}
+
+	// The artifact must reproduce: round-trip through JSON and re-run.
+	data, err := json.Marshal(a.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schedule == nil {
+		back.Schedule = []Event{}
+	}
+	rerun := Run(back)
+	if rerun.Failure == nil {
+		t.Fatal("minimized artifact no longer fails")
+	}
+	if rerun.Failure.Oracle != a.Failure.Oracle {
+		t.Fatalf("artifact fails oracle %q, original failed %q", rerun.Failure.Oracle, a.Failure.Oracle)
+	}
+}
+
+// TestForcedStaleCache proves the incremental-vs-full oracle catches a
+// cache that never refreshes. (With the frozen graph the repair engine can
+// also trip first on round 0, before the cache visibly diverges.)
+func TestForcedStaleCache(t *testing.T) {
+	forceBug(t, BugStaleCache, OracleIncremental, OracleRepair)
+}
+
+// TestForcedSkipRollback proves the repair-rollback oracle catches a
+// repair engine that never applies its rollback.
+func TestForcedSkipRollback(t *testing.T) {
+	forceBug(t, BugSkipRollback, OracleRepair)
+}
+
+// TestShrinkPreservesFailure checks the shrinker's contract directly on a
+// forced failure: the minimized config still fails the same oracle.
+func TestShrinkPreservesFailure(t *testing.T) {
+	cfg, err := Materialize(Config{Seed: 5, Bug: BugSkipRollback})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(cfg)
+	if res.Failure == nil {
+		t.Fatal("forced bug did not fail")
+	}
+	small := Shrink(cfg, *res.Failure, 0)
+	if len(small.Schedule) > len(cfg.Schedule) {
+		t.Fatal("shrink grew the schedule")
+	}
+	again := Run(small)
+	if again.Failure == nil || again.Failure.Oracle != res.Failure.Oracle {
+		t.Fatalf("shrunk config failure = %v, want oracle %s", again.Failure, res.Failure.Oracle)
+	}
+}

@@ -1,0 +1,181 @@
+// Churn schedules: the randomized event sequences a scenario injects
+// between convergence rounds, and their application to a running network.
+// Events are plain JSON-friendly data so a failure artifact replays
+// byte-identically from the (seed, schedule) pair alone.
+
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"hbverify/internal/config"
+)
+
+// Event kinds.
+const (
+	KindLinkDown     = "link-down"
+	KindLinkUp       = "link-up"
+	KindSessionReset = "session-reset"
+	KindConfigLP     = "config-lp"
+	KindStaticAdd    = "static-add"
+	KindStaticDel    = "static-del"
+)
+
+// Event is one scheduled churn action. A and B name routers (for link and
+// session events) or router and neighbor address (for config-lp); At is
+// the virtual-time offset from the round's start.
+type Event struct {
+	Round   int    `json:"round"`
+	At      int64  `json:"at"` // nanoseconds into the round
+	Kind    string `json:"kind"`
+	A       string `json:"a,omitempty"`
+	B       string `json:"b,omitempty"`
+	Prefix  string `json:"prefix,omitempty"`
+	NextHop string `json:"nextHop,omitempty"`
+	Value   uint32 `json:"value,omitempty"`
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("r%d+%s %s", e.Round, time.Duration(e.At), e.Kind)
+	if e.A != "" {
+		s += " " + e.A
+	}
+	if e.B != "" {
+		s += "/" + e.B
+	}
+	if e.Prefix != "" {
+		s += " " + e.Prefix
+	}
+	if e.NextHop != "" {
+		s += " via " + e.NextHop
+	}
+	if e.Kind == KindConfigLP {
+		s += fmt.Sprintf(" lp=%d", e.Value)
+	}
+	return s
+}
+
+// generateSchedule draws a churn schedule for cfg over the given world.
+// Link flaps emit a down/up pair so greedy shrinking can strand a link in
+// either state; session resets and config edits are single events. The
+// draw depends only on (Seed, Rounds) and the (deterministic) world.
+func generateSchedule(cfg Config, w *world) []Event {
+	rng := deriveRNG(cfg.Seed, 0x5eed)
+	evs := []Event{}
+	var liveStatics []Event
+	for round := 0; round < cfg.Rounds; round++ {
+		for k := 0; k < 1+rng.Intn(2); k++ {
+			switch pickKind(rng, w, liveStatics) {
+			case KindLinkDown:
+				l := w.links[rng.Intn(len(w.links))]
+				down := rng.Int63n(int64(100 * time.Millisecond))
+				up := down + int64(200*time.Millisecond) + rng.Int63n(int64(300*time.Millisecond))
+				evs = append(evs,
+					Event{Round: round, At: down, Kind: KindLinkDown, A: l[0], B: l[1]},
+					Event{Round: round, At: up, Kind: KindLinkUp, A: l[0], B: l[1]})
+			case KindSessionReset:
+				p := w.ibgp[rng.Intn(len(w.ibgp))]
+				evs = append(evs, Event{
+					Round: round, At: rng.Int63n(int64(200 * time.Millisecond)),
+					Kind: KindSessionReset, A: p[0], B: p[1]})
+			case KindConfigLP:
+				t := w.lpTargets[rng.Intn(len(w.lpTargets))]
+				evs = append(evs, Event{
+					Round: round, At: rng.Int63n(int64(200 * time.Millisecond)),
+					Kind: KindConfigLP, A: t[0], B: t[1], Value: uint32(10 + rng.Intn(190))})
+			case KindStaticAdd:
+				router := w.internals[rng.Intn(len(w.internals))]
+				ev := Event{
+					Round: round, At: rng.Int63n(int64(200 * time.Millisecond)),
+					Kind: KindStaticAdd, A: router,
+					Prefix:  fmt.Sprintf("198.18.%d.0/24", round%250),
+					NextHop: w.staticNH[router],
+				}
+				evs = append(evs, ev)
+				liveStatics = append(liveStatics, ev)
+			case KindStaticDel:
+				i := rng.Intn(len(liveStatics))
+				add := liveStatics[i]
+				liveStatics = append(liveStatics[:i], liveStatics[i+1:]...)
+				evs = append(evs, Event{
+					Round: round, At: rng.Int63n(int64(200 * time.Millisecond)),
+					Kind: KindStaticDel, A: add.A, Prefix: add.Prefix})
+			}
+		}
+	}
+	return evs
+}
+
+// pickKind draws the next event kind from the kinds the world supports.
+func pickKind(rng *rand.Rand, w *world, liveStatics []Event) string {
+	kinds := []string{KindLinkDown, KindStaticAdd}
+	if len(w.ibgp) > 0 {
+		kinds = append(kinds, KindSessionReset)
+	}
+	if len(w.lpTargets) > 0 {
+		kinds = append(kinds, KindConfigLP)
+	}
+	if len(liveStatics) > 0 {
+		kinds = append(kinds, KindStaticDel)
+	}
+	return kinds[rng.Intn(len(kinds))]
+}
+
+// applyEvent performs one churn action immediately. Events made redundant
+// by shrinking (a link already in the requested state, a missing static)
+// are no-ops, never errors, so every schedule subset stays runnable.
+func applyEvent(w *world, ev Event) {
+	switch ev.Kind {
+	case KindLinkDown:
+		_, _ = w.net.SetLinkUp(ev.A, ev.B, false)
+	case KindLinkUp:
+		_, _ = w.net.SetLinkUp(ev.A, ev.B, true)
+	case KindSessionReset:
+		_ = w.net.ResetBGPSession(ev.A, ev.B)
+	case KindConfigLP:
+		addr, err := netip.ParseAddr(ev.B)
+		if err != nil {
+			return
+		}
+		_, _ = w.net.UpdateConfig(ev.A, fmt.Sprintf("set lp %d on %s", ev.Value, ev.B), func(c *config.Router) {
+			if c.BGP == nil {
+				return
+			}
+			if nb := c.BGP.Neighbor(addr); nb != nil {
+				nb.LocalPref = ev.Value
+			}
+		})
+	case KindStaticAdd:
+		p, err1 := netip.ParsePrefix(ev.Prefix)
+		nh, err2 := netip.ParseAddr(ev.NextHop)
+		if err1 != nil || err2 != nil {
+			return
+		}
+		_, _ = w.net.UpdateConfig(ev.A, "add static "+ev.Prefix, func(c *config.Router) {
+			for i := range c.Statics {
+				if c.Statics[i].Prefix == p {
+					c.Statics[i].NextHop = nh
+					return
+				}
+			}
+			c.Statics = append(c.Statics, config.StaticRoute{Prefix: p, NextHop: nh})
+		})
+	case KindStaticDel:
+		p, err := netip.ParsePrefix(ev.Prefix)
+		if err != nil {
+			return
+		}
+		_, _ = w.net.UpdateConfig(ev.A, "del static "+ev.Prefix, func(c *config.Router) {
+			out := c.Statics[:0]
+			for _, st := range c.Statics {
+				if st.Prefix != p {
+					out = append(out, st)
+				}
+			}
+			c.Statics = out
+		})
+	}
+}

@@ -1,0 +1,39 @@
+// Greedy schedule minimization: when a scenario fails, drop churn events
+// one at a time (re-running the whole scenario after each drop) and keep
+// any drop that preserves a failure of the same oracle. Iterate to a
+// fixpoint so earlier drops can enable later ones.
+
+package scenario
+
+// Shrink minimizes cfg's schedule while preserving the failure. cfg must
+// be materialized (non-nil schedule) and fail when Run; the returned
+// config fails the same oracle with a subset of the original events.
+// maxPasses bounds the fixpoint iteration (0 means a default of 3); each
+// pass re-runs the scenario once per remaining event, so shrinking costs
+// O(passes × events) full runs.
+func Shrink(cfg Config, failure Failure, maxPasses int) Config {
+	if maxPasses <= 0 {
+		maxPasses = 3
+	}
+	if cfg.Schedule == nil {
+		return cfg
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		shrunk := false
+		for i := 0; i < len(cfg.Schedule); i++ {
+			trial := cfg
+			trial.Schedule = append([]Event{}, cfg.Schedule[:i]...)
+			trial.Schedule = append(trial.Schedule, cfg.Schedule[i+1:]...)
+			res := Run(trial)
+			if res.Failure != nil && res.Failure.Oracle == failure.Oracle {
+				cfg = trial
+				i-- // the next event shifted into slot i
+				shrunk = true
+			}
+		}
+		if !shrunk {
+			break
+		}
+	}
+	return cfg
+}
