@@ -9,8 +9,11 @@
 package hbverify
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/netip"
+	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -30,6 +33,8 @@ import (
 	"hbverify/internal/repair"
 	"hbverify/internal/route"
 	"hbverify/internal/snapshot"
+	"hbverify/internal/topology"
+	"hbverify/internal/trie"
 	"hbverify/internal/verify"
 	"hbverify/internal/whatif"
 )
@@ -839,5 +844,142 @@ func BenchmarkIncrementalReVerify(b *testing.B) {
 	})
 	if speedup < 10 {
 		b.Errorf("incremental speedup %.1fx, want >= 10x (full %v vs incremental %v)", speedup, fullPer, incPer)
+	}
+}
+
+// BenchmarkDeltaVerify measures the PR 3 tentpole: one verification tick
+// after a single-prefix FIB change at 100K prefixes. The full path
+// recomputes every equivalence class and re-walks every (source, class)
+// pair; the delta path re-signs only the churned prefix through
+// eqclass.Incremental and re-executes only the walks the touched router
+// invalidated. Run as sub-benchmarks for ns/op and allocs/op, plus a
+// hand-measured comparison persisted to BENCH_delta.json.
+func BenchmarkDeltaVerify(b *testing.B) {
+	routers := []string{"r1", "r2", "r3", "r4", "r5"}
+	const nPrefixes, nGroups = 100_000, 12
+	fibs, prefixes := eqclass.SyntheticFIBs(routers, nPrefixes, nGroups)
+
+	// A minimal topology so the checker walks real (if short) paths; the
+	// synthetic next hops resolve nowhere, which keeps walk cost flat and
+	// the classification cost dominant — the regime §6 describes.
+	topo := topology.New()
+	for i, r := range routers {
+		if _, err := topo.AddRouter(r, netip.AddrFrom4([4]byte{1, 1, 1, byte(i + 1)})); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tries := map[string]*trie.Trie[fib.Entry]{}
+	for r, table := range fibs {
+		tr := trie.New[fib.Entry]()
+		for p, e := range table {
+			tr.Insert(p, e)
+		}
+		tries[r] = tr
+	}
+	view := func(router string, dst netip.Addr) (fib.Entry, bool) {
+		t := tries[router]
+		if t == nil {
+			return fib.Entry{}, false
+		}
+		e, _, ok := t.Lookup(dst)
+		return e, ok
+	}
+	walker := dataplane.NewWalker(topo, view)
+
+	// One reachability policy per class representative, checked from every
+	// router — the per-class verification §6 makes tractable.
+	var policies []verify.Policy
+	for _, rep := range eqclass.Representatives(eqclass.Compute(fibs, prefixes)) {
+		policies = append(policies, verify.Policy{Kind: verify.Reachable, Prefix: rep})
+	}
+
+	inc := eqclass.NewIncremental(nil)
+	for r, table := range fibs {
+		inc.Seed(r, table)
+	}
+	inc.Update() // absorb the seed re-sign outside the timed region
+	cache := verify.NewWalkCache()
+	cached := verify.NewChecker(walker, routers)
+	cached.Workers = 1
+	cached.Cache = cache
+	cold := verify.NewChecker(walker, routers)
+	cold.Workers = 1
+
+	// flip alternates one /24's next hop at r1, updating the ground-truth
+	// maps, the walker's tries, and the delta classifier's feed.
+	churn := prefixes[0]
+	hops := [2]netip.Addr{netip.MustParseAddr("203.0.113.77"), netip.MustParseAddr("203.0.113.78")}
+	flip := func(i int) {
+		e := fib.Entry{Prefix: churn, NextHop: hops[i%2]}
+		fibs["r1"][churn] = e
+		tries["r1"].Insert(churn, e)
+		inc.Note("r1", fib.Update{Entry: e, Install: true})
+	}
+	fullTick := func() {
+		eqclass.Compute(fibs, nil)
+		cold.Check(policies)
+	}
+	deltaTick := func() {
+		inc.Update()
+		cache.InvalidateRouter("r1")
+		cached.Check(policies)
+	}
+
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			flip(i)
+			fullTick()
+		}
+	})
+	b.Run("delta", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			flip(i)
+			deltaTick()
+		}
+	})
+
+	// Hand-rolled comparison (time + mallocs) for the artifact and the
+	// acceptance assertion, independent of b.N calibration.
+	measure := func(tick func(), n int) (nsPerOp, allocsPerOp float64) {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			flip(i)
+			tick()
+		}
+		elapsed := time.Since(t0)
+		runtime.ReadMemStats(&after)
+		return float64(elapsed.Nanoseconds()) / float64(n),
+			float64(after.Mallocs-before.Mallocs) / float64(n)
+	}
+	deltaNs, deltaAllocs := measure(deltaTick, 200)
+	fullNs, fullAllocs := measure(fullTick, 3)
+	speedup := fullNs / deltaNs
+	allocCut := fullAllocs / deltaAllocs
+	once("deltaverify", func() {
+		fmt.Println("\n[tentpole/PR3] single-prefix churn tick at 100K prefixes, 12 groups, 5 routers")
+		fmt.Printf("  full  (Compute + cold Check):   %11.0f ns/op  %9.0f allocs/op\n", fullNs, fullAllocs)
+		fmt.Printf("  delta (Update + cached Check):  %11.0f ns/op  %9.0f allocs/op\n", deltaNs, deltaAllocs)
+		fmt.Printf("  speedup %.0fx, allocation reduction %.0fx\n", speedup, allocCut)
+		artifact, _ := json.MarshalIndent(map[string]interface{}{
+			"benchmark": "BenchmarkDeltaVerify",
+			"prefixes":  nPrefixes, "groups": nGroups, "routers": len(routers),
+			"full_ns_per_op": fullNs, "full_allocs_per_op": fullAllocs,
+			"delta_ns_per_op": deltaNs, "delta_allocs_per_op": deltaAllocs,
+			"speedup": speedup, "alloc_reduction": allocCut,
+		}, "", "  ")
+		if err := os.WriteFile("BENCH_delta.json", append(artifact, '\n'), 0o644); err != nil {
+			fmt.Println("  (could not write BENCH_delta.json:", err, ")")
+		}
+	})
+	if speedup < 10 {
+		b.Errorf("delta speedup %.0fx, want >= 10x (full %.0fns vs delta %.0fns)", speedup, fullNs, deltaNs)
+	}
+	if allocCut < 10 {
+		b.Errorf("delta allocation reduction %.0fx, want >= 10x (full %.0f vs delta %.0f allocs)", allocCut, fullAllocs, deltaAllocs)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"hbverify"
 	"hbverify/internal/config"
 	"hbverify/internal/dataplane"
 	"hbverify/internal/dist"
@@ -125,5 +126,16 @@ func run(violate bool, grid int, seed int64, workers int) error {
 	rep := checker.Check(policies)
 	fmt.Printf("local parallel checker: %s (%d walks, %d deduped)\n", rep.Summary(), rep.Walks, rep.Deduped)
 	fmt.Printf("metrics: %s\n", checker.Metrics)
+
+	// The delta path: re-verifying through the pipeline's incremental
+	// equivalence classes and walk cache — a second tick on a quiet network
+	// costs zero walks.
+	pipe := hbverify.NewPipeline(n, sources)
+	pipe.Workers = workers
+	pipe.Verify(policies)
+	warm := pipe.Verify(policies)
+	fmt.Printf("delta re-verify: %s (%d walks executed, %d cached, %d classes)\n",
+		warm.Summary(), warm.Walks, warm.Cached, len(pipe.Classes()))
+	fmt.Printf("pipeline: %s\n", pipe.Summary())
 	return nil
 }

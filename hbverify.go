@@ -31,6 +31,7 @@ import (
 
 	"hbverify/internal/capture"
 	"hbverify/internal/dataplane"
+	"hbverify/internal/eqclass"
 	"hbverify/internal/fib"
 	"hbverify/internal/hbg"
 	"hbverify/internal/hbr"
@@ -61,16 +62,44 @@ type Pipeline struct {
 	Metrics *metrics.Registry
 
 	engine *repair.Engine
+	// eqc incrementally tracks forwarding equivalence classes off the live
+	// FIBs; walkCache keeps Verify's data-plane walks across calls, with
+	// FIB deltas and link flips invalidating only the affected routers.
+	eqc       *eqclass.Incremental
+	walkCache *verify.WalkCache
+	live      *verify.Checker
 }
 
-// NewPipeline builds a pipeline with the incremental rule-matching strategy.
+// NewPipeline builds a pipeline with the incremental rule-matching strategy
+// and the delta verification path: every router FIB feeds the incremental
+// equivalence classifier and the walk cache's per-router invalidation, link
+// flips invalidate both endpoint routers, and repair rollback flushes both
+// caches (the same rule PR 1 established for HBG inference — rollback
+// rewrites history, so nothing derived from it survives).
 func NewPipeline(n *network.Network, sources []string) *Pipeline {
 	reg := metrics.NewRegistry()
 	inc := hbr.NewIncremental(hbr.Rules{}, reg)
 	p := &Pipeline{Net: n, Strategy: inc, Sources: sources, Metrics: reg}
+	p.eqc = eqclass.NewIncremental(reg)
+	p.walkCache = verify.NewWalkCache()
+	for _, r := range n.Routers() {
+		name := r.Name
+		p.eqc.Watch(name, r.FIB)
+		r.FIB.OnChange(func(fib.Update) { p.walkCache.InvalidateRouter(name) })
+	}
+	n.OnLinkChange(func(a, b string, up bool) {
+		// A link flip changes walker behaviour at both ends even when no
+		// FIB entry moves (interface-up checks, statics over the link).
+		p.walkCache.InvalidateRouter(a)
+		p.walkCache.InvalidateRouter(b)
+	})
 	p.engine = repair.NewEngine(n, p.infer, sources)
 	p.engine.Metrics = reg
-	p.engine.Invalidate = inc.Invalidate
+	p.engine.Invalidate = func() {
+		inc.Invalidate()
+		p.eqc.Reset()
+		p.walkCache.Flush()
+	}
 	return p
 }
 
@@ -110,9 +139,30 @@ func (p *Pipeline) checker(w *dataplane.Walker) *verify.Checker {
 	return c
 }
 
-// Verify checks policies against the live data plane.
+// Verify checks policies against the live data plane. Pipelines built with
+// NewPipeline verify through a persistent walk cache: repeat calls re-walk
+// only the (source, header) pairs whose path crossed a router with FIB or
+// link changes since the last call (Report.Cached counts the rest).
 func (p *Pipeline) Verify(policies []verify.Policy) verify.Report {
-	return p.checker(p.Walker()).Check(policies)
+	if p.walkCache == nil {
+		return p.checker(p.Walker()).Check(policies)
+	}
+	if p.live == nil {
+		p.live = p.checker(p.Walker())
+		p.live.Cache = p.walkCache
+	}
+	p.live.Workers = p.Workers
+	return p.live.Check(policies)
+}
+
+// Classes returns the current forwarding equivalence classes, maintained
+// incrementally from FIB deltas (nil for pipelines not built with
+// NewPipeline).
+func (p *Pipeline) Classes() []eqclass.Class {
+	if p.eqc == nil {
+		return nil
+	}
+	return p.eqc.Classes()
 }
 
 // VerifySnapshot checks policies against a log-derived snapshot under a

@@ -88,6 +88,19 @@ func (w Walk) String() string {
 	return fmt.Sprintf("%s: %s [%s]", w.Dst, w.Outcome, strings.Join(w.Path, " -> "))
 }
 
+// Traverses reports whether the walk visited router. Path always includes
+// the decisive router — the one that dropped, got stuck, or closed the
+// loop — so the routers on Path are exactly the FIB/link state the walk's
+// outcome depends on.
+func (w Walk) Traverses(router string) bool {
+	for _, r := range w.Path {
+		if r == router {
+			return true
+		}
+	}
+	return false
+}
+
 // Walker forwards packets over a topology using a FIB view.
 type Walker struct {
 	Topo *topology.Topology

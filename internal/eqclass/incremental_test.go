@@ -1,0 +1,247 @@
+package eqclass
+
+import (
+	"fmt"
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/fib"
+	"hbverify/internal/netsim"
+	"hbverify/internal/route"
+)
+
+// seedFrom registers every router's FIB map with the classifier.
+func seedFrom(inc *Incremental, fibs map[string]map[netip.Prefix]fib.Entry) {
+	for r, table := range fibs {
+		inc.Seed(r, table)
+	}
+}
+
+// mutate applies one change to both the plain FIB maps (the full-path
+// ground truth) and the classifier (the delta path under test), keeping
+// the two views identical.
+func mutate(inc *Incremental, fibs map[string]map[netip.Prefix]fib.Entry, router string, e fib.Entry, install bool) {
+	p := e.Prefix.Masked()
+	if install {
+		fibs[router][p] = e
+	} else {
+		delete(fibs[router], p)
+	}
+	inc.Note(router, fib.Update{Entry: e, Install: install})
+}
+
+// requireParity asserts the incremental classification equals a
+// from-scratch Compute over the same FIBs.
+func requireParity(t *testing.T, inc *Incremental, fibs map[string]map[netip.Prefix]fib.Entry, step string) {
+	t.Helper()
+	got := inc.Classes()
+	want := Compute(fibs, nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: incremental diverges from Compute:\n got %d classes %v\nwant %d classes %v",
+			step, len(got), got, len(want), want)
+	}
+}
+
+func entry(p string, nh string) fib.Entry {
+	e := fib.Entry{Prefix: netip.MustParsePrefix(p).Masked()}
+	if nh != "" {
+		e.NextHop = netip.MustParseAddr(nh)
+	}
+	return e
+}
+
+func TestIncrementalSeedParity(t *testing.T) {
+	fibs, _ := SyntheticFIBs([]string{"r1", "r2", "r3"}, 1000, 6)
+	inc := NewIncremental(nil)
+	seedFrom(inc, fibs)
+	requireParity(t, inc, fibs, "after seed")
+	if inc.Len() != 6 {
+		t.Fatalf("classes = %d, want 6", inc.Len())
+	}
+}
+
+func TestIncrementalChurnParity(t *testing.T) {
+	fibs, prefixes := SyntheticFIBs([]string{"r1", "r2", "r3"}, 512, 4)
+	inc := NewIncremental(nil)
+	seedFrom(inc, fibs)
+	requireParity(t, inc, fibs, "seed")
+
+	// Single-prefix next-hop change.
+	p0 := prefixes[0]
+	mutate(inc, fibs, "r1", fib.Entry{Prefix: p0, NextHop: netip.MustParseAddr("203.0.113.9")}, true)
+	requireParity(t, inc, fibs, "nexthop change")
+
+	// Remove a prefix from one router (still in the universe via r2/r3).
+	p1 := prefixes[1]
+	mutate(inc, fibs, "r1", fib.Entry{Prefix: p1}, false)
+	requireParity(t, inc, fibs, "partial removal")
+
+	// Remove it everywhere: it must leave the universe and its class.
+	mutate(inc, fibs, "r2", fib.Entry{Prefix: p1}, false)
+	mutate(inc, fibs, "r3", fib.Entry{Prefix: p1}, false)
+	requireParity(t, inc, fibs, "universe removal")
+
+	// Covering route: a /16 over many existing /24s changes no /24's class
+	// (they still LPM to themselves) but joins the universe itself.
+	mutate(inc, fibs, "r2", entry("10.0.0.0/16", "198.51.100.1"), true)
+	requireParity(t, inc, fibs, "covering insert")
+
+	// More-specific under the /16: the /16's representative (10.0.0.1)
+	// falls inside 10.0.0.0/24, so the ancestor must be re-signed.
+	mutate(inc, fibs, "r3", entry("10.0.0.0/24", "198.51.100.7"), true)
+	requireParity(t, inc, fibs, "more-specific insert")
+	mutate(inc, fibs, "r3", entry("10.0.0.0/24", ""), false)
+	requireParity(t, inc, fibs, "more-specific remove")
+
+	// Brand-new prefix on a single router.
+	mutate(inc, fibs, "r1", entry("172.16.0.0/12", "203.0.113.40"), true)
+	requireParity(t, inc, fibs, "new prefix")
+}
+
+func TestIncrementalDeltaCounts(t *testing.T) {
+	fibs, prefixes := SyntheticFIBs([]string{"r1", "r2"}, 10_000, 8)
+	inc := NewIncremental(nil)
+	seedFrom(inc, fibs)
+	if d := inc.Update(); d.Resigned != 10_000 {
+		t.Fatalf("seed flush resigned %d, want 10000", d.Resigned)
+	}
+
+	// A single /24 flip must re-sign only that prefix, not the universe.
+	mutate(inc, fibs, "r1", fib.Entry{Prefix: prefixes[42], NextHop: netip.MustParseAddr("203.0.113.1")}, true)
+	d := inc.Update()
+	if d.Resigned != 1 || d.Moves != 1 {
+		t.Fatalf("delta = %+v, want 1 resign / 1 move", d)
+	}
+	if !reflect.DeepEqual(d.Routers, []string{"r1"}) {
+		t.Fatalf("delta routers = %v, want [r1]", d.Routers)
+	}
+
+	// No-op flush.
+	if d := inc.Update(); d.Resigned != 0 || d.Moves != 0 || len(d.Routers) != 0 {
+		t.Fatalf("idle delta = %+v, want zero", d)
+	}
+}
+
+func TestIncrementalWatchLiveTable(t *testing.T) {
+	s := netsim.NewScheduler(1)
+	log := capture.NewLog()
+	tables := map[string]*fib.Table{}
+	for _, r := range []string{"r1", "r2"} {
+		tables[r] = fib.NewTable(capture.NewRecorder(log, r, s, nil))
+	}
+	tables["r1"].Offer(route.Route{Prefix: netip.MustParsePrefix("10.1.0.0/16"), NextHop: netip.MustParseAddr("192.0.2.1"), Proto: route.ProtoOSPF})
+
+	inc := NewIncremental(nil)
+	for r, tbl := range tables {
+		inc.Watch(r, tbl)
+	}
+	snap := func() map[string]map[netip.Prefix]fib.Entry {
+		out := map[string]map[netip.Prefix]fib.Entry{}
+		for r, tbl := range tables {
+			out[r] = tbl.Snapshot()
+		}
+		return out
+	}
+	requireParity(t, inc, snap(), "after watch")
+
+	// Updates flow through OnChange without further plumbing.
+	tables["r2"].Offer(route.Route{Prefix: netip.MustParsePrefix("10.1.0.0/16"), NextHop: netip.MustParseAddr("192.0.2.9"), Proto: route.ProtoOSPF})
+	tables["r1"].Offer(route.Route{Prefix: netip.MustParsePrefix("10.2.0.0/16"), NextHop: netip.MustParseAddr("192.0.2.1"), Proto: route.ProtoBGP, PeerType: route.PeerEBGP})
+	requireParity(t, inc, snap(), "after offers")
+
+	tables["r1"].Withdraw(route.ProtoOSPF, netip.MustParsePrefix("10.1.0.0/16"))
+	requireParity(t, inc, snap(), "after withdraw")
+
+	// Arbitration no-ops (losing route offered) must not disturb parity.
+	tables["r2"].Offer(route.Route{Prefix: netip.MustParsePrefix("10.1.0.0/16"), NextHop: netip.MustParseAddr("192.0.2.50"), Proto: route.ProtoRIP, Metric: 5})
+	requireParity(t, inc, snap(), "after losing offer")
+}
+
+func TestIncrementalReset(t *testing.T) {
+	s := netsim.NewScheduler(1)
+	log := capture.NewLog()
+	tbl := fib.NewTable(capture.NewRecorder(log, "r1", s, nil))
+	tbl.Offer(route.Route{Prefix: netip.MustParsePrefix("10.0.0.0/8"), NextHop: netip.MustParseAddr("192.0.2.1"), Proto: route.ProtoOSPF})
+
+	inc := NewIncremental(nil)
+	inc.Watch("r1", tbl)
+	inc.Seed("ghost", map[netip.Prefix]fib.Entry{
+		netip.MustParsePrefix("172.16.0.0/12"): {Prefix: netip.MustParsePrefix("172.16.0.0/12")},
+	})
+	inc.Update()
+
+	// Reset drops seeded-only state and rebuilds from the watched table.
+	inc.Reset()
+	want := Compute(map[string]map[netip.Prefix]fib.Entry{"r1": tbl.Snapshot()}, nil)
+	if got := inc.Classes(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-reset classes = %v, want %v", got, want)
+	}
+
+	// And the subscription survives the reset.
+	tbl.Offer(route.Route{Prefix: netip.MustParsePrefix("10.9.0.0/16"), NextHop: netip.MustParseAddr("192.0.2.2"), Proto: route.ProtoOSPF})
+	requireParity(t, inc, map[string]map[netip.Prefix]fib.Entry{"r1": tbl.Snapshot()}, "after reset + offer")
+}
+
+func TestIncrementalRepresentatives(t *testing.T) {
+	fibs, _ := SyntheticFIBs([]string{"r1", "r2"}, 100, 5)
+	inc := NewIncremental(nil)
+	seedFrom(inc, fibs)
+	reps := inc.Representatives()
+	classes := Compute(fibs, nil)
+	want := Representatives(classes)
+	sortPrefixes(want)
+	if !reflect.DeepEqual(reps, want) {
+		t.Fatalf("representatives = %v, want %v", reps, want)
+	}
+}
+
+// TestInternerCollision drives the linear-probing path directly: two
+// distinct keys forced onto the same ID must intern to different IDs with
+// their own renderings.
+func TestInternerCollision(t *testing.T) {
+	in := newInterner()
+	k1 := []byte{1, 2, 3}
+	id1 := in.intern(k1, func() string { return "one" })
+	// Occupy nothing else; intern a key whose natural slot we usurp.
+	k2 := []byte{9, 9, 9}
+	in.byID[sigID(fnv64(k2))] = in.byID[id1] // simulate a hash collision
+	id2 := in.intern(k2, func() string { return "two" })
+	if id2 == sigID(fnv64(k2)) {
+		t.Fatal("collision not probed past")
+	}
+	if in.str(id2) != "two" {
+		t.Fatalf("collided key rendered %q, want %q", in.str(id2), "two")
+	}
+	if id1 == id2 {
+		t.Fatal("distinct keys share an ID")
+	}
+}
+
+func TestIncrementalManyRandomChurn(t *testing.T) {
+	fibs, prefixes := SyntheticFIBs([]string{"r1", "r2", "r3", "r4"}, 256, 3)
+	inc := NewIncremental(nil)
+	seedFrom(inc, fibs)
+	routers := []string{"r1", "r2", "r3", "r4"}
+	// Deterministic pseudo-random churn (no rand: keep failures replayable
+	// from the step number alone).
+	for i := 0; i < 200; i++ {
+		r := routers[i%len(routers)]
+		p := prefixes[(i*37)%len(prefixes)]
+		switch i % 3 {
+		case 0:
+			nh := netip.AddrFrom4([4]byte{203, 0, 113, byte(i)})
+			mutate(inc, fibs, r, fib.Entry{Prefix: p, NextHop: nh}, true)
+		case 1:
+			mutate(inc, fibs, r, fib.Entry{Prefix: p}, false)
+		case 2:
+			cover := netip.PrefixFrom(p.Addr(), 16)
+			mutate(inc, fibs, r, fib.Entry{Prefix: cover, NextHop: netip.MustParseAddr("198.51.100.3")}, i%2 == 0)
+		}
+		if i%25 == 24 {
+			requireParity(t, inc, fibs, fmt.Sprintf("churn step %d", i))
+		}
+	}
+	requireParity(t, inc, fibs, "final")
+}

@@ -65,6 +65,7 @@ type Network struct {
 	routers      map[string]*Router
 	configEvents map[uint64]ConfigRef
 	started      bool
+	onLinkChange []func(a, b string, up bool)
 }
 
 // ConfigRef ties a config-change capture event to the version it created
@@ -558,6 +559,16 @@ func (n *Network) syncStatics(r *Router, cause uint64) {
 	r.appliedStatics = append(r.appliedStatics[:0], r.Cfg.Statics...)
 }
 
+// OnLinkChange registers a listener invoked whenever a link actually flips
+// state (SetLinkUp with a real transition), with the two endpoint router
+// names and the new status. Link state feeds the data-plane walker directly
+// — interface-up checks, static routes riding a dead link — without
+// necessarily producing FIB updates, so walk caches must hear about flips
+// through this hook, not just through fib.Table.OnChange.
+func (n *Network) OnLinkChange(fn func(a, b string, up bool)) {
+	n.onLinkChange = append(n.onLinkChange, fn)
+}
+
 // SetLinkUp changes a link's status, recording hardware-status inputs at
 // both ends and notifying the protocols. It returns the recorded I/Os.
 func (n *Network) SetLinkUp(a, b string, up bool) ([]capture.IO, error) {
@@ -615,6 +626,9 @@ func (n *Network) SetLinkUp(a, b string, up bool) ([]capture.IO, error) {
 				}
 			}
 		}
+	}
+	for _, fn := range n.onLinkChange {
+		fn(l.A.Router, l.B.Router, up)
 	}
 	return ios, nil
 }

@@ -24,10 +24,11 @@ import (
 
 // Oracle names, as they appear in failures and artifacts.
 const (
-	OracleIncremental = "incremental-vs-full"
-	OracleSnapshot    = "snapshot-consistency"
-	OracleChecker     = "checker-determinism"
-	OracleRepair      = "repair-rollback"
+	OracleIncremental  = "incremental-vs-full"
+	OracleSnapshot     = "snapshot-consistency"
+	OracleChecker      = "checker-determinism"
+	OracleRepair       = "repair-rollback"
+	OracleEqclassDelta = "eqclass-delta-vs-full"
 )
 
 // oracleIncrementalVsFull asserts the incremental strategy's graph is
@@ -373,6 +374,47 @@ func (h *harness) oracleRepairRollback(round int) *Failure {
 			Detail: "violation persists after repair: " + rep.Violations[0].String()}
 	}
 	return nil
+}
+
+// oracleEqclassDelta asserts the delta verification path is equivalent to
+// the from-scratch one: the incremental classifier (fed only FIB updates
+// since its seed) must produce the identical class partition to a fresh
+// eqclass.Compute over the live FIBs, and the cached-walk checker must
+// report the identical violation list to a cold checker with no cache.
+func (h *harness) oracleEqclassDelta(round int) *Failure {
+	incClasses := h.eqc.Classes()
+	fullClasses := eqclass.Compute(h.w.net.FIBSnapshot(), nil)
+	if d := diffClasses(incClasses, fullClasses); d != "" {
+		return &Failure{Oracle: OracleEqclassDelta, Round: round,
+			Detail: "incremental classes diverge from full Compute: " + d}
+	}
+
+	pols := h.policies()
+	cachedRep := h.cached.Check(pols)
+	coldRep := verify.NewChecker(h.liveWalker(), h.w.internals).Check(pols)
+	if !reflect.DeepEqual(cachedRep.Violations, coldRep.Violations) {
+		return &Failure{Oracle: OracleEqclassDelta, Round: round, Detail: fmt.Sprintf(
+			"cached-walk checker diverges from cold checker: %d violations (%d walks cached) vs %d",
+			len(cachedRep.Violations), cachedRep.Cached, len(coldRep.Violations))}
+	}
+	return nil
+}
+
+// diffClasses compares two class partitions in canonical order.
+func diffClasses(a, b []eqclass.Class) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("%d classes vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Signature != b[i].Signature {
+			return fmt.Sprintf("class %d signature %q vs %q", i, a[i].Signature, b[i].Signature)
+		}
+		if !reflect.DeepEqual(a[i].Prefixes, b[i].Prefixes) {
+			return fmt.Sprintf("class %d (%s): %d members vs %d (first incremental member %v)",
+				i, a[i].Signature, len(a[i].Prefixes), len(b[i].Prefixes), a[i].Prefixes[0])
+		}
+	}
+	return ""
 }
 
 // diffSnapshots compares two live FIB snapshots entry-for-entry.

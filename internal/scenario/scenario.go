@@ -1,6 +1,6 @@
 // Package scenario is the randomized correctness harness: it generates
 // seeded deterministic networks, drives them through churn schedules, and
-// checks four differential oracles after every convergence round —
+// checks five differential oracles after every convergence round —
 //
 //  1. incremental-vs-full: hbr.Incremental yields a node- and
 //     edge-identical HBG to a fresh full inference over the same log;
@@ -11,7 +11,10 @@
 //     worker counts, repeated runs, and eqclass sharding;
 //  4. repair-rollback: after injecting a faulty config and repairing it
 //     via HBG root-cause rollback, the network reconverges to the exact
-//     pre-fault data plane.
+//     pre-fault data plane;
+//  5. eqclass-delta-vs-full: the delta path — incremental equivalence
+//     classes plus the cached-walk checker — agrees exactly with a
+//     from-scratch eqclass.Compute and a cold Checker.Check.
 //
 // A failure carries the seed and churn schedule; Shrink greedily drops
 // events until the failure is minimal, and the artifact replays with
@@ -23,11 +26,14 @@ import (
 	"time"
 
 	"hbverify/internal/capture"
+	"hbverify/internal/eqclass"
+	"hbverify/internal/fib"
 	"hbverify/internal/hbg"
 	"hbverify/internal/hbr"
 	"hbverify/internal/metrics"
 	"hbverify/internal/network"
 	"hbverify/internal/repair"
+	"hbverify/internal/verify"
 )
 
 // Known injectable bugs, used to prove the oracles can fail.
@@ -39,6 +45,11 @@ const (
 	// the repair rollback, as a repair engine that reports success without
 	// acting would.
 	BugSkipRollback = "skip-rollback"
+	// BugStaleEqclass freezes the delta verification path: the incremental
+	// equivalence classifier is seeded once but never hears FIB updates,
+	// and the walk cache is never invalidated — the failure mode of a
+	// delta pipeline whose change feed silently disconnects.
+	BugStaleEqclass = "stale-eqclass"
 )
 
 // Config describes one deterministic scenario. The zero values of Shape,
@@ -179,6 +190,12 @@ type harness struct {
 	strat  hbr.Strategy
 	full   hbr.Rules
 	engine *repair.Engine
+	// The delta verification path under test: incremental equivalence
+	// classes fed by FIB updates, and a checker whose walks persist in
+	// wcache across rounds with per-router invalidation.
+	eqc    *eqclass.Incremental
+	wcache *verify.WalkCache
+	cached *verify.Checker
 }
 
 func newHarness(cfg Config, w *world) *harness {
@@ -188,9 +205,36 @@ func newHarness(cfg Config, w *world) *harness {
 	if cfg.Bug == BugStaleCache {
 		h.strat = &staleStrategy{base: h.strat}
 	}
+	h.eqc = eqclass.NewIncremental(h.reg)
+	h.wcache = verify.NewWalkCache()
+	if cfg.Bug == BugStaleEqclass {
+		// Seed once, never subscribe: the classifier and walk cache go
+		// stale the moment the first post-seed FIB update lands.
+		for _, r := range w.net.Routers() {
+			h.eqc.Seed(r.Name, r.FIB.Snapshot())
+		}
+	} else {
+		for _, r := range w.net.Routers() {
+			name := r.Name
+			h.eqc.Watch(name, r.FIB)
+			r.FIB.OnChange(func(fib.Update) { h.wcache.InvalidateRouter(name) })
+		}
+		w.net.OnLinkChange(func(a, b string, up bool) {
+			h.wcache.InvalidateRouter(a)
+			h.wcache.InvalidateRouter(b)
+		})
+	}
+	h.cached = verify.NewChecker(h.liveWalker(), w.internals)
+	h.cached.Cache = h.wcache
 	h.engine = repair.NewEngine(w.net, h.infer, w.internals)
 	h.engine.Metrics = h.reg
-	h.engine.Invalidate = h.inc.Invalidate
+	h.engine.Invalidate = func() {
+		h.inc.Invalidate()
+		if cfg.Bug != BugStaleEqclass {
+			h.eqc.Reset()
+			h.wcache.Flush()
+		}
+	}
 	return h
 }
 
@@ -200,7 +244,10 @@ func (h *harness) infer(ios []capture.IO) *hbg.Graph {
 	return h.strat.Infer(capture.StripOracle(ios))
 }
 
-// checkRound runs the four oracles in order and returns the first failure.
+// checkRound runs the five oracles in order and returns the first failure.
+// The eqclass-delta oracle runs last, after repair-rollback, so it also
+// validates that the delta state survives (is correctly flushed across) a
+// fault injection and rollback.
 func (h *harness) checkRound(round int) *Failure {
 	if f := h.oracleIncrementalVsFull(round); f != nil {
 		return f
@@ -211,7 +258,10 @@ func (h *harness) checkRound(round int) *Failure {
 	if f := h.oracleCheckerDeterminism(round); f != nil {
 		return f
 	}
-	return h.oracleRepairRollback(round)
+	if f := h.oracleRepairRollback(round); f != nil {
+		return f
+	}
+	return h.oracleEqclassDelta(round)
 }
 
 // staleStrategy is BugStaleCache: it computes once and then returns the

@@ -114,6 +114,14 @@ func TestForcedSkipRollback(t *testing.T) {
 	forceBug(t, BugSkipRollback, OracleRepair)
 }
 
+// TestForcedStaleEqclass proves the eqclass-delta-vs-full oracle catches a
+// delta pipeline whose FIB change feed is disconnected: the frozen
+// classifier diverges from full Compute as soon as churn (or the round's
+// fault injection) moves a FIB entry.
+func TestForcedStaleEqclass(t *testing.T) {
+	forceBug(t, BugStaleEqclass, OracleEqclassDelta)
+}
+
 // TestShrinkPreservesFailure checks the shrinker's contract directly on a
 // forced failure: the minimized config still fails the same oracle.
 func TestShrinkPreservesFailure(t *testing.T) {

@@ -1,0 +1,116 @@
+// Walk caching: the checker's walks are pure functions of the FIB/link
+// state at the routers on their path, so a walk stays valid until one of
+// those routers changes. The cache tracks per-router invalidation epochs
+// and revalidates each stored walk against the routers its recorded Path
+// traversed — the dependency set is captured for free by the walker.
+
+package verify
+
+import (
+	"sync"
+
+	"hbverify/internal/dataplane"
+)
+
+type cachedWalk struct {
+	walk  dataplane.Walk
+	epoch uint64
+}
+
+// WalkCache stores finished data-plane walks keyed by (source, probe
+// header) with epoch-based invalidation. InvalidateRouter marks one
+// router's state changed; a stored walk survives only if every router on
+// its path was last invalidated at or before the walk's own epoch. Safe
+// for concurrent use.
+type WalkCache struct {
+	mu    sync.Mutex
+	epoch uint64
+	// floor is the epoch below which every entry is invalid; Flush raises
+	// it so results computed by in-flight checks (stamped with a pre-Flush
+	// epoch) cannot repopulate the cache with stale walks.
+	floor   uint64
+	touched map[string]uint64 // router -> epoch of its last invalidation
+	walks   map[workKey]cachedWalk
+}
+
+// NewWalkCache returns an empty cache.
+func NewWalkCache() *WalkCache {
+	return &WalkCache{touched: map[string]uint64{}, walks: map[workKey]cachedWalk{}}
+}
+
+// InvalidateRouter records that router's forwarding state changed: every
+// cached walk traversing it is now stale. Walks not touching the router
+// remain valid.
+func (c *WalkCache) InvalidateRouter(router string) {
+	c.mu.Lock()
+	c.epoch++
+	c.touched[router] = c.epoch
+	c.mu.Unlock()
+}
+
+// Flush drops every entry and bars in-flight checks from storing results
+// computed before the flush — the rollback rule: after a repair rollback
+// the whole forwarding history is rewritten, so nothing cached survives.
+func (c *WalkCache) Flush() {
+	c.mu.Lock()
+	c.epoch++
+	c.floor = c.epoch
+	c.touched = map[string]uint64{}
+	c.walks = map[workKey]cachedWalk{}
+	c.mu.Unlock()
+}
+
+// Len reports the number of stored walks (valid or not).
+func (c *WalkCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.walks)
+}
+
+// begin returns the epoch new walks started now should be stamped with.
+func (c *WalkCache) begin() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// get returns the cached walk for k if it is still valid: stored at or
+// after the floor, and no router on its path invalidated since it was
+// stored. Stale entries are evicted on the way out.
+func (c *WalkCache) get(k workKey) (dataplane.Walk, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.walks[k]
+	if !ok {
+		return dataplane.Walk{}, false
+	}
+	valid := e.epoch >= c.floor
+	if valid {
+		for _, r := range e.walk.Path {
+			if c.touched[r] > e.epoch {
+				valid = false
+				break
+			}
+		}
+	}
+	if !valid {
+		delete(c.walks, k)
+		return dataplane.Walk{}, false
+	}
+	return e.walk, true
+}
+
+// put stores a walk computed at the given epoch. Results predating the
+// floor (a Flush happened while the walk ran) are discarded, as are
+// results older than an existing entry.
+func (c *WalkCache) put(k workKey, w dataplane.Walk, epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch < c.floor {
+		return
+	}
+	if e, ok := c.walks[k]; ok && e.epoch > epoch {
+		return
+	}
+	c.walks[k] = cachedWalk{walk: w, epoch: epoch}
+}

@@ -90,3 +90,77 @@ func TestParallelCheckUnderFIBChurn(t *testing.T) {
 		t.Fatal("metrics did not record any checks")
 	}
 }
+
+// TestCachedCheckUnderInvalidation races concurrent cached Checks against
+// per-router invalidations and full flushes. Correctness here is the cache
+// never serving a walk staler than its own epoch accounting claims; under
+// -race it also proves WalkCache's locking composes with the worker pool.
+func TestCachedCheckUnderInvalidation(t *testing.T) {
+	pn, err := network.BuildPaper(1, network.DefaultPaperOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn.Start()
+	if err := pn.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tables := map[string]*fib.Table{}
+	for _, r := range pn.Routers() {
+		tables[r.Name] = r.FIB
+	}
+	w := dataplane.NewWalker(pn.Topo, dataplane.TableView(tables))
+	checker := NewChecker(w, []string{"r1", "r2", "r3"})
+	checker.Workers = 8
+	checker.Metrics = metrics.NewRegistry()
+	checker.Cache = NewWalkCache()
+
+	policies := []Policy{
+		{Kind: Egress, Prefix: pn.P, Expect: "e2"},
+		{Kind: NoLoop, Prefix: pn.P},
+		{Kind: NoBlackhole, Prefix: pn.P},
+	}
+
+	stop := make(chan struct{})
+	var invWg sync.WaitGroup
+	invWg.Add(1)
+	go func() {
+		defer invWg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				checker.Cache.InvalidateRouter("r1")
+			case 1:
+				checker.Cache.InvalidateRouter("r3")
+			case 2:
+				checker.Cache.Flush()
+			}
+			i++
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rep := checker.Check(policies)
+				// FIBs are quiescent, so regardless of cache hits or misses
+				// every verdict must stay clean.
+				if len(rep.Violations) != 0 {
+					t.Errorf("violation under invalidation churn: %v", rep.Violations[0])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	invWg.Wait()
+}

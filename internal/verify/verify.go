@@ -86,11 +86,14 @@ func (v Violation) String() string {
 type Report struct {
 	Violations []Violation
 	Checked    int // number of (policy, source) checks evaluated
-	// Walks is the number of distinct data-plane walks executed; Deduped is
-	// how many checks were answered by a walk shared with another check
-	// (same source and destination header, or same forwarding equivalence
-	// class when the checker is class-sharded).
+	// Walks is the number of data-plane walks actually executed this run;
+	// Cached is how many distinct walks were answered from the checker's
+	// walk cache instead; Deduped is how many checks were answered by a
+	// walk shared with another check (same source and destination header,
+	// or same forwarding equivalence class when the checker is
+	// class-sharded).
 	Walks   int
+	Cached  int
 	Deduped int
 }
 
@@ -121,6 +124,10 @@ type Checker struct {
 	// Metrics optionally receives verify.* counters and per-policy-kind
 	// latency timers.
 	Metrics *metrics.Registry
+	// Cache optionally reuses walks across Check calls; the caller must
+	// invalidate it (InvalidateRouter/Flush) when forwarding state changes.
+	// Nil disables caching — every Check walks from scratch.
+	Cache *WalkCache
 
 	classRep map[netip.Prefix]netip.Addr
 }
@@ -199,17 +206,37 @@ func (c *Checker) Check(policies []Policy) Report {
 		}
 	}
 
+	// Resolve what we can from the walk cache; only the misses execute.
+	// The epoch is captured before any cache read so an invalidation
+	// racing with this run stamps our stored walks as already stale.
 	walks := make([]dataplane.Walk, len(keys))
+	run := make([]int, 0, len(keys))
+	var cacheEpoch uint64
+	if c.Cache != nil {
+		cacheEpoch = c.Cache.begin()
+		for i, k := range keys {
+			if w, ok := c.Cache.get(k); ok {
+				walks[i] = w
+			} else {
+				run = append(run, i)
+			}
+		}
+	} else {
+		for i := range keys {
+			run = append(run, i)
+		}
+	}
+
 	workers := c.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(keys) {
-		workers = len(keys)
+	if workers > len(run) {
+		workers = len(run)
 	}
 	if workers <= 1 {
-		for i, k := range keys {
-			walks[i] = c.Walker.Forward(k.src, k.dst)
+		for _, i := range run {
+			walks[i] = c.Walker.Forward(keys[i].src, keys[i].dst)
 		}
 	} else {
 		var (
@@ -225,32 +252,56 @@ func (c *Checker) Check(policies []Policy) Report {
 				}
 			}()
 		}
-		for i := range keys {
+		for _, i := range run {
 			next <- i
 		}
 		close(next)
 		wg.Wait()
 	}
+	if c.Cache != nil {
+		for _, i := range run {
+			c.Cache.put(keys[i], walks[i], cacheEpoch)
+		}
+	}
 
-	rep := Report{Checked: len(checks), Walks: len(keys), Deduped: len(checks) - len(keys)}
+	rep := Report{
+		Checked: len(checks),
+		Walks:   len(run),
+		Cached:  len(keys) - len(run),
+		Deduped: len(checks) - len(keys),
+	}
+	var (
+		kindDur    [len(kindNames)]time.Duration
+		kindChecks [len(kindNames)]int64
+		timed      = c.Metrics != nil
+	)
 	for _, ch := range checks {
-		if v, bad := Evaluate(ch.policy, ch.src, walks[ch.walk]); bad {
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
+		v, bad := Evaluate(ch.policy, ch.src, walks[ch.walk])
+		if timed && int(ch.policy.Kind) < len(kindNames) {
+			kindDur[ch.policy.Kind] += time.Since(t0)
+			kindChecks[ch.policy.Kind]++
+		}
+		if bad {
 			rep.Violations = append(rep.Violations, v)
 		}
 	}
 	if m := c.Metrics; m != nil {
 		m.Counter("verify.checks").Add(int64(rep.Checked))
 		m.Counter("verify.walks.executed").Add(int64(rep.Walks))
+		m.Counter("verify.walks.cached").Add(int64(rep.Cached))
 		m.Counter("verify.walks.deduped").Add(int64(rep.Deduped))
 		m.Counter("verify.violations").Add(int64(len(rep.Violations)))
 		m.Timer("verify.check").Observe(time.Since(start))
-		elapsed := time.Since(start)
-		kinds := map[Kind]bool{}
-		for _, p := range policies {
-			if !kinds[p.Kind] {
-				kinds[p.Kind] = true
-				m.Timer("verify.policy." + p.Kind.String()).Observe(elapsed)
+		for k, n := range kindChecks {
+			if n == 0 {
+				continue
 			}
+			m.Timer("verify.policy." + Kind(k).String()).Observe(kindDur[k])
+			m.Counter("verify.policy." + Kind(k).String() + ".checks").Add(n)
 		}
 	}
 	return rep
