@@ -78,12 +78,17 @@ func NewIncremental(reg *metrics.Registry) *Incremental {
 // Watch seeds the classifier with router's current FIB contents and
 // subscribes to its changes. This is the production entry point; use Seed
 // to register contents without the subscription.
+//
+// The subscription is registered before the snapshot is taken, so an
+// update landing in between is both queued and reflected in the seed; the
+// flush path tolerates the replay (installs are idempotent, removals only
+// decrement the universe refcount when the trie actually held the entry).
 func (inc *Incremental) Watch(router string, t *fib.Table) {
-	inc.Seed(router, t.Snapshot())
 	inc.mu.Lock()
 	inc.watched[router] = t
 	inc.mu.Unlock()
 	t.OnChange(func(u fib.Update) { inc.Note(router, u) })
+	inc.Seed(router, t.Snapshot())
 }
 
 // Seed registers router with the given FIB contents without subscribing to
@@ -179,6 +184,12 @@ func (inc *Incremental) flushLocked() Delta {
 			}
 		}
 		routers[pu.router] = struct{}{}
+		// The touched prefix itself is always affected. affectedLocked finds
+		// it via universe.Subtree only while it is still in the universe; a
+		// withdrawal from the last router carrying it has already dropped it,
+		// and the re-sign loop's not-in-universe branch is what retires its
+		// stale classification — so add it unconditionally.
+		affected[pp] = struct{}{}
 		inc.affectedLocked(pp, affected)
 	}
 	inc.pending = inc.pending[:0]

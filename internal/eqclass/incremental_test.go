@@ -78,8 +78,12 @@ func TestIncrementalChurnParity(t *testing.T) {
 	mutate(inc, fibs, "r1", fib.Entry{Prefix: p1}, false)
 	requireParity(t, inc, fibs, "partial removal")
 
-	// Remove it everywhere: it must leave the universe and its class.
+	// Remove it everywhere: it must leave the universe and its class. Flush
+	// between the two removals so the final withdrawal arrives in a flush
+	// of its own (refcount 1 -> 0, no other update touching the prefix) —
+	// batching both removals together would mask a miss on that path.
 	mutate(inc, fibs, "r2", fib.Entry{Prefix: p1}, false)
+	requireParity(t, inc, fibs, "second removal")
 	mutate(inc, fibs, "r3", fib.Entry{Prefix: p1}, false)
 	requireParity(t, inc, fibs, "universe removal")
 
@@ -98,6 +102,30 @@ func TestIncrementalChurnParity(t *testing.T) {
 	// Brand-new prefix on a single router.
 	mutate(inc, fibs, "r1", entry("172.16.0.0/12", "203.0.113.40"), true)
 	requireParity(t, inc, fibs, "new prefix")
+}
+
+// TestIncrementalSingleFlushFullWithdrawal withdraws a prefix installed on
+// exactly one router, in its own flush: the universe refcount drops to zero
+// before the affected set is computed, so the prefix can only be retired by
+// being added to the set unconditionally (regression for a bug where its
+// stale class survived indefinitely).
+func TestIncrementalSingleFlushFullWithdrawal(t *testing.T) {
+	p := netip.MustParsePrefix("10.0.0.0/24")
+	fibs := map[string]map[netip.Prefix]fib.Entry{
+		"r1": {p: {Prefix: p, NextHop: netip.MustParseAddr("192.0.2.1")}},
+	}
+	inc := NewIncremental(nil)
+	seedFrom(inc, fibs)
+	requireParity(t, inc, fibs, "seed")
+
+	mutate(inc, fibs, "r1", fib.Entry{Prefix: p}, false)
+	requireParity(t, inc, fibs, "full withdrawal")
+	if n := inc.Len(); n != 0 {
+		t.Fatalf("classes after full withdrawal = %d, want 0", n)
+	}
+	if reps := inc.Representatives(); len(reps) != 0 {
+		t.Fatalf("representatives after full withdrawal = %v, want none", reps)
+	}
 }
 
 func TestIncrementalDeltaCounts(t *testing.T) {
