@@ -95,7 +95,8 @@ func run(violate bool, grid int, seed int64, workers int) error {
 	defer teardown()
 	fmt.Printf("fleet: %d nodes + coordinator %s\n", len(nodes), coord.Addr())
 
-	stats, err := coord.Verify(nodes, policies, sources)
+	reg := metrics.NewRegistry()
+	stats, err := coord.VerifyWith(nodes, policies, sources, dist.VerifyOpts{Metrics: reg})
 	if err != nil {
 		return err
 	}
@@ -103,6 +104,26 @@ func run(violate bool, grid int, seed int64, workers int) error {
 	for _, v := range stats.Report.Violations {
 		fmt.Println("  violation:", v)
 	}
+	fmt.Printf("overhead: %d walks, %d messages, %d batches, %d frames, %d bytes on the wire\n",
+		stats.Walks, stats.Messages, stats.Batches, stats.Frames, stats.Bytes)
+	fmt.Printf("dist metrics: %s\n", reg)
+
+	// The same round over the legacy transport — one dial and one JSON
+	// envelope per message — to show what pooling and binary batching buy.
+	lcoord, lnodes, lteardown, err := dist.BuildFleet(n, nil, dist.TransportOptions{Legacy: true})
+	if err != nil {
+		return err
+	}
+	lstats, err := lcoord.Verify(lnodes, policies, sources)
+	lteardown()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("legacy transport: %d frames, %d bytes (pooled+binary: %.1fx fewer frames, %.1fx fewer bytes)\n",
+		lstats.Frames, lstats.Bytes,
+		float64(lstats.Frames)/float64(max64(stats.Frames, 1)),
+		float64(lstats.Bytes)/float64(max64(stats.Bytes, 1)))
+
 	views := map[string]dist.LocalView{}
 	for _, r := range n.Routers() {
 		views[r.Name] = dist.LocalViewOf(r)
@@ -111,7 +132,6 @@ func run(violate bool, grid int, seed int64, workers int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("overhead: %d walks, %d messages, %d bytes on the wire\n", stats.Walks, stats.Messages, stats.Bytes)
 	fmt.Printf("centralized alternative would ship %d bytes of FIB state\n", central)
 
 	// Same policy suite through the local parallel checker, for comparison
@@ -131,11 +151,29 @@ func run(violate bool, grid int, seed int64, workers int) error {
 	// equivalence classes and walk cache — a second tick on a quiet network
 	// costs zero walks.
 	pipe := hbverify.NewPipeline(n, sources)
+	defer pipe.Close()
 	pipe.Workers = workers
 	pipe.Verify(policies)
 	warm := pipe.Verify(policies)
 	fmt.Printf("delta re-verify: %s (%d walks executed, %d cached, %d classes)\n",
 		warm.Summary(), warm.Walks, warm.Cached, len(pipe.Classes()))
+
+	// And the distributed equivalent: the pipeline keeps its own fleet,
+	// ships FIB deltas only to dirty routers, and shares the walk cache
+	// with the local path — a quiet round puts zero frames on the wire.
+	dstats, err := pipe.VerifyDistributed(policies)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("distributed delta re-verify: %d frames/%d bytes (%d cache-skipped, %d clean-skipped of %d walks)\n",
+		dstats.Frames, dstats.Bytes, dstats.CacheSkipped, dstats.CleanSkipped, dstats.Walks)
 	fmt.Printf("pipeline: %s\n", pipe.Summary())
 	return nil
+}
+
+func max64(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

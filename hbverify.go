@@ -28,9 +28,12 @@ package hbverify
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"hbverify/internal/capture"
 	"hbverify/internal/dataplane"
+	"hbverify/internal/dist"
 	"hbverify/internal/eqclass"
 	"hbverify/internal/fib"
 	"hbverify/internal/hbg"
@@ -68,6 +71,16 @@ type Pipeline struct {
 	eqc       *eqclass.Incremental
 	walkCache *verify.WalkCache
 	live      *verify.Checker
+
+	// Lazily-built distributed verification fleet (§5), plus the set of
+	// routers whose forwarding state changed since the last distributed
+	// round — the view-delta and walk-reuse working set.
+	distMu       sync.Mutex
+	distCoord    *dist.Coordinator
+	distNodes    map[string]*dist.Node
+	distTeardown func()
+	distDirty    map[string]struct{}
+	distAllDirty bool
 }
 
 // NewPipeline builds a pipeline with the incremental rule-matching strategy
@@ -82,16 +95,22 @@ func NewPipeline(n *network.Network, sources []string) *Pipeline {
 	p := &Pipeline{Net: n, Strategy: inc, Sources: sources, Metrics: reg}
 	p.eqc = eqclass.NewIncremental(reg)
 	p.walkCache = verify.NewWalkCache()
+	p.distDirty = map[string]struct{}{}
 	for _, r := range n.Routers() {
 		name := r.Name
 		p.eqc.Watch(name, r.FIB)
-		r.FIB.OnChange(func(fib.Update) { p.walkCache.InvalidateRouter(name) })
+		r.FIB.OnChange(func(fib.Update) {
+			p.walkCache.InvalidateRouter(name)
+			p.noteDistDirty(name)
+		})
 	}
 	n.OnLinkChange(func(a, b string, up bool) {
 		// A link flip changes walker behaviour at both ends even when no
 		// FIB entry moves (interface-up checks, statics over the link).
 		p.walkCache.InvalidateRouter(a)
 		p.walkCache.InvalidateRouter(b)
+		p.noteDistDirty(a)
+		p.noteDistDirty(b)
 	})
 	p.engine = repair.NewEngine(n, p.infer, sources)
 	p.engine.Metrics = reg
@@ -99,8 +118,20 @@ func NewPipeline(n *network.Network, sources []string) *Pipeline {
 		inc.Invalidate()
 		p.eqc.Reset()
 		p.walkCache.Flush()
+		// Rollback rewrote history: every node view is suspect.
+		p.distMu.Lock()
+		p.distAllDirty = true
+		p.distMu.Unlock()
 	}
 	return p
+}
+
+func (p *Pipeline) noteDistDirty(router string) {
+	p.distMu.Lock()
+	if p.distDirty != nil {
+		p.distDirty[router] = struct{}{}
+	}
+	p.distMu.Unlock()
 }
 
 // infer applies the configured strategy with oracle fields stripped, so
@@ -153,6 +184,93 @@ func (p *Pipeline) Verify(policies []verify.Policy) verify.Report {
 	}
 	p.live.Workers = p.Workers
 	return p.live.Check(policies)
+}
+
+// VerifyDistributed checks policies through a per-router TCP fleet (§5)
+// instead of the central walker. The fleet is built lazily on first call
+// and kept across calls; subsequent rounds ship binary FIB/interface
+// deltas only for the routers that changed (tracked from the same
+// OnChange/OnLinkChange hooks that drive the caches), and the dispatch
+// scheduler answers walks from the shared walk cache or the previous
+// round's clean results before anything touches the wire. Metrics land in
+// p.Metrics (dist.* counters, per-node latency timers) and surface through
+// Summary().
+func (p *Pipeline) VerifyDistributed(policies []verify.Policy) (dist.Stats, error) {
+	p.distMu.Lock()
+	if p.distCoord == nil {
+		coord, nodes, teardown, err := dist.BuildFleet(p.Net, nil)
+		if err != nil {
+			p.distMu.Unlock()
+			return dist.Stats{}, err
+		}
+		p.distCoord, p.distNodes, p.distTeardown = coord, nodes, teardown
+		// The fleet was just built from the live views: nothing is dirty.
+		p.distDirty = map[string]struct{}{}
+		p.distAllDirty = false
+	}
+	var dirty []string
+	if p.distAllDirty {
+		dirty = nil // no delta information: sync and re-walk everything
+	} else {
+		dirty = make([]string, 0, len(p.distDirty))
+		for r := range p.distDirty {
+			dirty = append(dirty, r)
+		}
+		sort.Strings(dirty)
+	}
+	coord, nodes := p.distCoord, p.distNodes
+	p.distMu.Unlock()
+
+	views := map[string]dist.LocalView{}
+	for _, r := range p.Net.Routers() {
+		if dirty != nil && len(dirty) == 0 {
+			break // nothing changed: no views needed
+		}
+		if dirty == nil || contains(dirty, r.Name) {
+			if nodes[r.Name] != nil {
+				views[r.Name] = dist.LocalViewOf(r)
+			}
+		}
+	}
+	if _, err := coord.SyncViews(nodes, views, dirty); err != nil {
+		return dist.Stats{}, err
+	}
+	stats, err := coord.VerifyWith(nodes, policies, p.Sources, dist.VerifyOpts{
+		Cache:   p.walkCache,
+		Dirty:   dirty,
+		Metrics: p.Metrics,
+	})
+	if err == nil {
+		p.distMu.Lock()
+		p.distDirty = map[string]struct{}{}
+		p.distAllDirty = false
+		p.distMu.Unlock()
+	}
+	return stats, err
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Close tears down resources the pipeline holds — currently the
+// distributed verification fleet, if one was built. The pipeline remains
+// usable for local verification afterwards; a later VerifyDistributed
+// builds a fresh fleet.
+func (p *Pipeline) Close() error {
+	p.distMu.Lock()
+	teardown := p.distTeardown
+	p.distCoord, p.distNodes, p.distTeardown = nil, nil, nil
+	p.distMu.Unlock()
+	if teardown != nil {
+		teardown()
+	}
+	return nil
 }
 
 // Classes returns the current forwarding equivalence classes, maintained

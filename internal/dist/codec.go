@@ -1,0 +1,509 @@
+// The wire codec. Every dist frame is length-prefixed:
+//
+//	[4-byte big-endian payload length][payload]
+//
+// and the payload's first byte selects the format: frameV1 (0x01) starts a
+// compact binary message — [version][msgType][body] with varint integers,
+// length-prefixed strings, and raw address bytes — while '{' (the only
+// byte a JSON envelope can start with) marks a legacy JSON envelope, so a
+// new node interoperates with old peers without negotiation. Encoders are
+// append-style over caller-owned buffers: the connection pool hands each
+// send the connection's reusable scratch slice, so steady-state encoding
+// allocates nothing.
+
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/dataplane"
+	"hbverify/internal/fib"
+	"hbverify/internal/netsim"
+	"hbverify/internal/route"
+	"hbverify/internal/verify"
+)
+
+// frameV1 is the binary format version byte. It can never collide with the
+// JSON fallback: JSON envelopes always start with '{' (0x7B).
+const frameV1 = 0x01
+
+// Binary message types (the byte after the version byte).
+const (
+	mtWalk        byte = 1 // body: WalkMsg
+	mtWalkBatch   byte = 2 // body: batchID, count, WalkMsg...
+	mtResultBatch byte = 3 // body: batchID, count, WalkMsg...
+	mtViewDelta   byte = 4 // body: viewDelta (FIB installs/removes + ifaces)
+	mtProv        byte = 5 // body: ProvQuery
+	mtProvResult  byte = 6 // body: ProvQuery
+)
+
+// maxFrame bounds a single frame; larger reads are rejected as corrupt.
+const maxFrame = 16 << 20
+
+// ---------------------------------------------------------------------------
+// Append-style encoders.
+// ---------------------------------------------------------------------------
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// appendAddr writes a netip.Addr as [len byte][bytes]; len 0 marks the
+// invalid (unset) address.
+func appendAddr(b []byte, a netip.Addr) []byte {
+	if !a.IsValid() {
+		return append(b, 0)
+	}
+	s := a.AsSlice()
+	b = append(b, byte(len(s)))
+	return append(b, s...)
+}
+
+// appendPrefix writes addr + bits; the invalid prefix is addr-len 0 with no
+// bits byte.
+func appendPrefix(b []byte, p netip.Prefix) []byte {
+	if !p.IsValid() {
+		return append(b, 0)
+	}
+	b = appendAddr(b, p.Addr())
+	return append(b, byte(p.Bits()))
+}
+
+func appendStrings(b []byte, ss []string) []byte {
+	b = appendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendString(b, s)
+	}
+	return b
+}
+
+func appendPolicy(b []byte, p verify.Policy) []byte {
+	b = append(b, byte(p.Kind))
+	b = appendPrefix(b, p.Prefix)
+	b = appendString(b, p.Expect)
+	return appendStrings(b, p.Sources)
+}
+
+func appendWalk(b []byte, w *WalkMsg) []byte {
+	b = appendUvarint(b, uint64(w.WalkID))
+	b = appendPolicy(b, w.Policy)
+	b = appendString(b, w.Source)
+	b = appendAddr(b, w.Dst)
+	b = appendStrings(b, w.Path)
+	b = appendUvarint(b, uint64(w.Hops))
+	b = appendUvarint(b, uint64(w.Msgs))
+	b = append(b, byte(w.Outcome))
+	b = appendBool(b, w.Done)
+	b = appendString(b, w.Egress)
+	return appendString(b, w.Err)
+}
+
+// appendWalkBatch encodes a full walk-batch (or result-batch) frame body.
+func appendWalkBatch(b []byte, mt byte, batchID int, walks []WalkMsg) []byte {
+	b = append(b, frameV1, mt)
+	b = appendUvarint(b, uint64(batchID))
+	b = appendUvarint(b, uint64(len(walks)))
+	for i := range walks {
+		b = appendWalk(b, &walks[i])
+	}
+	return b
+}
+
+func appendEntry(b []byte, e fib.Entry) []byte {
+	b = appendPrefix(b, e.Prefix)
+	b = appendAddr(b, e.NextHop)
+	b = appendString(b, e.OutIface)
+	b = append(b, byte(e.Proto), e.AD)
+	return appendUvarint(b, uint64(e.Metric))
+}
+
+func appendIface(b []byte, i IfaceInfo) []byte {
+	b = appendString(b, i.Name)
+	b = appendAddr(b, i.Addr)
+	b = appendPrefix(b, i.Prefix)
+	b = appendAddr(b, i.PeerAddr)
+	b = appendString(b, i.PeerName)
+	b = appendBool(b, i.Up)
+	return appendBool(b, i.Stub)
+}
+
+// viewDelta updates a node's LocalView in place: FIB installs and removals
+// (entry-level deltas), and optionally a full interface-state replacement
+// (link flips change Step behaviour without touching the FIB).
+type viewDelta struct {
+	Router   string
+	Full     bool // replace the whole FIB with Installs
+	Installs []fib.Entry
+	Removes  []netip.Prefix
+	Ifaces   []IfaceInfo // nil = leave interface state alone
+	HasIface bool
+}
+
+func appendViewDelta(b []byte, d *viewDelta) []byte {
+	b = append(b, frameV1, mtViewDelta)
+	b = appendString(b, d.Router)
+	b = appendBool(b, d.Full)
+	b = appendUvarint(b, uint64(len(d.Installs)))
+	for _, e := range d.Installs {
+		b = appendEntry(b, e)
+	}
+	b = appendUvarint(b, uint64(len(d.Removes)))
+	for _, p := range d.Removes {
+		b = appendPrefix(b, p)
+	}
+	b = appendBool(b, d.HasIface)
+	if d.HasIface {
+		b = appendUvarint(b, uint64(len(d.Ifaces)))
+		for _, i := range d.Ifaces {
+			b = appendIface(b, i)
+		}
+	}
+	return b
+}
+
+func appendAttrs(b []byte, a route.BGPAttrs) []byte {
+	b = appendUvarint(b, uint64(a.LocalPref))
+	b = appendUvarint(b, uint64(len(a.ASPath)))
+	for _, as := range a.ASPath {
+		b = appendUvarint(b, uint64(as))
+	}
+	b = appendUvarint(b, uint64(a.MED))
+	b = append(b, byte(a.Origin))
+	b = appendUvarint(b, uint64(len(a.Communities)))
+	for _, c := range a.Communities {
+		b = appendUvarint(b, uint64(c))
+	}
+	b = appendAddr(b, a.OriginatorID)
+	b = appendUvarint(b, uint64(len(a.ClusterList)))
+	for _, c := range a.ClusterList {
+		b = appendAddr(b, c)
+	}
+	return b
+}
+
+func appendIO(b []byte, io capture.IO) []byte {
+	b = appendUvarint(b, io.ID)
+	b = appendString(b, io.Router)
+	b = append(b, byte(io.Type), byte(io.Proto))
+	b = appendPrefix(b, io.Prefix)
+	b = appendAddr(b, io.NextHop)
+	b = appendString(b, io.Peer)
+	b = appendAddr(b, io.PeerAddr)
+	b = appendAttrs(b, io.Attrs)
+	b = appendString(b, io.Detail)
+	b = appendVarint(b, int64(io.Time))
+	b = appendVarint(b, int64(io.TrueTime))
+	b = appendUvarint(b, uint64(len(io.Causes)))
+	for _, c := range io.Causes {
+		b = appendUvarint(b, c)
+	}
+	return b
+}
+
+func appendProv(b []byte, mt byte, q *ProvQuery) []byte {
+	b = append(b, frameV1, mt)
+	b = appendUvarint(b, uint64(q.QueryID))
+	b = appendUvarint(b, q.Cursor)
+	b = appendUvarint(b, uint64(q.Hops))
+	b = appendBool(b, q.Done)
+	b = appendString(b, q.Err)
+	b = appendUvarint(b, uint64(len(q.Path)))
+	for _, io := range q.Path {
+		b = appendIO(b, io)
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Decoder.
+// ---------------------------------------------------------------------------
+
+// wireReader consumes a binary payload; the first error sticks and every
+// subsequent read returns zero values, so decode paths check err once.
+type wireReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("dist: truncated %s at offset %d", what, r.off)
+	}
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *wireReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *wireReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail("byte")
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *wireReader) bool() bool { return r.byte() != 0 }
+
+func (r *wireReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.fail("bytes")
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *wireReader) string() string {
+	n := r.uvarint()
+	if n > uint64(len(r.b)) {
+		r.fail("string")
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+
+// count reads a collection length and bounds it by the remaining payload so
+// a corrupt frame cannot trigger a huge allocation.
+func (r *wireReader) count(what string) int {
+	n := r.uvarint()
+	if n > uint64(len(r.b)-r.off) {
+		r.fail(what + " count")
+		return 0
+	}
+	return int(n)
+}
+
+func (r *wireReader) addr() netip.Addr {
+	n := int(r.byte())
+	if n == 0 {
+		return netip.Addr{}
+	}
+	a, ok := netip.AddrFromSlice(r.take(n))
+	if !ok {
+		r.fail("addr")
+	}
+	return a
+}
+
+func (r *wireReader) prefix() netip.Prefix {
+	a := r.addr()
+	if !a.IsValid() {
+		return netip.Prefix{}
+	}
+	bits := int(r.byte())
+	p, err := a.Prefix(bits)
+	if err != nil {
+		r.fail("prefix")
+		return netip.Prefix{}
+	}
+	return p
+}
+
+func (r *wireReader) strings() []string {
+	n := r.count("strings")
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.string()
+	}
+	return out
+}
+
+func (r *wireReader) policy() verify.Policy {
+	var p verify.Policy
+	p.Kind = verify.Kind(r.byte())
+	p.Prefix = r.prefix()
+	p.Expect = r.string()
+	p.Sources = r.strings()
+	return p
+}
+
+func (r *wireReader) walk() WalkMsg {
+	var w WalkMsg
+	w.WalkID = int(r.uvarint())
+	w.Policy = r.policy()
+	w.Source = r.string()
+	w.Dst = r.addr()
+	w.Path = r.strings()
+	w.Hops = int(r.uvarint())
+	w.Msgs = int(r.uvarint())
+	w.Outcome = dataplane.Outcome(r.byte())
+	w.Done = r.bool()
+	w.Egress = r.string()
+	w.Err = r.string()
+	return w
+}
+
+func (r *wireReader) walkBatch() (int, []WalkMsg) {
+	batchID := int(r.uvarint())
+	n := r.count("walk batch")
+	walks := make([]WalkMsg, 0, n)
+	for i := 0; i < n; i++ {
+		walks = append(walks, r.walk())
+	}
+	return batchID, walks
+}
+
+func (r *wireReader) entry() fib.Entry {
+	var e fib.Entry
+	e.Prefix = r.prefix()
+	e.NextHop = r.addr()
+	e.OutIface = r.string()
+	e.Proto = route.Protocol(r.byte())
+	e.AD = r.byte()
+	e.Metric = uint32(r.uvarint())
+	return e
+}
+
+func (r *wireReader) iface() IfaceInfo {
+	var i IfaceInfo
+	i.Name = r.string()
+	i.Addr = r.addr()
+	i.Prefix = r.prefix()
+	i.PeerAddr = r.addr()
+	i.PeerName = r.string()
+	i.Up = r.bool()
+	i.Stub = r.bool()
+	return i
+}
+
+func (r *wireReader) viewDelta() viewDelta {
+	var d viewDelta
+	d.Router = r.string()
+	d.Full = r.bool()
+	n := r.count("fib installs")
+	for i := 0; i < n; i++ {
+		d.Installs = append(d.Installs, r.entry())
+	}
+	n = r.count("fib removes")
+	for i := 0; i < n; i++ {
+		d.Removes = append(d.Removes, r.prefix())
+	}
+	d.HasIface = r.bool()
+	if d.HasIface {
+		n = r.count("ifaces")
+		d.Ifaces = make([]IfaceInfo, 0, n)
+		for i := 0; i < n; i++ {
+			d.Ifaces = append(d.Ifaces, r.iface())
+		}
+	}
+	return d
+}
+
+func (r *wireReader) attrs() route.BGPAttrs {
+	var a route.BGPAttrs
+	a.LocalPref = uint32(r.uvarint())
+	if n := r.count("aspath"); n > 0 {
+		a.ASPath = make([]uint32, n)
+		for i := range a.ASPath {
+			a.ASPath[i] = uint32(r.uvarint())
+		}
+	}
+	a.MED = uint32(r.uvarint())
+	a.Origin = route.Origin(r.byte())
+	if n := r.count("communities"); n > 0 {
+		a.Communities = make([]uint32, n)
+		for i := range a.Communities {
+			a.Communities[i] = uint32(r.uvarint())
+		}
+	}
+	a.OriginatorID = r.addr()
+	if n := r.count("clusterlist"); n > 0 {
+		a.ClusterList = make([]netip.Addr, n)
+		for i := range a.ClusterList {
+			a.ClusterList[i] = r.addr()
+		}
+	}
+	return a
+}
+
+func (r *wireReader) io() capture.IO {
+	var io capture.IO
+	io.ID = r.uvarint()
+	io.Router = r.string()
+	io.Type = capture.Type(r.byte())
+	io.Proto = route.Protocol(r.byte())
+	io.Prefix = r.prefix()
+	io.NextHop = r.addr()
+	io.Peer = r.string()
+	io.PeerAddr = r.addr()
+	io.Attrs = r.attrs()
+	io.Detail = r.string()
+	io.Time = netsim.VirtualTime(r.varint())
+	io.TrueTime = netsim.VirtualTime(r.varint())
+	if n := r.count("causes"); n > 0 {
+		io.Causes = make([]uint64, n)
+		for i := range io.Causes {
+			io.Causes[i] = r.uvarint()
+		}
+	}
+	return io
+}
+
+func (r *wireReader) prov() ProvQuery {
+	var q ProvQuery
+	q.QueryID = int(r.uvarint())
+	q.Cursor = r.uvarint()
+	q.Hops = int(r.uvarint())
+	q.Done = r.bool()
+	q.Err = r.string()
+	n := r.count("prov path")
+	for i := 0; i < n; i++ {
+		q.Path = append(q.Path, r.io())
+	}
+	return q
+}

@@ -3,9 +3,16 @@
 // FIB and happens-before subgraph, applies its local forwarding step to
 // in-flight verification walks, and hands the partial result to the next
 // node — the HSA-style "pass the output of the transfer function
-// downstream" construction. Nodes are real TCP servers speaking
-// length-prefixed JSON, so the package measures genuine message and byte
-// overheads for experiment E9.
+// downstream" construction. Nodes are real TCP servers, so the package
+// measures genuine message and byte overheads for experiment E9.
+//
+// The transport is pooled and pipelined: every fleet member keeps one
+// persistent connection per peer and writes compact binary frames (see
+// codec.go) carrying whole batches of walks, with correlation IDs routing
+// results back to the submitting Verify call. Legacy mode — one TCP dial
+// and one JSON envelope per message, the original transport — is kept
+// behind TransportOptions.Legacy as the benchmark baseline, and every
+// receive path still accepts JSON frames from old peers.
 package dist
 
 import (
@@ -17,9 +24,11 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+	"time"
 
 	"hbverify/internal/dataplane"
 	"hbverify/internal/fib"
+	"hbverify/internal/metrics"
 	"hbverify/internal/network"
 	"hbverify/internal/trie"
 	"hbverify/internal/verify"
@@ -209,10 +218,12 @@ type WalkMsg struct {
 	Path    []string
 	Hops    int
 	Msgs    int // messages spent so far (accounting piggybacks on the walk)
-	Bytes   int
 	Outcome dataplane.Outcome
 	Done    bool
 	Egress  string
+	// Err carries a transport failure (dead peer, timeout) back to the
+	// coordinator instead of losing the walk silently.
+	Err string `json:",omitempty"`
 }
 
 type envelope struct {
@@ -221,7 +232,9 @@ type envelope struct {
 	HBG  *hbgEnvelope `json:"hbg,omitempty"`
 }
 
-// writeMsg frames and writes an envelope; it returns the wire size.
+// writeMsg frames and writes a JSON envelope; it returns the wire size.
+// This is the legacy codec — the pooled transport writes binary frames via
+// the codec in codec.go — kept so old peers remain speakable.
 func writeMsg(w io.Writer, env envelope) (int, error) {
 	b, err := json.Marshal(env)
 	if err != nil {
@@ -239,16 +252,8 @@ func writeMsg(w io.Writer, env envelope) (int, error) {
 }
 
 func readMsg(r io.Reader) (envelope, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return envelope{}, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > 16<<20 {
-		return envelope{}, fmt.Errorf("dist: oversized frame (%d bytes)", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	buf, err := readFrame(r)
+	if err != nil {
 		return envelope{}, err
 	}
 	var env envelope
@@ -258,6 +263,11 @@ func readMsg(r io.Reader) (envelope, error) {
 	return env, nil
 }
 
+// idleTimeout bounds how long a server-side read blocks between frames on
+// a persistent connection; an idle peer costs a redial, a dead one is
+// detected instead of parking a goroutine forever.
+const idleTimeout = 2 * time.Minute
+
 // Node is one router's verification server.
 type Node struct {
 	View LocalView
@@ -266,19 +276,36 @@ type Node struct {
 	directory func(router string) (string, bool) // router -> node address
 	resultTo  string                             // coordinator address
 
+	pool  *pool
+	wire  *wireStats
+	conns *connSet
+
+	// viewMu guards View against concurrent walk handling and view-delta
+	// application. View must not be mutated externally after StartNode.
+	viewMu sync.RWMutex
+
 	mu     sync.Mutex
 	closed bool
 	wg     sync.WaitGroup
 }
 
 // StartNode launches a node listening on 127.0.0.1. directory resolves
-// peer node addresses and resultTo is the coordinator's address.
-func StartNode(view LocalView, directory func(string) (string, bool), resultTo string) (*Node, error) {
+// peer node addresses and resultTo is the coordinator's address. Transport
+// options beyond the first are ignored.
+func StartNode(view LocalView, directory func(string) (string, bool), resultTo string, opts ...TransportOptions) (*Node, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
-	n := &Node{View: view, ln: ln, directory: directory, resultTo: resultTo}
+	var topt TransportOptions
+	if len(opts) > 0 {
+		topt = opts[0]
+	}
+	wire := &wireStats{}
+	n := &Node{
+		View: view, ln: ln, directory: directory, resultTo: resultTo,
+		wire: wire, pool: newPool(topt, wire), conns: newConnSet(),
+	}
 	// Compile the LPM index up front: walk handlers run concurrently and
 	// must not race on the lazy build.
 	n.View.Compile()
@@ -290,12 +317,26 @@ func StartNode(view LocalView, directory func(string) (string, bool), resultTo s
 // Addr returns the node's listen address.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
-// Close shuts the node down.
+// Wire reports the node's transport counters: frames and bytes written,
+// redial retries, and sends abandoned after exhausting retries.
+func (n *Node) Wire() (frames, bytes, retries, errors int64) {
+	return n.wire.frames.Load(), n.wire.bytes.Load(), n.wire.retries.Load(), n.wire.errors.Load()
+}
+
+// Close shuts the node down: the listener stops, accepted connections are
+// closed (unparking readers blocked on persistent peers), pooled outbound
+// connections are torn down, and all serving goroutines are joined.
 func (n *Node) Close() error {
 	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
 	n.closed = true
 	n.mu.Unlock()
 	err := n.ln.Close()
+	n.conns.closeAll()
+	n.pool.closeAll()
 	n.wg.Wait()
 	return err
 }
@@ -307,20 +348,60 @@ func (n *Node) serve() {
 		if err != nil {
 			return
 		}
+		n.conns.add(conn)
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
+			defer n.conns.remove(conn)
 			defer conn.Close()
 			for {
-				env, err := readMsg(conn)
+				_ = conn.SetReadDeadline(time.Now().Add(idleTimeout))
+				payload, err := readFrame(conn)
 				if err != nil {
 					return
 				}
-				if env.Kind == "walk" && env.Walk != nil {
-					n.handleWalk(*env.Walk)
-				}
+				n.dispatch(payload)
 			}
 		}()
+	}
+}
+
+// dispatch decodes one inbound frame — binary v1 or legacy JSON — and
+// applies it.
+func (n *Node) dispatch(payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	if payload[0] == frameV1 {
+		if len(payload) < 2 {
+			return
+		}
+		r := &wireReader{b: payload[2:]}
+		switch payload[1] {
+		case mtWalk:
+			w := r.walk()
+			if r.err == nil {
+				n.handleWalk(w)
+			}
+		case mtWalkBatch:
+			id, walks := r.walkBatch()
+			if r.err == nil {
+				n.handleWalkBatch(id, walks)
+			}
+		case mtViewDelta:
+			d := r.viewDelta()
+			if r.err == nil {
+				n.applyViewDelta(d)
+			}
+		}
+		return
+	}
+	var env envelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return
+	}
+	if env.Kind == "walk" && env.Walk != nil {
+		n.handleWalk(*env.Walk)
 	}
 }
 
@@ -328,51 +409,131 @@ func (n *Node) serve() {
 func (n *Node) SetResultTo(addr string) { n.resultTo = addr }
 
 // HandleWalk applies the local step and forwards or reports; exported for
-// in-process use by the coordinator when seeding walks.
+// in-process use by the coordinator when seeding walks (legacy mode).
 func (n *Node) HandleWalk(w WalkMsg) { n.handleWalk(w) }
 
-func (n *Node) handleWalk(w WalkMsg) {
+// stepWalk applies this node's transfer step to one walk. It returns the
+// advanced walk, the next node's address when the walk continues, and
+// whether the walk terminated here.
+func (n *Node) stepWalk(w WalkMsg) (WalkMsg, string, bool) {
+	n.viewMu.RLock()
+	defer n.viewMu.RUnlock()
 	w.Path = append(w.Path, n.View.Router)
 	w.Hops++
 	// Loop detection on the accumulated path.
-	seen := map[string]int{}
+	visits := 0
 	for _, r := range w.Path {
-		seen[r]++
+		if r == n.View.Router {
+			visits++
+		}
 	}
-	if seen[n.View.Router] > 1 || w.Hops > 64 {
+	if visits > 1 || w.Hops > 64 {
 		w.Done, w.Outcome = true, dataplane.Looped
-		n.send(n.resultTo, "result", &w)
-		return
+		return w, "", true
 	}
 	step := n.View.Step(w.Dst)
 	if step.Terminal {
 		w.Done, w.Outcome, w.Egress = true, step.Outcome, n.View.Router
-		n.send(n.resultTo, "result", &w)
-		return
+		return w, "", true
 	}
 	addr, ok := n.directory(step.Next)
 	if !ok {
 		w.Done, w.Outcome = true, dataplane.Stuck
-		n.send(n.resultTo, "result", &w)
-		return
+		return w, "", true
 	}
 	w.Msgs++
-	n.send(addr, "walk", &w)
+	return w, addr, false
 }
 
-func (n *Node) send(addr, kind string, w *WalkMsg) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
+func (n *Node) handleWalk(w WalkMsg) {
+	w, next, terminal := n.stepWalk(w)
+	if terminal {
+		n.sendWalks(n.resultTo, true, []WalkMsg{w}, 0)
 		return
 	}
-	defer conn.Close()
-	// Account for this frame's size before serializing so the accumulated
-	// byte count travels with the walk (the count is a close estimate: the
-	// final serialization may differ by a few digits).
-	if pre, err := json.Marshal(envelope{Kind: kind, Walk: w}); err == nil {
-		w.Bytes += len(pre) + 4
+	n.sendWalks(next, false, []WalkMsg{w}, 0)
+}
+
+// handleWalkBatch applies the local transfer step to every walk in the
+// batch, then sends one frame per destination: finished walks to the
+// coordinator, continuing walks grouped by next-hop node.
+func (n *Node) handleWalkBatch(batchID int, walks []WalkMsg) {
+	var results []WalkMsg
+	forwards := map[string][]WalkMsg{}
+	var order []string // deterministic send order
+	for _, w := range walks {
+		w, next, terminal := n.stepWalk(w)
+		if terminal {
+			results = append(results, w)
+			continue
+		}
+		if _, ok := forwards[next]; !ok {
+			order = append(order, next)
+		}
+		forwards[next] = append(forwards[next], w)
 	}
-	_, _ = writeMsg(conn, envelope{Kind: kind, Walk: w})
+	n.sendWalks(n.resultTo, true, results, batchID)
+	for _, addr := range order {
+		n.sendWalks(addr, false, forwards[addr], batchID)
+	}
+}
+
+// sendWalks ships walks to addr as one binary batch frame, or — in legacy
+// mode — as one JSON envelope per walk over a fresh dial each. Transport
+// failures are counted in the node's wire stats; the coordinator's
+// deadline converts the lost walk into a reported error.
+func (n *Node) sendWalks(addr string, result bool, walks []WalkMsg, batchID int) {
+	if len(walks) == 0 {
+		return
+	}
+	if n.pool.opts.Legacy {
+		kind := "walk"
+		if result {
+			kind = "result"
+		}
+		for i := range walks {
+			w := walks[i]
+			_, _ = n.pool.send(addr, func(b []byte) []byte {
+				payload, err := json.Marshal(envelope{Kind: kind, Walk: &w})
+				if err != nil {
+					return b
+				}
+				return append(b, payload...)
+			})
+		}
+		return
+	}
+	mt := mtWalkBatch
+	if result {
+		mt = mtResultBatch
+	}
+	_, _ = n.pool.send(addr, func(b []byte) []byte {
+		return appendWalkBatch(b, mt, batchID, walks)
+	})
+}
+
+// applyViewDelta applies a coordinator-shipped view update: entry-level
+// FIB installs/removes (or a full replacement) and optionally new
+// interface state, then recompiles the LPM index.
+func (n *Node) applyViewDelta(d viewDelta) {
+	n.viewMu.Lock()
+	defer n.viewMu.Unlock()
+	if d.Router != "" && d.Router != n.View.Router {
+		return
+	}
+	if d.Full || n.View.FIB == nil {
+		n.View.FIB = make(map[netip.Prefix]fib.Entry, len(d.Installs))
+	}
+	for _, e := range d.Installs {
+		n.View.FIB[e.Prefix] = e
+	}
+	for _, p := range d.Removes {
+		delete(n.View.FIB, p)
+	}
+	if d.HasIface {
+		n.View.Ifaces = d.Ifaces
+	}
+	n.View.Compile()
 }
 
 // Result is one finished walk as the coordinator sees it.
@@ -381,20 +542,46 @@ type Result struct {
 	Violation *verify.Violation
 }
 
-// Coordinator seeds walks and collects results.
-type Coordinator struct {
-	ln      net.Listener
-	results chan WalkMsg
-	wg      sync.WaitGroup
+// retKey identifies a retained walk result.
+type retKey struct {
+	src string
+	dst netip.Addr
 }
 
-// StartCoordinator launches the result sink.
-func StartCoordinator() (*Coordinator, error) {
+// Coordinator seeds walks and collects results. Results are routed to the
+// submitting Verify call by WalkID, so concurrent Verify calls are safe.
+type Coordinator struct {
+	ln    net.Listener
+	pool  *pool
+	wire  *wireStats
+	conns *connSet
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	nextID   int
+	pending  map[int]chan<- WalkMsg
+	retained map[retKey]WalkMsg   // last completed walk per (source, dst)
+	lastView map[string]LocalView // views last shipped to each node
+}
+
+// StartCoordinator launches the result sink. Transport options beyond the
+// first are ignored.
+func StartCoordinator(opts ...TransportOptions) (*Coordinator, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
-	c := &Coordinator{ln: ln, results: make(chan WalkMsg, 1024)}
+	var topt TransportOptions
+	if len(opts) > 0 {
+		topt = opts[0]
+	}
+	wire := &wireStats{}
+	c := &Coordinator{
+		ln: ln, wire: wire, pool: newPool(topt, wire), conns: newConnSet(),
+		pending:  map[int]chan<- WalkMsg{},
+		retained: map[retKey]WalkMsg{},
+		lastView: map[string]LocalView{},
+	}
 	c.wg.Add(1)
 	go c.serve()
 	return c, nil
@@ -403,9 +590,16 @@ func StartCoordinator() (*Coordinator, error) {
 // Addr returns the coordinator's listen address.
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 
+// Wire reports the coordinator's transport counters.
+func (c *Coordinator) Wire() (frames, bytes, retries, errors int64) {
+	return c.wire.frames.Load(), c.wire.bytes.Load(), c.wire.retries.Load(), c.wire.errors.Load()
+}
+
 // Close shuts the coordinator down.
 func (c *Coordinator) Close() error {
 	err := c.ln.Close()
+	c.conns.closeAll()
+	c.pool.closeAll()
 	c.wg.Wait()
 	return err
 }
@@ -417,71 +611,540 @@ func (c *Coordinator) serve() {
 		if err != nil {
 			return
 		}
+		c.conns.add(conn)
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
+			defer c.conns.remove(conn)
 			defer conn.Close()
 			for {
-				env, err := readMsg(conn)
+				_ = conn.SetReadDeadline(time.Now().Add(idleTimeout))
+				payload, err := readFrame(conn)
 				if err != nil {
 					return
 				}
-				if env.Kind == "result" && env.Walk != nil {
-					c.results <- *env.Walk
-				}
+				c.dispatch(payload)
 			}
 		}()
 	}
 }
 
-// Stats aggregates a distributed verification run.
-type Stats struct {
-	Walks    int
-	Messages int
-	Bytes    int
-	Report   verify.Report
+func (c *Coordinator) dispatch(payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	if payload[0] == frameV1 {
+		if len(payload) < 2 || payload[1] != mtResultBatch {
+			return
+		}
+		r := &wireReader{b: payload[2:]}
+		_, walks := r.walkBatch()
+		if r.err != nil {
+			return
+		}
+		for _, w := range walks {
+			c.deliver(w)
+		}
+		return
+	}
+	var env envelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return
+	}
+	if env.Kind == "result" && env.Walk != nil {
+		c.deliver(*env.Walk)
+	}
 }
 
-// Verify runs the given policies across the node fleet: one walk per
-// (policy, source). It blocks until every result arrives.
+// deliver routes one result to the Verify call waiting on its WalkID.
+// Unknown IDs (duplicates, results arriving after a timeout reclaimed the
+// walk) are dropped.
+func (c *Coordinator) deliver(w WalkMsg) {
+	c.mu.Lock()
+	ch := c.pending[w.WalkID]
+	delete(c.pending, w.WalkID)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- w // buffered to the caller's walk count; never blocks
+	}
+}
+
+// retain remembers a completed walk so later delta-aware rounds can reuse
+// it when no router on its path changed.
+func (c *Coordinator) retain(src string, dst netip.Addr, w WalkMsg) {
+	c.mu.Lock()
+	c.retained[retKey{src: src, dst: dst}] = w
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) retainedWalk(src string, dst netip.Addr) (WalkMsg, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.retained[retKey{src: src, dst: dst}]
+	return w, ok
+}
+
+// Stats aggregates a distributed verification run.
+type Stats struct {
+	// Walks counts every (policy, source) check in the round, including
+	// the ones answered without touching the network.
+	Walks int
+	// Messages is the logical per-walk hop count (seed + forwards), the
+	// algorithm-level measure E9 tracks independent of transport framing.
+	Messages int
+	// Frames and Bytes count actual transport traffic across the fleet
+	// for this round (frames written and bytes on the wire).
+	Frames int
+	Bytes  int
+	// Batches is how many batch frames the coordinator submitted.
+	Batches int
+	// CacheSkipped walks were answered by the walk cache; CleanSkipped
+	// were reused from the previous round because no dirty router lay on
+	// their recorded path. Neither touches the network.
+	CacheSkipped int
+	CleanSkipped int
+	// Errors counts walks that failed (dead peer, deadline) instead of
+	// completing; each failure appears in Results with Err set.
+	Errors int
+	// Results holds every walk's final state in submission order.
+	Results []WalkMsg
+	Report  verify.Report
+}
+
+// VerifyOpts tunes one verification round.
+type VerifyOpts struct {
+	// Legacy seeds walks in-process and lets legacy nodes dial-per-message
+	// — the original transport, kept as the benchmark baseline.
+	Legacy bool
+	// Cache, when set, answers walks from the shared walk cache and stores
+	// fresh results back; cached walks never touch the network.
+	Cache *verify.WalkCache
+	// Dirty lists the routers whose forwarding state changed since the
+	// previous round on this coordinator. Non-nil Dirty lets the scheduler
+	// reuse retained results whose paths avoid every dirty router; nil
+	// means "no delta information — everything is dirty".
+	Dirty []string
+	// Window bounds in-flight walks (backpressure); default 64.
+	Window int
+	// BatchSize bounds walks per batch frame; default 16.
+	BatchSize int
+	// Timeout bounds the whole round; outstanding walks are failed with an
+	// error instead of hanging Verify. Default 5s.
+	Timeout time.Duration
+	// Metrics optionally receives dist.* counters and per-node latency
+	// timers.
+	Metrics *metrics.Registry
+	// DropBatch is a fault-injection hook for tests: when it returns true
+	// for a batch, the batch is not sent and its walks complete with empty
+	// results — simulating a transport that loses a batch but reports
+	// success. Production callers leave it nil.
+	DropBatch func(src string, walks int) bool
+}
+
+func (o VerifyOpts) withDefaults() VerifyOpts {
+	if o.Window <= 0 {
+		o.Window = 64
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 16
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	return o
+}
+
+// Verify runs the given policies across the node fleet with default
+// options: one walk per (policy, source), batched binary transport. It
+// blocks until every result arrives or the deadline passes.
 func (c *Coordinator) Verify(nodes map[string]*Node, policies []verify.Policy, sources []string) (Stats, error) {
+	return c.VerifyWith(nodes, policies, sources, VerifyOpts{})
+}
+
+// verifyJob is one (policy, source) check in a round.
+type verifyJob struct {
+	policy verify.Policy
+	src    string
+	dst    netip.Addr
+	id     int            // correlation ID; 0 for skipped jobs
+	live   bool           // true when the walk must traverse the network
+	walk   dataplane.Walk // pre-resolved walk for skipped jobs
+}
+
+// batchSubmit is one batch frame awaiting submission.
+type batchSubmit struct {
+	src   string
+	walks []WalkMsg
+}
+
+// VerifyWith runs one verification round under the given options. The
+// scheduler first answers what it can without the network (walk-cache
+// hits, retained results untouched by dirty routers), then submits the
+// rest as batch frames under a bounded in-flight window; results are
+// matched by correlation ID and checks are evaluated in submission order
+// so violation lists stay deterministic.
+func (c *Coordinator) VerifyWith(nodes map[string]*Node, policies []verify.Policy, sources []string, opts VerifyOpts) (Stats, error) {
+	opts = opts.withDefaults()
 	var stats Stats
-	id := 0
-	expected := 0
+	f0, b0 := c.fleetWire(nodes)
+
+	sources = append([]string(nil), sources...)
 	sort.Strings(sources)
+	var epoch uint64
+	if opts.Cache != nil {
+		epoch = opts.Cache.Begin()
+	}
+	var dirty map[string]struct{}
+	if opts.Dirty != nil {
+		dirty = make(map[string]struct{}, len(opts.Dirty))
+		for _, r := range opts.Dirty {
+			dirty[r] = struct{}{}
+		}
+	}
+
+	var jobs []verifyJob
 	for _, p := range policies {
 		srcs := p.Sources
 		if len(srcs) == 0 {
 			srcs = sources
 		}
 		for _, src := range srcs {
-			node := nodes[src]
-			if node == nil {
+			if nodes[src] == nil {
 				return stats, fmt.Errorf("dist: no node for source %q", src)
 			}
-			id++
-			expected++
-			w := WalkMsg{
-				WalkID: id, Policy: p, Source: src,
-				Dst: dataplane.Representative(p.Prefix),
+			j := verifyJob{policy: p, src: src, dst: dataplane.Representative(p.Prefix)}
+			if opts.Cache != nil {
+				if w, ok := opts.Cache.Lookup(src, j.dst); ok {
+					j.walk = w
+					stats.CacheSkipped++
+					jobs = append(jobs, j)
+					continue
+				}
 			}
-			// Seeding is a message too.
-			w.Msgs++
-			node.HandleWalk(w)
+			if dirty != nil {
+				if prev, ok := c.retainedWalk(src, j.dst); ok && pathAvoids(prev.Path, dirty) {
+					j.walk = dataplane.Walk{Dst: prev.Dst, Outcome: prev.Outcome, Path: prev.Path, Egress: prev.Egress}
+					stats.CleanSkipped++
+					jobs = append(jobs, j)
+					continue
+				}
+			}
+			j.live = true
+			jobs = append(jobs, j)
 		}
 	}
-	for i := 0; i < expected; i++ {
-		w := <-c.results
-		stats.Walks++
-		stats.Messages += w.Msgs
-		stats.Bytes += w.Bytes
+	stats.Walks = len(jobs)
+
+	// Assign correlation IDs and build per-source batches in job order.
+	live := 0
+	var batches []batchSubmit
+	open := map[string]int{} // src -> index of its open batch
+	c.mu.Lock()
+	for i := range jobs {
+		j := &jobs[i]
+		if !j.live {
+			continue
+		}
+		live++
+		c.nextID++
+		j.id = c.nextID
+		w := WalkMsg{WalkID: j.id, Policy: j.policy, Source: j.src, Dst: j.dst, Msgs: 1}
+		ix, ok := open[j.src]
+		if !ok || len(batches[ix].walks) >= opts.BatchSize {
+			batches = append(batches, batchSubmit{src: j.src})
+			ix = len(batches) - 1
+			open[j.src] = ix
+		}
+		batches[ix].walks = append(batches[ix].walks, w)
+	}
+	c.mu.Unlock()
+	stats.Batches = len(batches)
+
+	collected := make(map[int]WalkMsg, live)
+	if live > 0 {
+		resCh := make(chan WalkMsg, live)
+		c.mu.Lock()
+		for _, b := range batches {
+			for _, w := range b.walks {
+				c.pending[w.WalkID] = resCh
+			}
+		}
+		c.mu.Unlock()
+
+		var (
+			tokens   = make(chan struct{}, opts.Window)
+			abort    = make(chan struct{})
+			inflight = opts.Metrics.Gauge("dist.window.inflight")
+			submitAt sync.Map // WalkID -> time.Time
+		)
+		go func() {
+			for bi := range batches {
+				b := &batches[bi]
+				for range b.walks {
+					select {
+					case tokens <- struct{}{}:
+						inflight.Set(int64(len(tokens)))
+					case <-abort:
+						return
+					}
+				}
+				now := time.Now()
+				for _, w := range b.walks {
+					submitAt.Store(w.WalkID, now)
+				}
+				if opts.DropBatch != nil && opts.DropBatch(b.src, len(b.walks)) {
+					for _, w := range b.walks {
+						w.Done = true
+						c.deliver(w)
+					}
+					continue
+				}
+				if opts.Legacy {
+					nd := nodes[b.src]
+					for _, w := range b.walks {
+						nd.HandleWalk(w)
+					}
+					continue
+				}
+				addr := nodes[b.src].Addr()
+				walks := b.walks
+				id := bi + 1
+				if _, err := c.pool.send(addr, func(buf []byte) []byte {
+					return appendWalkBatch(buf, mtWalkBatch, id, walks)
+				}); err != nil {
+					// The whole batch failed to submit: every walk in it
+					// degrades to a reported error.
+					for _, w := range walks {
+						w.Done, w.Err = true, err.Error()
+						c.deliver(w)
+					}
+				}
+			}
+		}()
+
+		deadline := time.NewTimer(opts.Timeout)
+	collect:
+		for len(collected) < live {
+			select {
+			case w := <-resCh:
+				collected[w.WalkID] = w
+				if opts.Metrics != nil {
+					if t0, ok := submitAt.Load(w.WalkID); ok {
+						opts.Metrics.Timer("dist.node." + w.Source).Observe(time.Since(t0.(time.Time)))
+					}
+				}
+				<-tokens
+				inflight.Set(int64(len(tokens)))
+			case <-deadline.C:
+				break collect
+			}
+		}
+		deadline.Stop()
+		close(abort)
+		// Reclaim walks that never came back so a late result is dropped
+		// rather than delivered to a reused channel.
+		c.mu.Lock()
+		for i := range jobs {
+			j := &jobs[i]
+			if j.live {
+				if _, ok := collected[j.id]; !ok {
+					delete(c.pending, j.id)
+				}
+			}
+		}
+		c.mu.Unlock()
+	}
+
+	for i := range jobs {
+		j := &jobs[i]
+		var w WalkMsg
+		if j.live {
+			var ok bool
+			w, ok = collected[j.id]
+			if !ok {
+				w = WalkMsg{WalkID: j.id, Policy: j.policy, Source: j.src, Dst: j.dst,
+					Err: "no result within deadline"}
+			}
+			if w.Err != "" {
+				stats.Errors++
+				stats.Results = append(stats.Results, w)
+				continue
+			}
+			stats.Messages += w.Msgs
+			c.retain(j.src, j.dst, w)
+			if opts.Cache != nil {
+				opts.Cache.Store(j.src, j.dst,
+					dataplane.Walk{Dst: w.Dst, Outcome: w.Outcome, Path: w.Path, Egress: w.Egress}, epoch)
+			}
+		} else {
+			w = WalkMsg{Policy: j.policy, Source: j.src, Dst: j.dst, Done: true,
+				Path: j.walk.Path, Outcome: j.walk.Outcome, Egress: j.walk.Egress}
+			if j.walk.Dst.IsValid() {
+				w.Dst = j.walk.Dst
+			}
+		}
+		stats.Results = append(stats.Results, w)
 		stats.Report.Checked++
 		walk := dataplane.Walk{Dst: w.Dst, Outcome: w.Outcome, Path: w.Path, Egress: w.Egress}
-		if v, bad := verify.Evaluate(w.Policy, w.Source, walk); bad {
+		if v, bad := verify.Evaluate(j.policy, j.src, walk); bad {
 			stats.Report.Violations = append(stats.Report.Violations, v)
 		}
 	}
+
+	f1, b1 := c.fleetWire(nodes)
+	stats.Frames = int(f1 - f0)
+	stats.Bytes = int(b1 - b0)
+	if m := opts.Metrics; m != nil {
+		m.Counter("dist.walks").Add(int64(live))
+		m.Counter("dist.messages").Add(int64(stats.Messages))
+		m.Counter("dist.frames").Add(int64(stats.Frames))
+		m.Counter("dist.bytes").Add(int64(stats.Bytes))
+		m.Counter("dist.batches").Add(int64(stats.Batches))
+		m.Counter("dist.walks.cache_skipped").Add(int64(stats.CacheSkipped))
+		m.Counter("dist.walks.clean_skipped").Add(int64(stats.CleanSkipped))
+		m.Counter("dist.errors").Add(int64(stats.Errors))
+	}
+	if stats.Errors > 0 {
+		return stats, fmt.Errorf("dist: %d of %d walks failed", stats.Errors, live)
+	}
 	return stats, nil
+}
+
+// fleetWire sums transport counters across the coordinator and nodes;
+// Verify takes before/after deltas for per-round accounting. (Concurrent
+// rounds overlap in the deltas but the global totals stay exact.)
+func (c *Coordinator) fleetWire(nodes map[string]*Node) (frames, bytes int64) {
+	frames, bytes = c.wire.frames.Load(), c.wire.bytes.Load()
+	for _, n := range nodes {
+		f, b, _, _ := n.Wire()
+		frames += f
+		bytes += b
+	}
+	return frames, bytes
+}
+
+// pathAvoids reports whether no router on path is in dirty.
+func pathAvoids(path []string, dirty map[string]struct{}) bool {
+	for _, r := range path {
+		if _, ok := dirty[r]; ok {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffFIB computes the entry-level delta from old to new: entries to
+// install (new or changed) and prefixes to remove. Both outputs are sorted
+// for deterministic frames.
+func DiffFIB(old, cur map[netip.Prefix]fib.Entry) (installs []fib.Entry, removes []netip.Prefix) {
+	for p, e := range cur {
+		if oe, ok := old[p]; !ok || oe != e {
+			installs = append(installs, e)
+		}
+	}
+	for p := range old {
+		if _, ok := cur[p]; !ok {
+			removes = append(removes, p)
+		}
+	}
+	sort.Slice(installs, func(i, j int) bool { return prefixBefore(installs[i].Prefix, installs[j].Prefix) })
+	sort.Slice(removes, func(i, j int) bool { return prefixBefore(removes[i], removes[j]) })
+	return installs, removes
+}
+
+func prefixBefore(a, b netip.Prefix) bool {
+	if c := a.Addr().Compare(b.Addr()); c != 0 {
+		return c < 0
+	}
+	return a.Bits() < b.Bits()
+}
+
+func ifacesEqual(a, b []IfaceInfo) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SyncViews pushes router view changes to the fleet as binary delta
+// frames. dirty lists the routers whose state may have changed (nil means
+// every router in views); only routers whose FIB or interface state
+// actually differs from what was last shipped get a frame, and only the
+// changed entries travel. Retained walk results crossing a changed router
+// are invalidated. It returns the number of delta frames sent.
+func (c *Coordinator) SyncViews(nodes map[string]*Node, views map[string]LocalView, dirty []string) (int, error) {
+	var routers []string
+	if dirty == nil {
+		for r := range views {
+			routers = append(routers, r)
+		}
+		sort.Strings(routers)
+	} else {
+		routers = dirty
+	}
+	sent := 0
+	var firstErr error
+	for _, r := range routers {
+		v, ok := views[r]
+		node := nodes[r]
+		if !ok || node == nil {
+			continue
+		}
+		c.mu.Lock()
+		old, had := c.lastView[r]
+		c.mu.Unlock()
+		d := viewDelta{Router: r}
+		if !had {
+			d.Full = true
+			for _, e := range v.FIB {
+				d.Installs = append(d.Installs, e)
+			}
+			sort.Slice(d.Installs, func(i, j int) bool { return prefixBefore(d.Installs[i].Prefix, d.Installs[j].Prefix) })
+			d.HasIface, d.Ifaces = true, v.Ifaces
+		} else {
+			d.Installs, d.Removes = DiffFIB(old.FIB, v.FIB)
+			if !ifacesEqual(old.Ifaces, v.Ifaces) {
+				d.HasIface, d.Ifaces = true, v.Ifaces
+			}
+		}
+		if len(d.Installs) == 0 && len(d.Removes) == 0 && !d.HasIface {
+			continue
+		}
+		if _, err := c.pool.send(node.Addr(), func(b []byte) []byte {
+			return appendViewDelta(b, &d)
+		}); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		sent++
+		c.mu.Lock()
+		c.lastView[r] = v
+		for k, w := range c.retained {
+			if !pathAvoids(w.Path, map[string]struct{}{r: {}}) {
+				delete(c.retained, k)
+			}
+		}
+		c.mu.Unlock()
+	}
+	return sent, firstErr
+}
+
+// NoteViews records views as already in sync (used by BuildFleet, whose
+// nodes start with the views baked in), so the first SyncViews call ships
+// deltas rather than full FIBs.
+func (c *Coordinator) NoteViews(views map[string]LocalView) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for r, v := range views {
+		c.lastView[r] = v
+	}
 }
 
 // CentralizedBytes estimates the wire cost of the centralized alternative:
@@ -499,9 +1162,10 @@ func CentralizedBytes(views map[string]LocalView) (int, error) {
 }
 
 // BuildFleet starts one node per internal router plus a coordinator, and
-// returns a teardown function.
-func BuildFleet(n *network.Network, internal func(string) bool) (*Coordinator, map[string]*Node, func(), error) {
-	coord, err := StartCoordinator()
+// returns a teardown function. Transport options beyond the first are
+// ignored.
+func BuildFleet(n *network.Network, internal func(string) bool, opts ...TransportOptions) (*Coordinator, map[string]*Node, func(), error) {
+	coord, err := StartCoordinator(opts...)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -516,12 +1180,13 @@ func BuildFleet(n *network.Network, internal func(string) bool) (*Coordinator, m
 		}
 		return nd.Addr(), true
 	}
+	views := map[string]LocalView{}
 	for _, r := range n.Routers() {
 		if internal != nil && !internal(r.Name) {
 			continue
 		}
 		view := LocalViewOf(r)
-		node, err := StartNode(view, directory, coord.Addr())
+		node, err := StartNode(view, directory, coord.Addr(), opts...)
 		if err != nil {
 			coord.Close()
 			for _, nd := range nodes {
@@ -532,7 +1197,9 @@ func BuildFleet(n *network.Network, internal func(string) bool) (*Coordinator, m
 		mu.Lock()
 		nodes[r.Name] = node
 		mu.Unlock()
+		views[r.Name] = view
 	}
+	coord.NoteViews(views)
 	teardown := func() {
 		for _, nd := range nodes {
 			nd.Close()

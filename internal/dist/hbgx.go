@@ -10,10 +10,16 @@
 // receive, the partially-built path is shipped to the sending router's
 // node, which keeps expanding. The coordinator ends up with the full
 // root-cause chain without any node ever exporting its whole log.
+//
+// Queries ride the same pooled transport as verification walks: persistent
+// connections, binary provenance frames (mtProv/mtProvResult), write
+// deadlines and bounded retries, with legacy JSON envelopes still accepted
+// and re-speakable via TransportOptions.Legacy.
 
 package dist
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"sync"
@@ -55,17 +61,32 @@ type HBGNode struct {
 	ln        net.Listener
 	directory func(router string) (string, bool)
 	resultTo  string
-	wg        sync.WaitGroup
+	pool      *pool
+	wire      *wireStats
+	conns     *connSet
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
 }
 
-// StartHBGNode launches the node on 127.0.0.1.
+// StartHBGNode launches the node on 127.0.0.1. Transport options beyond
+// the first are ignored.
 func StartHBGNode(router string, sub *hbg.Graph, cross map[uint64]CrossRef,
-	directory func(string) (string, bool), resultTo string) (*HBGNode, error) {
+	directory func(string) (string, bool), resultTo string, opts ...TransportOptions) (*HBGNode, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
-	n := &HBGNode{Router: router, Sub: sub, Cross: cross, ln: ln, directory: directory, resultTo: resultTo}
+	var topt TransportOptions
+	if len(opts) > 0 {
+		topt = opts[0]
+	}
+	wire := &wireStats{}
+	n := &HBGNode{
+		Router: router, Sub: sub, Cross: cross, ln: ln, directory: directory, resultTo: resultTo,
+		wire: wire, pool: newPool(topt, wire), conns: newConnSet(),
+	}
 	n.wg.Add(1)
 	go n.serve()
 	return n, nil
@@ -74,9 +95,24 @@ func StartHBGNode(router string, sub *hbg.Graph, cross map[uint64]CrossRef,
 // Addr returns the node's listen address.
 func (n *HBGNode) Addr() string { return n.ln.Addr().String() }
 
-// Close shuts the node down.
+// Wire reports the node's transport counters.
+func (n *HBGNode) Wire() (frames, bytes, retries, errors int64) {
+	return n.wire.frames.Load(), n.wire.bytes.Load(), n.wire.retries.Load(), n.wire.errors.Load()
+}
+
+// Close shuts the node down, closing accepted and pooled connections so no
+// reader stays parked on a persistent peer.
 func (n *HBGNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
 	err := n.ln.Close()
+	n.conns.closeAll()
+	n.pool.closeAll()
 	n.wg.Wait()
 	return err
 }
@@ -88,20 +124,45 @@ func (n *HBGNode) serve() {
 		if err != nil {
 			return
 		}
+		n.conns.add(conn)
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
+			defer n.conns.remove(conn)
 			defer conn.Close()
 			for {
-				var env hbgEnvelope
-				if err := readJSON(conn, &env); err != nil {
+				_ = conn.SetReadDeadline(time.Now().Add(idleTimeout))
+				payload, err := readFrame(conn)
+				if err != nil {
 					return
 				}
-				if env.Kind == "prov" && env.Query != nil {
-					n.HandleQuery(*env.Query)
-				}
+				n.dispatch(payload)
 			}
 		}()
+	}
+}
+
+func (n *HBGNode) dispatch(payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	if payload[0] == frameV1 {
+		if len(payload) < 2 || payload[1] != mtProv {
+			return
+		}
+		r := &wireReader{b: payload[2:]}
+		q := r.prov()
+		if r.err == nil {
+			n.HandleQuery(q)
+		}
+		return
+	}
+	var env envelope
+	if err := json.Unmarshal(payload, &env); err != nil || env.HBG == nil {
+		return
+	}
+	if env.Kind == "prov" && env.HBG.Query != nil {
+		n.HandleQuery(*env.HBG.Query)
 	}
 }
 
@@ -147,27 +208,34 @@ func (n *HBGNode) HandleQuery(q ProvQuery) {
 }
 
 func (n *HBGNode) forward(addr string, q ProvQuery) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return
-	}
-	defer conn.Close()
-	_ = writeJSON(conn, hbgEnvelope{Kind: "prov", Query: &q})
+	n.sendQuery(addr, "prov", mtProv, q)
 }
 
 func (n *HBGNode) reply(q ProvQuery) {
-	conn, err := net.Dial("tcp", n.resultTo)
-	if err != nil {
+	n.sendQuery(n.resultTo, "prov-result", mtProvResult, q)
+}
+
+func (n *HBGNode) sendQuery(addr, kind string, mt byte, q ProvQuery) {
+	if n.pool.opts.Legacy {
+		_, _ = n.pool.send(addr, func(b []byte) []byte {
+			payload, err := json.Marshal(envelope{Kind: kind, HBG: &hbgEnvelope{Kind: kind, Query: &q}})
+			if err != nil {
+				return b
+			}
+			return append(b, payload...)
+		})
 		return
 	}
-	defer conn.Close()
-	_ = writeJSON(conn, hbgEnvelope{Kind: "prov-result", Query: &q})
+	_, _ = n.pool.send(addr, func(b []byte) []byte {
+		return appendProv(b, mt, &q)
+	})
 }
 
 // HBGCoordinator collects finished provenance chains.
 type HBGCoordinator struct {
 	ln      net.Listener
 	results chan ProvQuery
+	conns   *connSet
 	wg      sync.WaitGroup
 }
 
@@ -177,7 +245,7 @@ func StartHBGCoordinator() (*HBGCoordinator, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &HBGCoordinator{ln: ln, results: make(chan ProvQuery, 64)}
+	c := &HBGCoordinator{ln: ln, results: make(chan ProvQuery, 64), conns: newConnSet()}
 	c.wg.Add(1)
 	go c.serve()
 	return c, nil
@@ -189,6 +257,7 @@ func (c *HBGCoordinator) Addr() string { return c.ln.Addr().String() }
 // Close shuts the coordinator down.
 func (c *HBGCoordinator) Close() error {
 	err := c.ln.Close()
+	c.conns.closeAll()
 	c.wg.Wait()
 	return err
 }
@@ -200,20 +269,45 @@ func (c *HBGCoordinator) serve() {
 		if err != nil {
 			return
 		}
+		c.conns.add(conn)
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
+			defer c.conns.remove(conn)
 			defer conn.Close()
 			for {
-				var env hbgEnvelope
-				if err := readJSON(conn, &env); err != nil {
+				_ = conn.SetReadDeadline(time.Now().Add(idleTimeout))
+				payload, err := readFrame(conn)
+				if err != nil {
 					return
 				}
-				if env.Kind == "prov-result" && env.Query != nil {
-					c.results <- *env.Query
-				}
+				c.dispatch(payload)
 			}
 		}()
+	}
+}
+
+func (c *HBGCoordinator) dispatch(payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	if payload[0] == frameV1 {
+		if len(payload) < 2 || payload[1] != mtProvResult {
+			return
+		}
+		r := &wireReader{b: payload[2:]}
+		q := r.prov()
+		if r.err == nil {
+			c.results <- q
+		}
+		return
+	}
+	var env envelope
+	if err := json.Unmarshal(payload, &env); err != nil || env.HBG == nil {
+		return
+	}
+	if env.Kind == "prov-result" && env.HBG.Query != nil {
+		c.results <- *env.HBG.Query
 	}
 }
 
@@ -239,8 +333,9 @@ func (c *HBGCoordinator) Trace(nodes map[string]*HBGNode, router string, ioID ui
 // BuildHBGFleet splits a (centrally inferred) graph into per-router nodes.
 // The cross-references come from the graph's cross-router edges — in a
 // real deployment the sender's event ID rides on the wire with each
-// advertisement, which our protocol messages already do.
-func BuildHBGFleet(g *hbg.Graph) (*HBGCoordinator, map[string]*HBGNode, func(), error) {
+// advertisement, which our protocol messages already do. Transport options
+// beyond the first are ignored.
+func BuildHBGFleet(g *hbg.Graph, opts ...TransportOptions) (*HBGCoordinator, map[string]*HBGNode, func(), error) {
 	coord, err := StartHBGCoordinator()
 	if err != nil {
 		return nil, nil, nil, err
@@ -273,7 +368,7 @@ func BuildHBGFleet(g *hbg.Graph) (*HBGCoordinator, map[string]*HBGNode, func(), 
 		return nd.Addr(), true
 	}
 	for r := range routers {
-		node, err := StartHBGNode(r, g.Subgraph(r), cross[r], directory, coord.Addr())
+		node, err := StartHBGNode(r, g.Subgraph(r), cross[r], directory, coord.Addr(), opts...)
 		if err != nil {
 			coord.Close()
 			for _, nd := range nodes {
@@ -292,23 +387,4 @@ func BuildHBGFleet(g *hbg.Graph) (*HBGCoordinator, map[string]*HBGNode, func(), 
 		coord.Close()
 	}
 	return coord, nodes, teardown, nil
-}
-
-// readJSON / writeJSON reuse the frame codec with typed envelopes.
-func writeJSON(conn net.Conn, env hbgEnvelope) error {
-	_, err := writeMsg(conn, envelope{Kind: env.Kind, HBG: &env})
-	return err
-}
-
-func readJSON(conn net.Conn, env *hbgEnvelope) error {
-	e, err := readMsg(conn)
-	if err != nil {
-		return err
-	}
-	if e.HBG == nil {
-		return fmt.Errorf("dist: not an HBG frame")
-	}
-	*env = *e.HBG
-	env.Kind = e.Kind
-	return nil
 }

@@ -1,0 +1,258 @@
+// Persistent connection pooling for the dist plane. Every fleet member
+// (nodes, coordinators, HBG nodes) owns a pool keyed by peer address; a
+// send acquires the peer's connection, encodes into that connection's
+// reusable scratch buffer, and writes one length-prefixed frame under a
+// write deadline. A broken connection is redialed with bounded backoff
+// instead of blocking forever, and every frame/byte/retry/error is counted
+// so transports can be compared honestly.
+
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Transport timeouts and retry policy. Zero values in TransportOptions fall
+// back to these.
+const (
+	defaultDialTimeout  = 2 * time.Second
+	defaultWriteTimeout = 2 * time.Second
+	defaultRetries      = 2
+	defaultBackoff      = 10 * time.Millisecond
+)
+
+// TransportOptions tunes the pooled transport shared by nodes and
+// coordinators.
+type TransportOptions struct {
+	// Legacy selects the pre-pool behaviour — one TCP dial and one JSON
+	// envelope per message — used as the benchmark baseline.
+	Legacy bool
+	// DialTimeout / WriteTimeout bound connection setup and frame writes so
+	// a dead peer surfaces as an error instead of a hang.
+	DialTimeout  time.Duration
+	WriteTimeout time.Duration
+	// Retries is how many times a failed send is retried (with Backoff
+	// between attempts) on a fresh connection before giving up.
+	Retries int
+	Backoff time.Duration
+}
+
+func (o TransportOptions) withDefaults() TransportOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = defaultDialTimeout
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = defaultWriteTimeout
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = defaultRetries
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = defaultBackoff
+	}
+	return o
+}
+
+// wireStats counts transport-level traffic. All fields are atomics so the
+// hot path never takes a lock for accounting.
+type wireStats struct {
+	frames  atomic.Int64 // frames written
+	bytes   atomic.Int64 // bytes written (payload + 4-byte header)
+	retries atomic.Int64 // redial attempts after a send failure
+	errors  atomic.Int64 // sends abandoned after exhausting retries
+}
+
+// peerConn is one pooled connection plus its private scratch buffer; the
+// mutex serializes writers so pipelined frames never interleave.
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	buf  []byte
+}
+
+// pool manages persistent connections keyed by peer address.
+type pool struct {
+	opts  TransportOptions
+	stats *wireStats
+
+	mu     sync.Mutex
+	peers  map[string]*peerConn
+	closed bool
+}
+
+func newPool(opts TransportOptions, stats *wireStats) *pool {
+	return &pool{opts: opts.withDefaults(), stats: stats, peers: map[string]*peerConn{}}
+}
+
+func (p *pool) peer(addr string) (*peerConn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("dist: pool closed")
+	}
+	pc := p.peers[addr]
+	if pc == nil {
+		pc = &peerConn{}
+		p.peers[addr] = pc
+	}
+	return pc, nil
+}
+
+// send encodes one frame via encode (which appends the payload to the
+// scratch buffer and returns it) and writes it to addr, redialing with
+// backoff on failure. It returns the payload size written.
+func (p *pool) send(addr string, encode func([]byte) []byte) (int, error) {
+	if p.opts.Legacy {
+		return p.sendLegacy(addr, encode)
+	}
+	pc, err := p.peer(addr)
+	if err != nil {
+		return 0, err
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	payload := encode(pc.buf[:0])
+	pc.buf = payload // keep the (possibly grown) buffer for reuse
+	var lastErr error
+	for attempt := 0; attempt <= p.opts.Retries; attempt++ {
+		if attempt > 0 {
+			p.stats.retries.Add(1)
+			time.Sleep(p.opts.Backoff)
+		}
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			lastErr = fmt.Errorf("pool closed")
+			break
+		}
+		if pc.conn == nil {
+			conn, err := net.DialTimeout("tcp", addr, p.opts.DialTimeout)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			pc.conn = conn
+		}
+		if err := p.writeFrame(pc.conn, payload); err != nil {
+			pc.conn.Close()
+			pc.conn = nil
+			lastErr = err
+			continue
+		}
+		return len(payload) + 4, nil
+	}
+	p.stats.errors.Add(1)
+	return 0, fmt.Errorf("dist: send to %s failed: %w", addr, lastErr)
+}
+
+// sendLegacy reproduces the original transport: dial, write one frame,
+// close. Counted through the same wireStats so byte/frame comparisons
+// between the two transports use identical accounting.
+func (p *pool) sendLegacy(addr string, encode func([]byte) []byte) (int, error) {
+	payload := encode(nil)
+	conn, err := net.DialTimeout("tcp", addr, p.opts.DialTimeout)
+	if err != nil {
+		p.stats.errors.Add(1)
+		return 0, err
+	}
+	defer conn.Close()
+	if err := p.writeFrame(conn, payload); err != nil {
+		p.stats.errors.Add(1)
+		return 0, err
+	}
+	return len(payload) + 4, nil
+}
+
+func (p *pool) writeFrame(conn net.Conn, payload []byte) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(p.opts.WriteTimeout)); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := conn.Write(payload); err != nil {
+		return err
+	}
+	p.stats.frames.Add(1)
+	p.stats.bytes.Add(int64(len(payload) + 4))
+	return nil
+}
+
+// closeAll tears down every pooled connection and rejects future sends.
+func (p *pool) closeAll() {
+	p.mu.Lock()
+	p.closed = true
+	peers := make([]*peerConn, 0, len(p.peers))
+	for _, pc := range p.peers {
+		peers = append(peers, pc)
+	}
+	p.peers = map[string]*peerConn{}
+	p.mu.Unlock()
+	for _, pc := range peers {
+		pc.mu.Lock()
+		if pc.conn != nil {
+			pc.conn.Close()
+			pc.conn = nil
+		}
+		pc.mu.Unlock()
+	}
+}
+
+// connSet tracks accepted (server-side) connections so Close can unblock
+// readers parked on persistent connections.
+type connSet struct {
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+func newConnSet() *connSet { return &connSet{conns: map[net.Conn]struct{}{}} }
+
+func (s *connSet) add(c net.Conn) {
+	s.mu.Lock()
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *connSet) remove(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func (s *connSet) closeAll() {
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = map[net.Conn]struct{}{}
+	s.mu.Unlock()
+}
+
+// readFrame reads one length-prefixed payload. The caller dispatches on the
+// first payload byte (frameV1 → binary, '{' → legacy JSON envelope).
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("dist: oversized frame (%d bytes)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

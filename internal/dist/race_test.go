@@ -1,0 +1,103 @@
+package dist
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hbverify/internal/network"
+	"hbverify/internal/verify"
+)
+
+// TestConcurrentVerifyDuringShutdown hammers the coordinator with batch
+// submissions while the fleet tears down underneath it. Every call must
+// return (success or reported error) — no hangs, no panics, no races.
+func TestConcurrentVerifyDuringShutdown(t *testing.T) {
+	pn := startPaper(t, network.DefaultPaperOpts())
+	coord, nodes, teardown, err := BuildFleet(pn.Network, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := []verify.Policy{
+		{Kind: verify.NoLoop, Prefix: pn.P},
+		{Kind: verify.Reachable, Prefix: pfx("1.1.1.1/32")},
+	}
+	sources := []string{"r1", "r2", "r3"}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Errors are expected once teardown starts; the only failure
+				// mode is not returning.
+				_, _ = coord.VerifyWith(nodes, policies, sources, VerifyOpts{
+					Timeout: 500 * time.Millisecond,
+				})
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	teardown()
+	close(stop)
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("verify calls failed to return after shutdown")
+	}
+}
+
+// TestConcurrentVerifyCalls checks correlation-ID routing: overlapping
+// rounds on one coordinator must each get their own complete result set.
+func TestConcurrentVerifyCalls(t *testing.T) {
+	pn := startPaper(t, network.DefaultPaperOpts())
+	coord, nodes, teardown, err := BuildFleet(pn.Network, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer teardown()
+	policies := []verify.Policy{
+		{Kind: verify.Egress, Prefix: pn.P, Expect: "e2"},
+		{Kind: verify.NoLoop, Prefix: pfx("1.1.1.1/32")},
+	}
+	sources := []string{"r1", "r2", "r3"}
+
+	const rounds = 8
+	errs := make(chan error, rounds)
+	var wg sync.WaitGroup
+	for i := 0; i < rounds; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats, err := coord.Verify(nodes, policies, sources)
+			if err == nil && stats.Report.Checked != 6 {
+				err = errStats{stats.Report.Checked}
+			}
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type errStats struct{ checked int }
+
+func (e errStats) Error() string { return "wrong check count" }

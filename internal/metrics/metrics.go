@@ -108,17 +108,57 @@ func (t *Timer) Mean() time.Duration {
 	return t.Total() / time.Duration(n)
 }
 
-// Registry hands out named counters and timers. Instruments are created on
-// first use and shared by name. A nil Registry hands out nil instruments.
+// Gauge tracks a current value and its high-water mark — e.g. the in-flight
+// window occupancy of the dist dispatch scheduler. The zero value is usable;
+// a nil Gauge discards updates.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set records the current value, updating the high-water mark.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	for {
+		cur := g.max.Load()
+		if v <= cur || g.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the last value set; 0 for a nil gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the high-water mark; 0 for a nil gauge.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// Registry hands out named counters, timers, and gauges. Instruments are
+// created on first use and shared by name. A nil Registry hands out nil
+// instruments.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	timers   map[string]*Timer
+	gauges   map[string]*Gauge
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[string]*Counter{}, timers: map[string]*Timer{}}
+	return &Registry{counters: map[string]*Counter{}, timers: map[string]*Timer{}, gauges: map[string]*Gauge{}}
 }
 
 // Counter returns the named counter, creating it if needed.
@@ -151,8 +191,27 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = map[string]*Gauge{}
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
 // Snapshot flattens every instrument to int64 values: counters under their
-// own name, timers as <name>.count / <name>.ns.
+// own name, timers as <name>.count / <name>.ns, gauges as their own name
+// plus <name>.max.
 func (r *Registry) Snapshot() map[string]int64 {
 	out := map[string]int64{}
 	if r == nil {
@@ -167,6 +226,10 @@ func (r *Registry) Snapshot() map[string]int64 {
 		out[name+".count"] = t.Count()
 		out[name+".ns"] = int64(t.Total())
 	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+		out[name+".max"] = g.Max()
+	}
 	return out
 }
 
@@ -178,11 +241,14 @@ func (r *Registry) String() string {
 		return ""
 	}
 	r.mu.Lock()
-	names := make([]string, 0, len(r.counters)+len(r.timers))
+	names := make([]string, 0, len(r.counters)+len(r.timers)+len(r.gauges))
 	for n := range r.counters {
 		names = append(names, n)
 	}
 	for n := range r.timers {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
 		names = append(names, n)
 	}
 	counters := make(map[string]*Counter, len(r.counters))
@@ -192,6 +258,10 @@ func (r *Registry) String() string {
 	timers := make(map[string]*Timer, len(r.timers))
 	for n, t := range r.timers {
 		timers[n] = t
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
 	}
 	r.mu.Unlock()
 	sort.Strings(names)
@@ -205,6 +275,8 @@ func (r *Registry) String() string {
 		} else if t, ok := timers[n]; ok {
 			fmt.Fprintf(&b, "%s=%dx/%v(avg %v)", n, t.Count(),
 				t.Total().Round(time.Microsecond), t.Mean().Round(time.Microsecond))
+		} else if g, ok := gauges[n]; ok {
+			fmt.Fprintf(&b, "%s=%d(max %d)", n, g.Value(), g.Max())
 		}
 	}
 	return b.String()

@@ -1,4 +1,4 @@
-// The four differential oracles checked after every convergence round.
+// The six differential oracles checked after every convergence round.
 
 package scenario
 
@@ -14,6 +14,7 @@ import (
 	"hbverify/internal/capture"
 	"hbverify/internal/config"
 	"hbverify/internal/dataplane"
+	"hbverify/internal/dist"
 	"hbverify/internal/eqclass"
 	"hbverify/internal/fib"
 	"hbverify/internal/hbg"
@@ -27,6 +28,7 @@ const (
 	OracleIncremental  = "incremental-vs-full"
 	OracleSnapshot     = "snapshot-consistency"
 	OracleChecker      = "checker-determinism"
+	OracleDist         = "dist-vs-central"
 	OracleRepair       = "repair-rollback"
 	OracleEqclassDelta = "eqclass-delta-vs-full"
 )
@@ -300,6 +302,67 @@ func diffVerdictSets(a, b verify.Report) string {
 		}
 	}
 	return ""
+}
+
+// oracleDistVsCentral builds a distributed verification fleet over the
+// live network (every router, externals included, so walks traverse the
+// same graph the central walker sees) and asserts each distributed walk is
+// byte-identical — path, outcome, egress — to the central walker's walk for
+// the same (source, destination). BugDropBatch makes the coordinator lose
+// every batch bound for one node while still reporting success, which this
+// oracle must catch.
+func (h *harness) oracleDistVsCentral(round int) *Failure {
+	coord, nodes, teardown, err := dist.BuildFleet(h.w.net, nil)
+	if err != nil {
+		return &Failure{Oracle: OracleDist, Round: round, Detail: fmt.Sprintf("build fleet: %v", err)}
+	}
+	defer teardown()
+
+	pols := h.policies()
+	var opts dist.VerifyOpts
+	if h.cfg.Bug == BugDropBatch {
+		victim := h.w.internals[0]
+		opts.DropBatch = func(src string, _ int) bool { return src == victim }
+	}
+	stats, err := coord.VerifyWith(nodes, pols, h.w.internals, opts)
+	if err != nil {
+		return &Failure{Oracle: OracleDist, Round: round, Detail: fmt.Sprintf("distributed verify: %v", err)}
+	}
+
+	// Re-enumerate the jobs exactly as the coordinator does — policies in
+	// order, sources sorted — and compare walk-for-walk against the central
+	// walker over the identical live FIBs.
+	walker := h.liveWalker()
+	sources := append([]string(nil), h.w.internals...)
+	sort.Strings(sources)
+	i := 0
+	for _, p := range pols {
+		srcs := p.Sources
+		if len(srcs) == 0 {
+			srcs = sources
+		}
+		for _, src := range srcs {
+			if i >= len(stats.Results) {
+				return &Failure{Oracle: OracleDist, Round: round, Detail: fmt.Sprintf(
+					"distributed round returned %d walks, want %d", len(stats.Results), stats.Walks)}
+			}
+			got := stats.Results[i]
+			i++
+			want := walker.Forward(src, dataplane.Representative(p.Prefix))
+			if got.Err != "" {
+				return &Failure{Oracle: OracleDist, Round: round, Detail: fmt.Sprintf(
+					"walk %s->%s failed: %s", src, want.Dst, got.Err)}
+			}
+			if got.Outcome != want.Outcome || got.Egress != want.Egress ||
+				!reflect.DeepEqual(got.Path, want.Path) {
+				return &Failure{Oracle: OracleDist, Round: round, Detail: fmt.Sprintf(
+					"walk %s->%s diverges: distributed %s via %v (egress %q), central %s via %v (egress %q)",
+					src, want.Dst, got.Outcome, got.Path, got.Egress,
+					want.Outcome, want.Path, want.Egress)}
+			}
+		}
+	}
+	return nil
 }
 
 // faultNextHop is an unreachable next hop (TEST-NET-1); a static route

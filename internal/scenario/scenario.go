@@ -1,6 +1,6 @@
 // Package scenario is the randomized correctness harness: it generates
 // seeded deterministic networks, drives them through churn schedules, and
-// checks five differential oracles after every convergence round —
+// checks six differential oracles after every convergence round —
 //
 //  1. incremental-vs-full: hbr.Incremental yields a node- and
 //     edge-identical HBG to a fresh full inference over the same log;
@@ -9,10 +9,13 @@
 //     loop that never existed in any instantaneous ground-truth state;
 //  3. checker-determinism: verify.Checker verdicts are identical across
 //     worker counts, repeated runs, and eqclass sharding;
-//  4. repair-rollback: after injecting a faulty config and repairing it
+//  4. dist-vs-central: the distributed TCP fleet's walks are
+//     byte-identical — path, outcome, egress — to the central walker's
+//     over the same FIBs;
+//  5. repair-rollback: after injecting a faulty config and repairing it
 //     via HBG root-cause rollback, the network reconverges to the exact
 //     pre-fault data plane;
-//  5. eqclass-delta-vs-full: the delta path — incremental equivalence
+//  6. eqclass-delta-vs-full: the delta path — incremental equivalence
 //     classes plus the cached-walk checker — agrees exactly with a
 //     from-scratch eqclass.Compute and a cold Checker.Check.
 //
@@ -50,6 +53,11 @@ const (
 	// and the walk cache is never invalidated — the failure mode of a
 	// delta pipeline whose change feed silently disconnects.
 	BugStaleEqclass = "stale-eqclass"
+	// BugDropBatch makes the distributed coordinator silently lose every
+	// walk batch destined for one node while still reporting the round as
+	// complete — the failure mode of a transport that acks frames it never
+	// delivered.
+	BugDropBatch = "drop-batch"
 )
 
 // Config describes one deterministic scenario. The zero values of Shape,
@@ -256,6 +264,9 @@ func (h *harness) checkRound(round int) *Failure {
 		return f
 	}
 	if f := h.oracleCheckerDeterminism(round); f != nil {
+		return f
+	}
+	if f := h.oracleDistVsCentral(round); f != nil {
 		return f
 	}
 	if f := h.oracleRepairRollback(round); f != nil {

@@ -122,6 +122,14 @@ func TestForcedStaleEqclass(t *testing.T) {
 	forceBug(t, BugStaleEqclass, OracleEqclassDelta)
 }
 
+// TestForcedDropBatch proves the dist-vs-central oracle catches a
+// transport that loses walk batches while reporting the round complete:
+// the victim node's walks come back empty and diverge from the central
+// walker immediately.
+func TestForcedDropBatch(t *testing.T) {
+	forceBug(t, BugDropBatch, OracleDist)
+}
+
 // TestShrinkPreservesFailure checks the shrinker's contract directly on a
 // forced failure: the minimized config still fails the same oracle.
 func TestShrinkPreservesFailure(t *testing.T) {

@@ -7,6 +7,7 @@
 package verify
 
 import (
+	"net/netip"
 	"sync"
 
 	"hbverify/internal/dataplane"
@@ -65,6 +66,22 @@ func (c *WalkCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.walks)
+}
+
+// Begin returns the epoch new walks started now should be stamped with.
+// External walk executors (e.g. the distributed verifier) call Begin before
+// reading the cache and pass the epoch back to Store, so an invalidation
+// racing with their run stamps the stored walks as already stale.
+func (c *WalkCache) Begin() uint64 { return c.begin() }
+
+// Lookup returns the still-valid cached walk for (source, dst), if any.
+func (c *WalkCache) Lookup(source string, dst netip.Addr) (dataplane.Walk, bool) {
+	return c.get(workKey{src: source, dst: dst})
+}
+
+// Store records a walk computed at the epoch returned by Begin.
+func (c *WalkCache) Store(source string, dst netip.Addr, w dataplane.Walk, epoch uint64) {
+	c.put(workKey{src: source, dst: dst}, w, epoch)
 }
 
 // begin returns the epoch new walks started now should be stamped with.
