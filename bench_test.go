@@ -11,9 +11,12 @@ package hbverify
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/netip"
 	"os"
+	"reflect"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -1070,5 +1073,199 @@ func BenchmarkDeltaVerify(b *testing.B) {
 	}
 	if allocCut < 10 {
 		b.Errorf("delta allocation reduction %.0fx, want >= 10x (full %.0f vs delta %.0f allocs)", allocCut, fullAllocs, deltaAllocs)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole PR5 — high-throughput HBR inference and zero-alloc ingestion.
+// ---------------------------------------------------------------------------
+
+// benchInferLog generates a deterministic synthetic capture log shaped
+// like real churn: BGP/RIP/EIGRP update chains with RIB/FIB installs,
+// prefix-less OSPF floods matched by Detail (with occasional duplicate
+// sends so tie-breaking is exercised), link flaps, config edits, and soft
+// reconfigs, spread over nRouters skewed clocks. Every event emits a
+// parseable Cisco-style line, so the same log feeds both the inference
+// and the ingestion measurements.
+func benchInferLog(seed int64, n, nRouters int) []capture.IO {
+	rng := rand.New(rand.NewSource(seed))
+	routers := make([]string, nRouters)
+	skew := make([]time.Duration, nRouters)
+	for i := range routers {
+		routers[i] = fmt.Sprintf("r%d", i)
+		skew[i] = time.Duration(rng.Intn(401)-200) * time.Millisecond
+	}
+	prefixes := make([]netip.Prefix, 64)
+	for i := range prefixes {
+		prefixes[i] = netip.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", i/8, i%8*4))
+	}
+	protos := []route.Protocol{route.ProtoBGP, route.ProtoOSPF, route.ProtoRIP, route.ProtoEIGRP}
+
+	out := make([]capture.IO, 0, n+8)
+	id := uint64(1)
+	base := netsim.VirtualTime(int64(time.Hour)) // keep skewed stamps positive
+	add := func(r int, io capture.IO, dt time.Duration) {
+		io.ID = id
+		id++
+		io.Router = routers[r]
+		io.Time = base.Add(dt + skew[r])
+		out = append(out, io)
+	}
+	for len(out) < n {
+		base = base.Add(time.Duration(1+rng.Intn(5)) * time.Millisecond)
+		a := rng.Intn(nRouters)
+		peer := (a + 1) % nRouters
+		switch rng.Intn(10) {
+		case 0:
+			add(a, capture.IO{Type: capture.ConfigChange, Detail: "policy edit"}, 0)
+		case 1:
+			up := capture.LinkUp
+			if rng.Intn(2) == 0 {
+				up = capture.LinkDown
+			}
+			add(a, capture.IO{Type: up, Peer: routers[peer], Detail: "eth0"}, 0)
+		case 2:
+			detail := fmt.Sprintf("LSA type 1 seq %d", rng.Intn(8))
+			addr := netip.MustParseAddr(fmt.Sprintf("10.255.0.%d", a+1))
+			add(a, capture.IO{Type: capture.SendAdvert, Proto: route.ProtoOSPF, Peer: routers[peer], PeerAddr: addr, Detail: detail}, 0)
+			if rng.Intn(3) == 0 {
+				add(a, capture.IO{Type: capture.SendAdvert, Proto: route.ProtoOSPF, Peer: routers[peer], PeerAddr: addr, Detail: detail},
+					time.Duration(rng.Intn(20))*time.Millisecond)
+			}
+			add(peer, capture.IO{Type: capture.RecvAdvert, Proto: route.ProtoOSPF, Peer: routers[a], PeerAddr: addr, Detail: detail},
+				time.Duration(rng.Intn(10))*time.Millisecond)
+		default:
+			proto := protos[rng.Intn(len(protos))]
+			pfx := prefixes[rng.Intn(len(prefixes))]
+			nh := netip.MustParseAddr(fmt.Sprintf("10.255.0.%d", a+1))
+			kind, rkind := capture.SendAdvert, capture.RecvAdvert
+			if rng.Intn(4) == 0 {
+				kind, rkind = capture.SendWithdraw, capture.RecvWithdraw
+			}
+			add(a, capture.IO{Type: capture.RIBInstall, Proto: proto, Prefix: pfx, NextHop: nh}, 0)
+			add(a, capture.IO{Type: capture.FIBInstall, Proto: proto, Prefix: pfx, NextHop: nh}, time.Millisecond)
+			add(a, capture.IO{Type: kind, Proto: proto, Prefix: pfx, Peer: routers[peer], PeerAddr: nh}, 2*time.Millisecond)
+			add(peer, capture.IO{Type: rkind, Proto: proto, Prefix: pfx, Peer: routers[a], PeerAddr: nh, NextHop: nh},
+				2*time.Millisecond+time.Duration(rng.Intn(8))*time.Millisecond)
+			if rng.Intn(8) == 0 {
+				add(peer, capture.IO{Type: capture.SoftReconfig, Proto: route.ProtoBGP}, 3*time.Millisecond)
+			}
+		}
+	}
+	return out[:n]
+}
+
+// BenchmarkInferThroughput — tentpole PR5: the shared-index Combined
+// strategy (sorted-once events, keyed send lookup, parallel per-router
+// sharding) against the preserved pre-Index reference, and the byte-
+// scanning interning parser against the string-splitting reference, over
+// the same 30K-event synthetic log. Persisted to BENCH_infer.json with
+// the acceptance floors (>=5x events/sec on Combined, >=3x fewer
+// allocs/event on parse) asserted here.
+func BenchmarkInferThroughput(b *testing.B) {
+	const nEvents, nRouters = 60_000, 12
+	ios := benchInferLog(42, nEvents, nRouters)
+	train := benchInferLog(43, 4_000, nRouters)
+	lineup := hbr.Strategies(train, 0)
+	combined := lineup[len(lineup)-1] // Combined, per the Strategies contract
+	refCombined := hbr.Reference(combined)
+
+	// The two paths must be edge- and confidence-identical before we time
+	// them (this doubles as the warm-up run for both).
+	fastG, refG := combined.Infer(ios), refCombined.Infer(ios)
+	if !reflect.DeepEqual(fastG.Edges(), refG.Edges()) {
+		b.Fatalf("indexed Combined diverges from reference: %d vs %d edges",
+			len(fastG.Edges()), len(refG.Edges()))
+	}
+
+	b.Run("combined-indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			combined.Infer(ios)
+		}
+	})
+	b.Run("combined-reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			refCombined.Infer(ios)
+		}
+	})
+
+	// Hand-rolled comparison for the artifact and the acceptance
+	// assertions, independent of b.N calibration.
+	inferNs := func(s hbr.Strategy, runs int) float64 {
+		t0 := time.Now()
+		for i := 0; i < runs; i++ {
+			s.Infer(ios)
+		}
+		return float64(time.Since(t0).Nanoseconds()) / float64(runs)
+	}
+	fastNs := inferNs(combined, 6)
+	refNs := inferNs(refCombined, 2)
+	fastEPS := float64(nEvents) * 1e9 / fastNs
+	refEPS := float64(nEvents) * 1e9 / refNs
+	speedup := refNs / fastNs
+
+	// Ingestion: emit the same log once, then parse it cold with each
+	// parser — a single pass, so the interning maps pay their build cost
+	// inside the measured window.
+	var sb strings.Builder
+	if err := ciscolog.EmitLog(&sb, ios); err != nil {
+		b.Fatal(err)
+	}
+	text := sb.String()
+	parseOnce := func(parse func() (int, error)) (allocsPerEvent, nsPerEvent float64) {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		n, err := parse()
+		elapsed := time.Since(t0)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != nEvents {
+			b.Fatalf("parsed %d events, want %d", n, nEvents)
+		}
+		return float64(after.Mallocs-before.Mallocs) / float64(n),
+			float64(elapsed.Nanoseconds()) / float64(n)
+	}
+	fastAllocs, fastParseNs := parseOnce(func() (int, error) {
+		out, err := ciscolog.NewParser(nil).ParseLog("r0", strings.NewReader(text))
+		return len(out), err
+	})
+	refAllocs, refParseNs := parseOnce(func() (int, error) {
+		out, err := ciscolog.NewReferenceParser(nil).ParseLog("r0", strings.NewReader(text))
+		return len(out), err
+	})
+	allocCut := refAllocs / fastAllocs
+
+	once("inferthroughput", func() {
+		fmt.Printf("\n[tentpole/PR5] HBR inference + ingestion over %d events, %d routers\n", nEvents, nRouters)
+		fmt.Printf("  combined reference (linear scan):  %11.0f events/sec\n", refEPS)
+		fmt.Printf("  combined indexed (shared, sharded):%11.0f events/sec\n", fastEPS)
+		fmt.Printf("  parse reference (string fields):   %8.1f allocs/event  %7.0f ns/event\n", refAllocs, refParseNs)
+		fmt.Printf("  parse fast (byte scan, interned):  %8.1f allocs/event  %7.0f ns/event\n", fastAllocs, fastParseNs)
+		fmt.Printf("  inference %.1fx, parse allocations cut %.1fx\n", speedup, allocCut)
+		artifact, _ := json.MarshalIndent(map[string]interface{}{
+			"benchmark": "BenchmarkInferThroughput",
+			"events":    nEvents, "routers": nRouters,
+			"reference_events_per_sec": refEPS, "indexed_events_per_sec": fastEPS,
+			"reference_parse_allocs_per_event": refAllocs, "fast_parse_allocs_per_event": fastAllocs,
+			"reference_parse_ns_per_event": refParseNs, "fast_parse_ns_per_event": fastParseNs,
+			"inference_speedup": speedup, "parse_alloc_reduction": allocCut,
+		}, "", "  ")
+		if err := os.WriteFile("BENCH_infer.json", append(artifact, '\n'), 0o644); err != nil {
+			fmt.Println("  (could not write BENCH_infer.json:", err, ")")
+		}
+	})
+	if speedup < 5 {
+		b.Errorf("indexed Combined inference %.1fx reference, want >= 5x (%.0f vs %.0f events/sec)",
+			speedup, fastEPS, refEPS)
+	}
+	if allocCut < 3 {
+		b.Errorf("fast parse allocates %.1fx less than reference, want >= 3x (%.1f vs %.1f allocs/event)",
+			allocCut, fastAllocs, refAllocs)
 	}
 }

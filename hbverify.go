@@ -141,15 +141,15 @@ func (p *Pipeline) infer(ios []capture.IO) *hbg.Graph {
 }
 
 // Graph infers the happens-before graph over everything captured so far.
-func (p *Pipeline) Graph() *hbg.Graph { return p.infer(p.Net.Log.All()) }
+func (p *Pipeline) Graph() *hbg.Graph { return p.infer(p.Net.Log.Snapshot()) }
 
 // GroundTruth builds the oracle graph from the simulator's causal tags,
 // for accuracy evaluation only.
-func (p *Pipeline) GroundTruth() *hbg.Graph { return hbg.FromGroundTruth(p.Net.Log.All()) }
+func (p *Pipeline) GroundTruth() *hbg.Graph { return hbg.FromGroundTruth(p.Net.Log.Snapshot()) }
 
 // Accuracy scores the configured strategy against ground truth.
 func (p *Pipeline) Accuracy() hbr.Metrics {
-	return hbr.Evaluate(p.Graph(), p.Net.Log.All())
+	return hbr.Evaluate(p.Graph(), p.Net.Log.Snapshot())
 }
 
 // Walker returns a data-plane walker over the live FIBs.
@@ -287,7 +287,7 @@ func (p *Pipeline) Classes() []eqclass.Class {
 // collection cut, first extending the cut until it is HBG-consistent (§5).
 // It returns the report plus the consistency result.
 func (p *Pipeline) VerifySnapshot(cut snapshot.Cut, policies []verify.Policy) (verify.Report, snapshot.Result) {
-	collected, _, res := snapshot.ConsistentCollect(p.Net.Log.All(), cut, p.infer, p.External)
+	collected, _, res := snapshot.ConsistentCollect(p.Net.Log.Snapshot(), cut, p.infer, p.External)
 	fibs := snapshot.BuildFIBs(collected)
 	w := dataplane.NewWalker(p.Net.Topo, dataplane.SnapshotView(fibs))
 	return p.checker(w).Check(policies), res

@@ -150,6 +150,11 @@ type Log struct {
 	nextID uint64
 	ios    []IO
 	subs   []func(IO)
+	// obs caches the ObservedOrder result for one log generation (keyed
+	// by nextID), so repeated inference ticks over an unchanged log do
+	// not re-sort the world.
+	obs    []IO
+	obsGen uint64
 }
 
 // NewLog returns an empty log.
@@ -191,6 +196,43 @@ func (l *Log) All() []IO {
 	return append([]IO(nil), l.ios...)
 }
 
+// Snapshot returns the captured I/Os in append order as a shared,
+// capacity-capped slice — zero copies. Entries are never mutated after
+// append and the cap prevents aliasing future appends, so the result is
+// immutable; callers must treat it as read-only (use All for a private
+// copy).
+func (l *Log) Snapshot() []IO {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ios[:len(l.ios):len(l.ios)]
+}
+
+// AppendBatch appends a batch of I/Os in one critical section, assigning
+// dense IDs, and returns the stored entries as a shared read-only slice.
+// Replayed or parsed logs land in one mutex acquisition instead of one
+// per line; subscribers still observe every I/O individually, in order.
+func (l *Log) AppendBatch(ios []IO) []IO {
+	if len(ios) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	start := len(l.ios)
+	l.ios = append(l.ios, ios...)
+	for i := start; i < len(l.ios); i++ {
+		l.ios[i].ID = l.nextID
+		l.nextID++
+	}
+	stored := l.ios[start:len(l.ios):len(l.ios)]
+	subs := l.subs
+	l.mu.Unlock()
+	for i := range stored {
+		for _, fn := range subs {
+			fn(stored[i])
+		}
+	}
+	return stored
+}
+
 // ByID returns the I/O with the given ID.
 func (l *Log) ByID(id uint64) (IO, bool) {
 	l.mu.Lock()
@@ -203,11 +245,24 @@ func (l *Log) ByID(id uint64) (IO, bool) {
 }
 
 // Filter returns the I/Os for which keep returns true, in append order.
+// It filters under the lock into a right-sized slice instead of copying
+// the whole log first.
 func (l *Log) Filter(keep func(IO) bool) []IO {
-	var out []IO
-	for _, io := range l.All() {
-		if keep(io) {
-			out = append(out, io)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for i := range l.ios {
+		if keep(l.ios[i]) {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]IO, 0, n)
+	for i := range l.ios {
+		if keep(l.ios[i]) {
+			out = append(out, l.ios[i])
 		}
 	}
 	return out
@@ -226,15 +281,29 @@ func (l *Log) ForPrefix(p netip.Prefix) []IO {
 
 // ObservedOrder returns all I/Os sorted by router-observed time, breaking
 // ties by ID. This is the view an inference engine working from collected
-// router logs would have.
+// router logs would have. The result is cached per log generation and
+// shared between calls; callers must treat it as read-only.
 func (l *Log) ObservedOrder() []IO {
-	out := l.All()
+	l.mu.Lock()
+	if l.obs != nil && l.obsGen == l.nextID {
+		out := l.obs
+		l.mu.Unlock()
+		return out
+	}
+	gen := l.nextID
+	out := append([]IO(nil), l.ios...)
+	l.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Time != out[j].Time {
 			return out[i].Time < out[j].Time
 		}
 		return out[i].ID < out[j].ID
 	})
+	l.mu.Lock()
+	if gen >= l.obsGen {
+		l.obs, l.obsGen = out, gen
+	}
+	l.mu.Unlock()
 	return out
 }
 

@@ -254,3 +254,89 @@ func TestHasPrefix(t *testing.T) {
 		t.Fatal("fib install lacks prefix")
 	}
 }
+
+func TestSnapshotSharedAndStable(t *testing.T) {
+	log := NewLog()
+	log.AppendBatch([]IO{{Type: ConfigChange}, {Type: SoftReconfig}})
+	snap := log.Snapshot()
+	if len(snap) != 2 || snap[0].ID != 1 || snap[1].ID != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// The capped capacity must prevent later appends from aliasing into
+	// an earlier snapshot.
+	log.AppendBatch([]IO{{Type: LinkUp}})
+	if len(snap) != 2 || cap(snap) != 2 {
+		t.Fatalf("snapshot grew: len=%d cap=%d", len(snap), cap(snap))
+	}
+	if got := log.Snapshot(); len(got) != 3 || got[2].ID != 3 {
+		t.Fatalf("second snapshot = %+v", got)
+	}
+}
+
+func TestAppendBatch(t *testing.T) {
+	log := NewLog()
+	var seen []uint64
+	log.Subscribe(func(io IO) { seen = append(seen, io.ID) })
+	rec := NewRecorder(log, "r1", netsim.NewScheduler(1), nil)
+	rec.Record(IO{Type: ConfigChange})
+	stored := log.AppendBatch([]IO{
+		{Router: "r2", Type: RecvAdvert, Prefix: pfx("10.0.0.0/8")},
+		{Router: "r2", Type: RIBInstall, Prefix: pfx("10.0.0.0/8")},
+	})
+	if len(stored) != 2 || stored[0].ID != 2 || stored[1].ID != 3 {
+		t.Fatalf("batch IDs = %+v", stored)
+	}
+	if log.Len() != 3 {
+		t.Fatalf("Len = %d", log.Len())
+	}
+	if len(seen) != 3 || seen[1] != 2 || seen[2] != 3 {
+		t.Fatalf("subscriber saw %v", seen)
+	}
+	if got := log.AppendBatch(nil); got != nil {
+		t.Fatalf("empty batch returned %v", got)
+	}
+	if io, ok := log.ByID(3); !ok || io.Type != RIBInstall {
+		t.Fatalf("ByID(3) = %+v %v", io, ok)
+	}
+}
+
+func TestFilterRightSized(t *testing.T) {
+	log := NewLog()
+	var batch []IO
+	for i := 0; i < 100; i++ {
+		ty := RecvAdvert
+		if i%10 == 0 {
+			ty = ConfigChange
+		}
+		batch = append(batch, IO{Type: ty})
+	}
+	log.AppendBatch(batch)
+	got := log.Filter(func(io IO) bool { return io.Type == ConfigChange })
+	if len(got) != 10 || cap(got) != 10 {
+		t.Fatalf("Filter len=%d cap=%d, want exactly 10", len(got), cap(got))
+	}
+	if none := log.Filter(func(IO) bool { return false }); none != nil {
+		t.Fatalf("empty filter = %v", none)
+	}
+}
+
+func TestObservedOrderCachedPerGeneration(t *testing.T) {
+	log := NewLog()
+	log.AppendBatch([]IO{{Type: ConfigChange, Time: 20}, {Type: LinkUp, Time: 10}})
+	a := log.ObservedOrder()
+	b := log.ObservedOrder()
+	if &a[0] != &b[0] {
+		t.Fatal("unchanged log must reuse the cached observed order")
+	}
+	if a[0].Time != 10 || a[1].Time != 20 {
+		t.Fatalf("observed order = %+v", a)
+	}
+	log.AppendBatch([]IO{{Type: LinkDown, Time: 5}})
+	c := log.ObservedOrder()
+	if len(c) != 3 || c[0].Time != 5 {
+		t.Fatalf("post-append observed order = %+v", c)
+	}
+	if len(a) != 2 {
+		t.Fatal("old observed order mutated")
+	}
+}

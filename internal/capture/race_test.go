@@ -52,6 +52,14 @@ func TestLogConcurrentRecordAndRead(t *testing.T) {
 					t.Errorf("All() returned %d < Len() %d", len(all), n)
 					return
 				}
+				if snap := log.Snapshot(); len(snap) < n {
+					t.Errorf("Snapshot() returned %d < Len() %d", len(snap), n)
+					return
+				}
+				if obs := log.ObservedOrder(); len(obs) < n {
+					t.Errorf("ObservedOrder() returned %d < Len() %d", len(obs), n)
+					return
+				}
 				if n > 0 {
 					if _, ok := log.ByID(uint64(n)); !ok {
 						t.Errorf("ByID(%d) missing despite Len()=%d", n, n)
@@ -76,5 +84,69 @@ func TestLogConcurrentRecordAndRead(t *testing.T) {
 		if io.ID != uint64(i+1) {
 			t.Fatalf("I/O %d has ID %d, want %d", i, io.ID, i+1)
 		}
+	}
+}
+
+// TestLogConcurrentAppendBatch drives batch appends from several
+// goroutines while readers take zero-copy snapshots. Run under -race.
+func TestLogConcurrentAppendBatch(t *testing.T) {
+	log := NewLog()
+	var delivered atomic.Int64
+	log.Subscribe(func(IO) { delivered.Add(1) })
+
+	const (
+		writers = 4
+		batches = 50
+		perB    = 20
+	)
+	var wWg, rWg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wWg.Add(1)
+		go func() {
+			defer wWg.Done()
+			for b := 0; b < batches; b++ {
+				batch := make([]IO, perB)
+				for i := range batch {
+					batch[i] = IO{Type: RecvAdvert}
+				}
+				stored := log.AppendBatch(batch)
+				for i := 1; i < len(stored); i++ {
+					if stored[i].ID != stored[i-1].ID+1 {
+						t.Errorf("batch IDs not dense: %d after %d", stored[i].ID, stored[i-1].ID)
+						return
+					}
+				}
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		rWg.Add(1)
+		go func() {
+			defer rWg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := log.Len()
+				if snap := log.Snapshot(); len(snap) < n {
+					t.Errorf("Snapshot() returned %d < Len() %d", len(snap), n)
+					return
+				}
+			}
+		}()
+	}
+	wWg.Wait()
+	close(stop)
+	rWg.Wait()
+
+	want := int64(writers * batches * perB)
+	if got := int64(log.Len()); got != want {
+		t.Fatalf("log.Len() = %d, want %d", got, want)
+	}
+	if got := delivered.Load(); got != want {
+		t.Fatalf("subscriber saw %d I/Os, want %d", got, want)
 	}
 }

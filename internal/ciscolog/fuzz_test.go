@@ -6,10 +6,14 @@ import (
 	"testing"
 )
 
-// FuzzParse feeds arbitrary log lines to the parser. Two properties:
-// ParseLine must never panic, and any line it accepts must survive an
+// FuzzParse feeds arbitrary log lines to the parser. Three properties:
+// ParseLine must never panic; any line it accepts must survive an
 // emit/re-parse round trip unchanged (modulo the assigned ID) — the
-// idempotence the capture pipeline relies on when logs are re-collected.
+// idempotence the capture pipeline relies on when logs are re-collected;
+// and on the canonical emitted form, the fast emit and parse paths must
+// agree exactly with the fmt/strings reference implementations. (The
+// fast parser may be stricter than the reference on non-canonical
+// whitespace, so raw fuzz input is not held to acceptance parity.)
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"*Nov  1 10:00:25.004: %SYS-5-CONFIG_I: Configured from console by admin on vty0 (set lp 150)",
@@ -55,10 +59,20 @@ func FuzzParse(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-parse of emitted line failed: %v\n  input:   %q\n  emitted: %q", err, line, emitted)
 		}
-		io1.ID, io2.ID = 0, 0
+		if refEmitted := ReferenceEmit(io1); refEmitted != emitted {
+			t.Fatalf("fast emit diverged from reference:\n  fast: %q\n  ref:  %q", emitted, refEmitted)
+		}
+		io3, err := NewReferenceParser(nil).ParseLine("r1", emitted)
+		if err != nil {
+			t.Fatalf("reference re-parse of emitted line failed: %v\n  emitted: %q", err, emitted)
+		}
+		io1.ID, io2.ID, io3.ID = 0, 0, 0
 		if !reflect.DeepEqual(io1, io2) {
 			t.Fatalf("round trip not idempotent:\n  input:   %q\n  emitted: %q\n  first:  %+v\n  second: %+v",
 				line, emitted, io1, io2)
+		}
+		if !reflect.DeepEqual(io2, io3) {
+			t.Fatalf("fast parse diverged from reference on %q:\n  fast: %+v\n  ref:  %+v", emitted, io2, io3)
 		}
 	})
 }

@@ -1,0 +1,215 @@
+package ciscolog
+
+import (
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/metrics"
+	"hbverify/internal/netsim"
+	"hbverify/internal/route"
+)
+
+// emitCorpus builds I/Os covering every emit branch: all types, OSPF and
+// non-OSPF adverts, self/explicit next hops, empty and populated AS
+// paths, invalid prefixes and addresses, and out-of-range type/protocol
+// values.
+func emitCorpus() []capture.IO {
+	pfx := netip.MustParsePrefix("203.0.113.0/24")
+	nh := netip.MustParseAddr("10.0.0.2")
+	peer := netip.MustParseAddr("10.0.1.2")
+	at := func(ms int) netsim.VirtualTime { return netsim.VirtualTime(ms) * 1_000_000 }
+	return []capture.IO{
+		{Type: capture.ConfigChange, Detail: "set lp 150", Time: at(4)},
+		{Type: capture.ConfigChange, Detail: "", Time: at(4)},
+		{Type: capture.SoftReconfig, Proto: route.ProtoBGP, Time: at(120)},
+		{Type: capture.LinkUp, Detail: "eth-r2", Time: at(1000)},
+		{Type: capture.LinkDown, Detail: "eth-r2", Time: at(1000)},
+		{Type: capture.RecvAdvert, Proto: route.ProtoBGP, Prefix: pfx, PeerAddr: peer, NextHop: nh,
+			Attrs: route.BGPAttrs{LocalPref: 100, ASPath: []uint32{100, 200}}, Time: at(133500)},
+		{Type: capture.RecvAdvert, Proto: route.ProtoOSPF, Detail: "LSU router-lsa 10.255.1.1 seq 3", PeerAddr: peer, Time: at(180001)},
+		{Type: capture.RecvAdvert, Proto: route.ProtoEIGRP, Prefix: pfx, PeerAddr: peer, Time: at(210750)},
+		{Type: capture.RecvWithdraw, Proto: route.ProtoBGP, Prefix: pfx, PeerAddr: peer, Time: at(134000)},
+		{Type: capture.SendAdvert, Proto: route.ProtoBGP, Prefix: pfx, PeerAddr: peer, Time: at(133500)},
+		{Type: capture.SendAdvert, Proto: route.ProtoOSPF, Detail: "LSU router-lsa 10.255.0.1 seq 4", PeerAddr: peer, Time: at(180001)},
+		{Type: capture.SendWithdraw, Proto: route.ProtoRIP, Prefix: pfx, PeerAddr: peer, Time: at(134000)},
+		{Type: capture.RIBInstall, Proto: route.ProtoBGP, Prefix: pfx, NextHop: nh, Time: at(135250)},
+		{Type: capture.RIBInstall, Proto: route.ProtoRIP, Prefix: pfx, Time: at(135250)}, // self next hop
+		{Type: capture.RIBRemove, Proto: route.ProtoBGP, Prefix: pfx, Time: at(136000)},
+		{Type: capture.FIBInstall, Proto: route.ProtoBGP, Prefix: pfx, NextHop: nh, Time: at(137125)},
+		{Type: capture.FIBInstall, Proto: route.ProtoConnected, Prefix: netip.MustParsePrefix("10.255.0.1/32"), Time: at(137125)},
+		{Type: capture.FIBRemove, Proto: route.ProtoBGP, Prefix: pfx, Time: at(138000)},
+		// Degenerate values: zero prefix/addr and out-of-range enums must
+		// render identically too ("invalid Prefix", "invalid IP", proto(9)).
+		{Type: capture.RecvAdvert, Proto: route.ProtoBGP, Time: at(1)},
+		{Type: capture.FIBInstall, Proto: route.Protocol(9), Time: at(1)},
+		{Type: capture.Type(99), Time: at(1)},
+		// Day >= 10 exercises the other %2d branch of the timestamp.
+		{Type: capture.SoftReconfig, Proto: route.ProtoBGP, Time: netsim.VirtualTime(10 * 24 * 3600 * 1_000_000_000)},
+	}
+}
+
+// TestEmitMatchesReference asserts the append-based emitter reproduces
+// the fmt-based reference byte-for-byte on every emit branch.
+func TestEmitMatchesReference(t *testing.T) {
+	for _, io := range emitCorpus() {
+		if got, want := Emit(io), ReferenceEmit(io); got != want {
+			t.Errorf("Emit mismatch for %v:\n  fast: %q\n  ref:  %q", io.Type, got, want)
+		}
+	}
+}
+
+// TestParseMatchesReference asserts the byte-scanning parser agrees with
+// the string-based reference on every canonical line: same acceptance,
+// same parsed I/O, same assigned IDs.
+func TestParseMatchesReference(t *testing.T) {
+	var lines []string
+	for _, io := range emitCorpus() {
+		lines = append(lines, Emit(io))
+	}
+	lines = append(lines,
+		"  *Nov  1 10:00:25.004: %BGP-5-SOFTRECONFIG: inbound soft reconfiguration started  ",
+		"*Nov  1 10:02:13.500: BGP(0): 10.0.0.2 rcvd UPDATE about 203.0.113.0/24, next hop self, localpref 100, path 100 200",
+		"*nov 12 9:02:13,500: BGP(0): 10.0.0.2 rcvd WITHDRAW about 203.0.113.0/24",
+		"*Feb 29 10:00:00.000: %BGP-5-SOFTRECONFIG: inbound soft reconfiguration started",
+		// Rejections must agree on canonical-whitespace input as well.
+		"*Nov  1 10:02:15.250: BGP(0): Revise route installing 203.0.113.0/24 -> ",
+		"*Nov  1 10:02:16.000: BGP(0): Revise route removing ",
+		"*Nov 31 10:00:00.000: %BGP-5-SOFTRECONFIG: inbound soft reconfiguration started",
+		"*Nov  1 24:00:00.000: %BGP-5-SOFTRECONFIG: inbound soft reconfiguration started",
+		"*Nov  1 10:00:00.0000: %BGP-5-SOFTRECONFIG: inbound soft reconfiguration started",
+		"*Nov  1 10:00: %BGP-5-SOFTRECONFIG: inbound soft reconfiguration started",
+		"*Nov  1 10:02:13.500: XXX: 10.0.0.2 rcvd UPDATE about 203.0.113.0/24",
+		"*Nov  1 10:02:13.500: BGP(0): 10.0.0.2 pushd UPDATE about 203.0.113.0/24",
+		"*Nov  1 10:02:13.500: BGP(0): 10.0.0.2 rcvd",
+		"*Nov  1 10:02:17.125: %FIB-6-INSTALL: 203.0.113.0/24 via",
+		"not a log line",
+		"",
+	)
+	resolve := func(a netip.Addr) string { return "peer-" + a.String() }
+	fast := NewParser(resolve)
+	ref := NewReferenceParser(resolve)
+	for _, line := range lines {
+		fio, ferr := fast.ParseLine("r1", line)
+		rio, rerr := ref.ParseLine("r1", line)
+		if (ferr == nil) != (rerr == nil) {
+			t.Errorf("acceptance mismatch for %q: fast err %v, ref err %v", line, ferr, rerr)
+			continue
+		}
+		if ferr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(fio, rio) {
+			t.Errorf("parse mismatch for %q:\n  fast: %+v\n  ref:  %+v", line, fio, rio)
+		}
+	}
+}
+
+// TestAppendLineZeroAlloc asserts the emit hot path allocates nothing
+// once the destination buffer has warmed up.
+func TestAppendLineZeroAlloc(t *testing.T) {
+	corpus := emitCorpus()
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := range corpus {
+			buf = AppendLine(buf[:0], corpus[i])
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendLine allocated %.1f times per corpus pass, want 0", allocs)
+	}
+}
+
+// TestParserInterning asserts repeated values are shared between lines:
+// the second parse of an identical AS path must reuse the same backing
+// slice, and repeated details the same string.
+func TestParserInterning(t *testing.T) {
+	p := NewParser(nil)
+	line := "*Nov  1 10:02:13.500: BGP(0): 10.0.0.2 rcvd UPDATE about 203.0.113.0/24, next hop 10.0.0.2, localpref 100, path 100 200"
+	a, err := p.ParseLine("r1", line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.ParseLine("r1", line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Attrs.ASPath) != 2 || len(b.Attrs.ASPath) != 2 {
+		t.Fatalf("bad AS paths: %v %v", a.Attrs.ASPath, b.Attrs.ASPath)
+	}
+	if &a.Attrs.ASPath[0] != &b.Attrs.ASPath[0] {
+		t.Error("AS path not interned across identical lines")
+	}
+}
+
+// TestParseReader exercises the streaming path: callback order, metrics,
+// and early stop on callback error.
+func TestParseReader(t *testing.T) {
+	// Keep only corpus entries whose emission parses back; the degenerate
+	// ones (invalid prefix, unknown type) emit intentionally unparseable
+	// lines.
+	var corpus []capture.IO
+	for _, io := range emitCorpus() {
+		if _, err := NewParser(nil).ParseLine("r1", Emit(io)); err == nil {
+			corpus = append(corpus, io)
+		}
+	}
+	var sb strings.Builder
+	if err := EmitLog(&sb, corpus); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	p := NewParser(nil)
+	p.Metrics = reg
+	var got []capture.IO
+	if err := p.ParseReader("r1", strings.NewReader(sb.String()), func(io capture.IO) error {
+		got = append(got, io)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(corpus) {
+		t.Fatalf("streamed %d I/Os, want %d", len(got), len(corpus))
+	}
+	batch, err := NewParser(nil).ParseLog("r1", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, batch) {
+		t.Fatal("ParseReader and ParseLog disagree")
+	}
+	if n := reg.Counter("ciscolog.parse.lines").Value(); n != int64(len(corpus)) {
+		t.Fatalf("ciscolog.parse.lines = %d, want %d", n, len(corpus))
+	}
+	if n := reg.Counter("ciscolog.parse.errors").Value(); n != 0 {
+		t.Fatalf("ciscolog.parse.errors = %d, want 0", n)
+	}
+	if reg.Timer("ciscolog.parse").Count() == 0 {
+		t.Fatal("ciscolog.parse timer never observed")
+	}
+
+	// Callback errors stop the stream and count as a parse error.
+	stop := strings.NewReader(sb.String())
+	seen := 0
+	err = p.ParseReader("r1", stop, func(capture.IO) error {
+		seen++
+		if seen == 3 {
+			return errStop
+		}
+		return nil
+	})
+	if err != errStop || seen != 3 {
+		t.Fatalf("callback stop: err %v after %d I/Os", err, seen)
+	}
+	if n := reg.Counter("ciscolog.parse.errors").Value(); n != 1 {
+		t.Fatalf("ciscolog.parse.errors = %d, want 1", n)
+	}
+}
+
+var errStop = &stopError{}
+
+type stopError struct{}
+
+func (*stopError) Error() string { return "stop" }

@@ -14,10 +14,14 @@
 //
 // The Combined strategy layers pattern mining under rule matching, which is
 // the configuration the paper expects to be necessary in practice.
+//
+// All strategies run over a shared immutable Index (sorted-once events,
+// per-router spans, keyed send lookup) and shard per-event work across a
+// worker pool; reference.go preserves the original implementations as the
+// differential baseline.
 package hbr
 
 import (
-	"sort"
 	"time"
 
 	"hbverify/internal/capture"
@@ -31,90 +35,11 @@ type Strategy interface {
 	Infer(ios []capture.IO) *hbg.Graph
 }
 
-// index organizes a log for inference. All slices are sorted by observed
-// time with IDs as tie-breaker.
-type index struct {
-	all      []capture.IO
-	byRouter map[string][]capture.IO
-}
-
-func buildIndex(ios []capture.IO) *index {
-	idx := &index{byRouter: map[string][]capture.IO{}}
-	idx.all = append(idx.all, ios...)
-	sort.SliceStable(idx.all, func(i, j int) bool {
-		if idx.all[i].Time != idx.all[j].Time {
-			return idx.all[i].Time < idx.all[j].Time
-		}
-		return idx.all[i].ID < idx.all[j].ID
-	})
-	for _, io := range idx.all {
-		idx.byRouter[io.Router] = append(idx.byRouter[io.Router], io)
-	}
-	return idx
-}
-
-// precedingOnRouter visits events on io's router that were observed at or
-// before io (excluding io itself), nearest first, stopping after window.
-func (idx *index) precedingOnRouter(io capture.IO, window time.Duration, visit func(capture.IO) bool) {
-	evs := idx.byRouter[io.Router]
-	// Find io's position (observed order).
-	pos := sort.Search(len(evs), func(i int) bool {
-		if evs[i].Time != io.Time {
-			return evs[i].Time > io.Time
-		}
-		return evs[i].ID >= io.ID
-	})
-	for i := pos - 1; i >= 0; i-- {
-		if window > 0 && io.Time.Sub(evs[i].Time) > window {
-			return
-		}
-		if !visit(evs[i]) {
-			return
-		}
-	}
-}
-
 // sameAdvertKind reports whether a send and recv describe the same message
 // kind (advert vs withdraw).
 func sameAdvertKind(send, recv capture.Type) bool {
 	return (send == capture.SendAdvert && recv == capture.RecvAdvert) ||
 		(send == capture.SendWithdraw && recv == capture.RecvWithdraw)
-}
-
-// matchSendForRecv finds the sender-side event for a received
-// advertisement: a send at recv.Peer targeting recv.Router, same protocol
-// and prefix (or same Detail for prefix-less LSAs), nearest in |observed
-// time| within window. Clock skew is why this uses absolute distance.
-func (idx *index) matchSendForRecv(recv capture.IO, window time.Duration) (capture.IO, bool) {
-	var best capture.IO
-	var bestDist time.Duration
-	found := false
-	for _, cand := range idx.byRouter[recv.Peer] {
-		if !cand.Type.IsOutput() || !sameAdvertKind(cand.Type, recv.Type) {
-			continue
-		}
-		if cand.Proto != recv.Proto || cand.Peer != recv.Router {
-			continue
-		}
-		if recv.HasPrefix() || cand.HasPrefix() {
-			if cand.Prefix != recv.Prefix {
-				continue
-			}
-		} else if cand.Detail != recv.Detail {
-			continue
-		}
-		d := recv.Time.Sub(cand.Time)
-		if d < 0 {
-			d = -d
-		}
-		if window > 0 && d > window {
-			continue
-		}
-		if !found || d < bestDist {
-			best, bestDist, found = cand, d, true
-		}
-	}
-	return best, found
 }
 
 // Metrics compares an inferred graph against ground truth.
@@ -171,18 +96,22 @@ type Timestamp struct{}
 func (Timestamp) Name() string { return "timestamp" }
 
 // Infer implements Strategy.
-func (Timestamp) Infer(ios []capture.IO) *hbg.Graph {
-	idx := buildIndex(ios)
+func (t Timestamp) Infer(ios []capture.IO) *hbg.Graph { return t.InferIndex(NewIndex(ios)) }
+
+// InferIndex implements IndexInferrer: per-router chains over the shared
+// index, sharded by router. Spans partition the event set, so each worker
+// adds exactly its routers' nodes and edges.
+func (Timestamp) InferIndex(idx *Index) *hbg.Graph {
 	g := hbg.New()
-	for _, io := range ios {
-		g.AddNode(io)
-	}
-	for router := range idx.byRouter {
-		evs := idx.byRouter[router]
-		for i := 1; i < len(evs); i++ {
-			g.AddEdge(evs[i-1].ID, evs[i].ID)
+	idx.runPerRouter(g, func(g *hbg.Graph, span []int32) {
+		for i, p := range span {
+			io := idx.all[p]
+			g.AddNode(io)
+			if i > 0 {
+				g.AddEdge(idx.all[span[i-1]].ID, io.ID)
+			}
 		}
-	}
+	})
 	return g
 }
 
@@ -198,21 +127,20 @@ type Prefix struct {
 func (Prefix) Name() string { return "prefix" }
 
 // Infer implements Strategy.
-func (p Prefix) Infer(ios []capture.IO) *hbg.Graph {
+func (p Prefix) Infer(ios []capture.IO) *hbg.Graph { return p.InferIndex(NewIndex(ios)) }
+
+// InferIndex implements IndexInferrer.
+func (p Prefix) InferIndex(idx *Index) *hbg.Graph {
 	window := p.Window
 	if window == 0 {
 		window = 500 * time.Millisecond
 	}
-	idx := buildIndex(ios)
 	g := hbg.New()
-	for _, io := range ios {
+	idx.runPerEvent(g, func(g *hbg.Graph, io capture.IO) {
 		g.AddNode(io)
-	}
-	for _, io := range idx.all {
 		if !io.HasPrefix() {
-			continue
+			return
 		}
-		io := io
 		idx.precedingOnRouter(io, window, func(cand capture.IO) bool {
 			if cand.Prefix == io.Prefix {
 				g.AddEdge(cand.ID, io.ID)
@@ -224,7 +152,7 @@ func (p Prefix) Infer(ios []capture.IO) *hbg.Graph {
 				g.AddEdge(send.ID, io.ID)
 			}
 		}
-	}
+	})
 	return g
 }
 

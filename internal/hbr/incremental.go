@@ -143,7 +143,7 @@ func (inc *Incremental) Infer(ios []capture.IO) *hbg.Graph {
 	// cuts, a different capture source) is served without touching the
 	// cache.
 	start := time.Now()
-	g := inc.Base.Infer(ios)
+	g := inc.runBase(ios)
 	inc.Metrics.Timer("infer.full").Observe(time.Since(start))
 	inc.Metrics.Counter("infer.cache.misses").Inc()
 	if inc.cached == nil || (len(ios) >= inc.covered && prefixIntact(ios, inc.covered, inc.lastID)) {
@@ -177,12 +177,25 @@ func (inc *Incremental) extend(ios []capture.IO, lookback time.Duration) *hbg.Gr
 		lo--
 	}
 	window := ios[lo:]
-	inc.cached.Merge(inc.Base.Infer(window))
+	inc.cached.Merge(inc.runBase(window))
 	inc.covered, inc.lastID = len(ios), lastIDOf(ios)
 	inc.Metrics.Timer("infer.incremental").Observe(time.Since(start))
 	inc.Metrics.Counter("infer.suffix.ios").Add(int64(len(suffix)))
 	inc.Metrics.Counter("infer.window.ios").Add(int64(len(window)))
 	return inc.cached
+}
+
+// runBase builds the shared index for one log generation and runs the
+// base strategy over it (every strategy in the standard lineup takes the
+// InferIndexed fast path; foreign strategies fall back to their own
+// Infer). Index construction is the only sort the whole inference pays.
+func (inc *Incremental) runBase(ios []capture.IO) *hbg.Graph {
+	start := time.Now()
+	idx := NewIndex(ios)
+	inc.Metrics.Timer("hbr.infer.index.build").Observe(time.Since(start))
+	inc.Metrics.Counter("hbr.infer.index.builds").Inc()
+	inc.Metrics.Counter("hbr.infer.index.ios").Add(int64(idx.Len()))
+	return InferIndexed(inc.Base, idx)
 }
 
 // prefixIntact reports whether ios still starts with the covered prefix

@@ -1,0 +1,328 @@
+// Shared inference index: the Strategies() lineup used to rebuild and
+// re-sort a full per-strategy index for every Infer call, and recv→send
+// matching scanned the peer router's entire history. Index is built once
+// per log generation and shared — events sorted once by observed time,
+// per-router position spans, and a keyed send-lookup table so
+// matchSendForRecv touches only the handful of candidates with the same
+// (sender, target, protocol, advert-kind, prefix|detail) signature.
+//
+// Index is immutable after construction, so any number of strategies (and
+// any number of goroutines inside one strategy) may read it concurrently.
+
+package hbr
+
+import (
+	"net/netip"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/hbg"
+	"hbverify/internal/netsim"
+	"hbverify/internal/route"
+)
+
+// sendKey identifies a class of send events some recv could match: the
+// sending router, the target router, protocol, advert-vs-withdraw, and
+// either the prefix (route-carrying sends) or the Detail (prefix-less
+// LSAs). The prefix/detail split mirrors matchSendForRecv's predicate: a
+// prefix on either side forces prefix equality, otherwise Details must
+// agree.
+type sendKey struct {
+	sender   string
+	target   string
+	proto    route.Protocol
+	withdraw bool
+	prefix   netip.Prefix
+	detail   string
+}
+
+func sendKeyFor(io capture.IO) sendKey {
+	k := sendKey{
+		sender:   io.Router,
+		target:   io.Peer,
+		proto:    io.Proto,
+		withdraw: io.Type == capture.SendWithdraw,
+	}
+	if io.HasPrefix() {
+		k.prefix = io.Prefix
+	} else {
+		k.detail = io.Detail
+	}
+	return k
+}
+
+// recvKeyFor builds the lookup key for a received advert/withdraw: the
+// matching send originates at recv.Peer and targets recv.Router.
+func recvKeyFor(recv capture.IO) sendKey {
+	k := sendKey{
+		sender:   recv.Peer,
+		target:   recv.Router,
+		proto:    recv.Proto,
+		withdraw: recv.Type == capture.RecvWithdraw,
+	}
+	if recv.HasPrefix() {
+		k.prefix = recv.Prefix
+	} else {
+		k.detail = recv.Detail
+	}
+	return k
+}
+
+// Index organizes one log generation for inference. All position slices
+// index into all, which is sorted by observed time with IDs as
+// tie-breaker; every slice of positions is therefore itself time-sorted.
+type Index struct {
+	all      []capture.IO
+	byRouter map[string][]int32
+	routers  []string // sorted, for deterministic sharded iteration
+	sends    map[sendKey][]int32
+}
+
+// NewIndex sorts and indexes ios. The input slice is not modified and not
+// retained.
+func NewIndex(ios []capture.IO) *Index {
+	idx := &Index{
+		all:      append([]capture.IO(nil), ios...),
+		byRouter: map[string][]int32{},
+		sends:    map[sendKey][]int32{},
+	}
+	sort.SliceStable(idx.all, func(i, j int) bool {
+		if idx.all[i].Time != idx.all[j].Time {
+			return idx.all[i].Time < idx.all[j].Time
+		}
+		return idx.all[i].ID < idx.all[j].ID
+	})
+	for i := range idx.all {
+		io := &idx.all[i]
+		idx.byRouter[io.Router] = append(idx.byRouter[io.Router], int32(i))
+		if io.Type == capture.SendAdvert || io.Type == capture.SendWithdraw {
+			k := sendKeyFor(*io)
+			idx.sends[k] = append(idx.sends[k], int32(i))
+		}
+	}
+	idx.routers = make([]string, 0, len(idx.byRouter))
+	for r := range idx.byRouter {
+		idx.routers = append(idx.routers, r)
+	}
+	sort.Strings(idx.routers)
+	return idx
+}
+
+// Len reports the number of indexed I/Os.
+func (idx *Index) Len() int { return len(idx.all) }
+
+// IOs returns the indexed I/Os in observed order. The slice is shared
+// with the index and must not be modified.
+func (idx *Index) IOs() []capture.IO { return idx.all }
+
+// precedingOnRouter visits events on io's router that were observed at or
+// before io (excluding io itself), nearest first, stopping after window.
+func (idx *Index) precedingOnRouter(io capture.IO, window time.Duration, visit func(capture.IO) bool) {
+	evs := idx.byRouter[io.Router]
+	// Find io's position (observed order).
+	pos := sort.Search(len(evs), func(i int) bool {
+		e := &idx.all[evs[i]]
+		if e.Time != io.Time {
+			return e.Time > io.Time
+		}
+		return e.ID >= io.ID
+	})
+	for i := pos - 1; i >= 0; i-- {
+		e := idx.all[evs[i]]
+		if window > 0 && io.Time.Sub(e.Time) > window {
+			return
+		}
+		if !visit(e) {
+			return
+		}
+	}
+}
+
+// swapSendMatch is the scenario harness's injectable fast-matcher bug:
+// when set, matchSendForRecv picks the furthest in-window candidate
+// instead of the nearest — exactly the kind of silent tie-breaking drift
+// the infer-fast-vs-reference oracle exists to catch.
+var swapSendMatch atomic.Bool
+
+// SetSwapSendMatchBug toggles the injected matcher bug (test harness only).
+func SetSwapSendMatchBug(on bool) { swapSendMatch.Store(on) }
+
+// matchSendForRecv finds the sender-side event for a received
+// advertisement: a send at recv.Peer targeting recv.Router, same protocol
+// and prefix (or same Detail for prefix-less LSAs), nearest in |observed
+// time| within window. Clock skew is why this uses absolute distance.
+//
+// The candidate list for recv's key is a time-sorted subsequence of the
+// peer's events, so the window bounds are found by binary search and only
+// in-window candidates are visited; the nearest-with-strictly-smaller-
+// distance rule over that ordered slice reproduces the reference scan's
+// tie-breaking exactly.
+func (idx *Index) matchSendForRecv(recv capture.IO, window time.Duration) (capture.IO, bool) {
+	cands := idx.sends[recvKeyFor(recv)]
+	if len(cands) == 0 {
+		return capture.IO{}, false
+	}
+	lo, hi := 0, len(cands)
+	if window > 0 {
+		minT, maxT := recv.Time-netsim.VirtualTime(window), recv.Time+netsim.VirtualTime(window)
+		lo = sort.Search(len(cands), func(i int) bool { return idx.all[cands[i]].Time >= minT })
+		hi = sort.Search(len(cands), func(i int) bool { return idx.all[cands[i]].Time > maxT })
+	}
+	var best capture.IO
+	var bestDist time.Duration
+	found := false
+	bug := swapSendMatch.Load()
+	for _, p := range cands[lo:hi] {
+		cand := idx.all[p]
+		d := recv.Time.Sub(cand.Time)
+		if d < 0 {
+			d = -d
+		}
+		if window > 0 && d > window {
+			continue
+		}
+		take := !found || d < bestDist
+		if bug {
+			take = !found || d >= bestDist
+		}
+		if take {
+			best, bestDist, found = cand, d, true
+		}
+	}
+	return best, found
+}
+
+// parallelMinEvents is the log size below which sharded inference is not
+// worth the goroutine and merge overhead.
+const parallelMinEvents = 2048
+
+// shardChunk is the unit of work one worker claims at a time; contiguous
+// chunks keep the per-event scans cache-friendly.
+const shardChunk = 256
+
+// runPerEvent applies fn to every indexed event. Large logs are sharded
+// across GOMAXPROCS workers, each writing into a worker-local graph that
+// is merged into g afterwards. The merge is deterministic: every edge is
+// derived from exactly one event (its "to" side), so no two workers ever
+// produce the same edge with different confidences, and hbg's max-merge
+// is order-independent for identical content.
+func (idx *Index) runPerEvent(g *hbg.Graph, fn func(g *hbg.Graph, io capture.IO)) {
+	n := len(idx.all)
+	workers := runtime.GOMAXPROCS(0)
+	if n < parallelMinEvents || workers <= 1 {
+		for i := range idx.all {
+			fn(g, idx.all[i])
+		}
+		return
+	}
+	if max := n/shardChunk + 1; workers > max {
+		workers = max
+	}
+	locals := make([]*hbg.Graph, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := hbg.New()
+			locals[w] = local
+			for {
+				hi := int(cursor.Add(shardChunk))
+				lo := hi - shardChunk
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(local, idx.all[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, local := range locals {
+		g.Merge(local)
+	}
+}
+
+// runPerRouter applies fn to every router's time-sorted position span,
+// sharding routers across workers for large logs. Spans partition the
+// event set, so worker-local graphs merge deterministically.
+func (idx *Index) runPerRouter(g *hbg.Graph, fn func(g *hbg.Graph, span []int32)) {
+	workers := runtime.GOMAXPROCS(0)
+	if len(idx.all) < parallelMinEvents || workers <= 1 || len(idx.routers) == 1 {
+		for _, r := range idx.routers {
+			fn(g, idx.byRouter[r])
+		}
+		return
+	}
+	if workers > len(idx.routers) {
+		workers = len(idx.routers)
+	}
+	locals := make([]*hbg.Graph, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := hbg.New()
+			locals[w] = local
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(idx.routers) {
+					return
+				}
+				fn(local, idx.byRouter[idx.routers[i]])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, local := range locals {
+		g.Merge(local)
+	}
+}
+
+// IndexInferrer is implemented by strategies that can run over a shared
+// pre-built Index instead of building their own.
+type IndexInferrer interface {
+	Strategy
+	InferIndex(idx *Index) *hbg.Graph
+}
+
+// InferIndexed runs s over idx, using the shared-index fast path when the
+// strategy supports it and falling back to a plain Infer otherwise.
+func InferIndexed(s Strategy, idx *Index) *hbg.Graph {
+	if ii, ok := s.(IndexInferrer); ok {
+		return ii.InferIndex(idx)
+	}
+	return s.Infer(idx.IOs())
+}
+
+// InferAll builds one Index over ios and runs every strategy over it
+// concurrently, returning the graphs in strategy order. This is the
+// comparison-experiment fast path: one sort, one send table, N strategies.
+func InferAll(ios []capture.IO, strategies []Strategy) []*hbg.Graph {
+	idx := NewIndex(ios)
+	out := make([]*hbg.Graph, len(strategies))
+	var wg sync.WaitGroup
+	for i, s := range strategies {
+		i, s := i, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = InferIndexed(s, idx)
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -6,7 +6,9 @@
 package hbr
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"hbverify/internal/capture"
@@ -24,6 +26,14 @@ type pairKey struct {
 	bProto route.Protocol
 	cross  bool
 }
+
+// totalKey counts B-kind events — the confidence denominator.
+type totalKey struct {
+	t capture.Type
+	p route.Protocol
+}
+
+func (k pairKey) total() totalKey { return totalKey{t: k.bType, p: k.bProto} }
 
 // Model is a trained pattern model: per-pair confidence that a B-kind event
 // is preceded by an A-kind event.
@@ -53,18 +63,66 @@ type Miner struct {
 // looks back Window on the same router for prefix-compatible events A
 // (same prefix, or A prefix-less) and counts each distinct kind once;
 // confidence(A→B) = (#B preceded by A) / (#B).
-func (m Miner) Train(ref []capture.IO) *Model {
+func (m Miner) Train(ref []capture.IO) *Model { return m.TrainIndex(NewIndex(ref)) }
+
+// TrainIndex mines over a pre-built shared index. Large logs are split
+// into contiguous ranges counted by parallel workers; summing the
+// per-range counts is commutative, so the merged model is deterministic.
+func (m Miner) TrainIndex(idx *Index) *Model {
 	window := m.Window
 	if window == 0 {
 		window = 500 * time.Millisecond
 	}
-	idx := buildIndex(ref)
+	n := idx.Len()
+	workers := runtime.GOMAXPROCS(0)
 	hits := map[pairKey]int{}
-	totals := map[[2]interface{}]int{} // keyed by (bType,bProto)
-	for _, b := range idx.all {
-		b := b
-		tkey := [2]interface{}{b.Type, b.Proto}
-		totals[tkey]++
+	totals := map[totalKey]int{}
+	if n < parallelMinEvents || workers <= 1 {
+		m.trainRange(idx, 0, n, window, hits, totals)
+	} else {
+		if workers > n {
+			workers = n
+		}
+		type counts struct {
+			hits   map[pairKey]int
+			totals map[totalKey]int
+		}
+		locals := make([]counts, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			lo, hi := w*n/workers, (w+1)*n/workers
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				locals[w] = counts{hits: map[pairKey]int{}, totals: map[totalKey]int{}}
+				m.trainRange(idx, lo, hi, window, locals[w].hits, locals[w].totals)
+			}()
+		}
+		wg.Wait()
+		for _, c := range locals {
+			for k, v := range c.hits {
+				hits[k] += v
+			}
+			for k, v := range c.totals {
+				totals[k] += v
+			}
+		}
+	}
+	model := &Model{conf: map[pairKey]float64{}, window: window}
+	for k, h := range hits {
+		if t := totals[k.total()]; t > 0 {
+			model.conf[k] = float64(h) / float64(t)
+		}
+	}
+	return model
+}
+
+// trainRange counts pair statistics for events [lo, hi).
+func (m Miner) trainRange(idx *Index, lo, hi int, window time.Duration, hits map[pairKey]int, totals map[totalKey]int) {
+	for i := lo; i < hi; i++ {
+		b := idx.all[i]
+		totals[totalKey{t: b.Type, p: b.Proto}]++
 		seen := map[pairKey]bool{}
 		idx.precedingOnRouter(b, window, func(a capture.IO) bool {
 			if a.HasPrefix() && b.HasPrefix() && a.Prefix != b.Prefix {
@@ -84,14 +142,6 @@ func (m Miner) Train(ref []capture.IO) *Model {
 			}
 		}
 	}
-	model := &Model{conf: map[pairKey]float64{}, window: window}
-	for k, h := range hits {
-		tkey := [2]interface{}{k.bType, k.bProto}
-		if t := totals[tkey]; t > 0 {
-			model.conf[k] = float64(h) / float64(t)
-		}
-	}
-	return model
 }
 
 // Patterns applies a trained model to a target log.
@@ -109,21 +159,23 @@ func (Patterns) Name() string { return "patterns" }
 // Infer implements Strategy. For each event B, the nearest preceding
 // prefix-compatible event of each sufficiently-confident kind A becomes an
 // inferred HBR carrying the learned confidence.
-func (p Patterns) Infer(ios []capture.IO) *hbg.Graph {
+func (p Patterns) Infer(ios []capture.IO) *hbg.Graph { return p.InferIndex(NewIndex(ios)) }
+
+// InferIndex implements IndexInferrer.
+func (p Patterns) InferIndex(idx *Index) *hbg.Graph {
 	threshold := p.Threshold
 	if threshold == 0 {
 		threshold = 0.9
 	}
 	g := hbg.New()
-	for _, io := range ios {
-		g.AddNode(io)
-	}
 	if p.Model == nil {
+		for _, io := range idx.IOs() {
+			g.AddNode(io)
+		}
 		return g
 	}
-	idx := buildIndex(ios)
-	for _, b := range idx.all {
-		b := b
+	idx.runPerEvent(g, func(g *hbg.Graph, b capture.IO) {
+		g.AddNode(b)
 		matched := map[pairKey]bool{}
 		idx.precedingOnRouter(b, p.Model.window, func(a capture.IO) bool {
 			if a.HasPrefix() && b.HasPrefix() && a.Prefix != b.Prefix {
@@ -147,7 +199,7 @@ func (p Patterns) Infer(ios []capture.IO) *hbg.Graph {
 				}
 			}
 		}
-	}
+	})
 	return g
 }
 
@@ -162,12 +214,16 @@ type Combined struct {
 func (Combined) Name() string { return "combined" }
 
 // Infer implements Strategy.
-func (c Combined) Infer(ios []capture.IO) *hbg.Graph {
-	g := c.Rules.Infer(ios)
+func (c Combined) Infer(ios []capture.IO) *hbg.Graph { return c.InferIndex(NewIndex(ios)) }
+
+// InferIndex implements IndexInferrer: rules and patterns share the one
+// index instead of each building their own.
+func (c Combined) InferIndex(idx *Index) *hbg.Graph {
+	g := c.Rules.InferIndex(idx)
 	if c.Patterns.Model == nil {
 		return g
 	}
-	pg := c.Patterns.Infer(ios)
+	pg := c.Patterns.InferIndex(idx)
 	for _, e := range pg.Edges() {
 		// Pattern edges only add what rules did not already explain: if
 		// the target vertex already has a rule-derived parent of the same

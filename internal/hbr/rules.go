@@ -51,69 +51,75 @@ type tier struct {
 }
 
 // Infer implements Strategy.
-func (r Rules) Infer(ios []capture.IO) *hbg.Graph {
+func (r Rules) Infer(ios []capture.IO) *hbg.Graph { return r.InferIndex(NewIndex(ios)) }
+
+// InferIndex implements IndexInferrer: per-event rule matching over the
+// shared index, sharded across workers. Every edge targets the event
+// being processed, so no two shards can disagree about an edge.
+func (r Rules) InferIndex(idx *Index) *hbg.Graph {
 	w, cw, xw := r.windows()
-	idx := buildIndex(ios)
 	g := hbg.New()
-	for _, io := range ios {
+	idx.runPerEvent(g, func(g *hbg.Graph, io capture.IO) {
 		g.AddNode(io)
-	}
-	for _, io := range idx.all {
-		io := io
-		// Link-state RIB changes come out of a debounced SPF run with
-		// potentially many antecedent LSA receipts; collect all in-window
-		// matches instead of just the nearest.
-		if io.Proto == route.ProtoOSPF && (io.Type == capture.RIBInstall || io.Type == capture.RIBRemove) {
-			matched := false
-			idx.precedingOnRouter(io, w, func(cand capture.IO) bool {
-				switch cand.Type {
-				case capture.RecvAdvert, capture.RecvWithdraw:
-					if cand.Proto == route.ProtoOSPF {
-						g.AddEdge(cand.ID, io.ID)
-						matched = true
-					}
-				case capture.SoftReconfig, capture.LinkDown, capture.LinkUp:
+		r.inferEvent(idx, g, io, w, cw, xw)
+	})
+	return g
+}
+
+// inferEvent applies the rule tables to one event.
+func (r Rules) inferEvent(idx *Index, g *hbg.Graph, io capture.IO, w, cw, xw time.Duration) {
+	// Link-state RIB changes come out of a debounced SPF run with
+	// potentially many antecedent LSA receipts; collect all in-window
+	// matches instead of just the nearest.
+	if io.Proto == route.ProtoOSPF && (io.Type == capture.RIBInstall || io.Type == capture.RIBRemove) {
+		matched := false
+		idx.precedingOnRouter(io, w, func(cand capture.IO) bool {
+			switch cand.Type {
+			case capture.RecvAdvert, capture.RecvWithdraw:
+				if cand.Proto == route.ProtoOSPF {
 					g.AddEdge(cand.ID, io.ID)
 					matched = true
 				}
-				return true
-			})
-			if !matched {
-				idx.precedingOnRouter(io, cw, func(cand capture.IO) bool {
-					if cand.Type == capture.ConfigChange {
-						g.AddEdge(cand.ID, io.ID)
-						return false
-					}
-					return true
-				})
+			case capture.SoftReconfig, capture.LinkDown, capture.LinkUp:
+				g.AddEdge(cand.ID, io.ID)
+				matched = true
 			}
-			continue
-		}
-		for _, t := range r.tiersFor(io, w, cw) {
-			var found *capture.IO
-			t := t
-			idx.precedingOnRouter(io, t.window, func(cand capture.IO) bool {
-				if t.match(cand) {
-					c := cand
-					found = &c
+			return true
+		})
+		if !matched {
+			idx.precedingOnRouter(io, cw, func(cand capture.IO) bool {
+				if cand.Type == capture.ConfigChange {
+					g.AddEdge(cand.ID, io.ID)
 					return false
 				}
 				return true
 			})
-			if found != nil {
-				g.AddEdge(found.ID, io.ID)
-				break
-			}
 		}
-		if io.Type == capture.RecvAdvert || io.Type == capture.RecvWithdraw {
-			// Cross-router rule: [R' send C advertisement for P] →
-			// [R receive C advertisement for P].
-			if send, ok := idx.matchSendForRecv(io, xw); ok {
-				g.AddEdge(send.ID, io.ID)
+		return
+	}
+	for _, t := range r.tiersFor(io, w, cw) {
+		var found *capture.IO
+		t := t
+		idx.precedingOnRouter(io, t.window, func(cand capture.IO) bool {
+			if t.match(cand) {
+				c := cand
+				found = &c
+				return false
 			}
+			return true
+		})
+		if found != nil {
+			g.AddEdge(found.ID, io.ID)
+			break
 		}
 	}
-	return g
+	if io.Type == capture.RecvAdvert || io.Type == capture.RecvWithdraw {
+		// Cross-router rule: [R' send C advertisement for P] →
+		// [R receive C advertisement for P].
+		if send, ok := idx.matchSendForRecv(io, xw); ok {
+			g.AddEdge(send.ID, io.ID)
+		}
+	}
 }
 
 // tiersFor returns the prioritized left-hand-side patterns for one I/O.

@@ -184,7 +184,7 @@ func (e *Engine) Detect(policies []verify.Policy) *Diagnosis {
 		return d
 	}
 	d.Fault = fault
-	g := e.Infer(e.Net.Log.All())
+	g := e.Infer(e.Net.Log.Snapshot())
 	d.Roots = g.RootCauses(fault.ID)
 	return d
 }
@@ -196,7 +196,7 @@ func (e *Engine) Detect(policies []verify.Policy) *Diagnosis {
 func (e *Engine) findFaultIO(v verify.Violation) (capture.IO, bool) {
 	routers := append([]string{v.Source}, v.Walk.Path...)
 	var best capture.IO
-	for _, io := range e.Net.Log.All() {
+	for _, io := range e.Net.Log.Snapshot() {
 		if io.Type != capture.FIBInstall && io.Type != capture.FIBRemove {
 			continue
 		}

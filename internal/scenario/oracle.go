@@ -1,4 +1,4 @@
-// The six differential oracles checked after every convergence round.
+// The seven differential oracles checked after every convergence round.
 
 package scenario
 
@@ -18,6 +18,7 @@ import (
 	"hbverify/internal/eqclass"
 	"hbverify/internal/fib"
 	"hbverify/internal/hbg"
+	"hbverify/internal/hbr"
 	"hbverify/internal/route"
 	"hbverify/internal/snapshot"
 	"hbverify/internal/verify"
@@ -25,6 +26,7 @@ import (
 
 // Oracle names, as they appear in failures and artifacts.
 const (
+	OracleInferRef     = "infer-fast-vs-reference"
 	OracleIncremental  = "incremental-vs-full"
 	OracleSnapshot     = "snapshot-consistency"
 	OracleChecker      = "checker-determinism"
@@ -32,6 +34,53 @@ const (
 	OracleRepair       = "repair-rollback"
 	OracleEqclassDelta = "eqclass-delta-vs-full"
 )
+
+// inferRefCap bounds the log suffix the fast-vs-reference oracle compares
+// on: the reference implementations are the old quadratic code, and the
+// oracle runs every round, so the differential input is capped to keep
+// soak runs affordable. Both sides always see the same input.
+const inferRefCap = 1500
+
+// oracleInferFastVsReference asserts every shared-index strategy — the
+// full §4.2 lineup — produces a graph identical in nodes, edges, and
+// per-edge confidences to the preserved pre-index reference
+// implementation over the same stripped log.
+func (h *harness) oracleInferFastVsReference(round int) *Failure {
+	ios := capture.StripOracle(h.w.net.Log.Snapshot())
+	if len(ios) > inferRefCap {
+		ios = ios[len(ios)-inferRefCap:]
+	}
+	fast := hbr.Strategies(ios, 0)
+	ref := hbr.ReferenceStrategies(ios, 0)
+	for i := range fast {
+		if d := graphDiff(fast[i].Infer(ios), ref[i].Infer(ios)); d != "" {
+			return &Failure{Oracle: OracleInferRef, Round: round, Detail: fmt.Sprintf(
+				"strategy %s: %s", fast[i].Name(), d)}
+		}
+	}
+	return nil
+}
+
+// graphDiff describes the first node, edge, or confidence difference
+// between two graphs, or "" when they are identical.
+func graphDiff(got, want *hbg.Graph) string {
+	gn, wn := nodeIDs(got.Nodes()), nodeIDs(want.Nodes())
+	if !reflect.DeepEqual(gn, wn) {
+		return fmt.Sprintf("node sets differ: fast=%d reference=%d (first diff: %s)",
+			len(gn), len(wn), firstIDDiff(gn, wn))
+	}
+	ge, we := got.Edges(), want.Edges()
+	if !reflect.DeepEqual(ge, we) {
+		return fmt.Sprintf("edge sets differ: fast=%d reference=%d (first diff: %s)",
+			len(ge), len(we), firstEdgeDiff(ge, we))
+	}
+	for _, e := range ge {
+		if gc, wc := got.Confidence(e.From, e.To), want.Confidence(e.From, e.To); gc != wc {
+			return fmt.Sprintf("confidence(%d->%d) differs: fast=%v reference=%v", e.From, e.To, gc, wc)
+		}
+	}
+	return ""
+}
 
 // oracleIncrementalVsFull asserts the incremental strategy's graph is
 // node- and edge-identical to a fresh full inference over the same

@@ -1,7 +1,10 @@
 // Package scenario is the randomized correctness harness: it generates
 // seeded deterministic networks, drives them through churn schedules, and
-// checks six differential oracles after every convergence round —
+// checks seven differential oracles after every convergence round —
 //
+//  0. infer-fast-vs-reference: every shared-index inference strategy
+//     produces node-, edge-, and confidence-identical graphs to the
+//     preserved pre-index reference implementations;
 //  1. incremental-vs-full: hbr.Incremental yields a node- and
 //     edge-identical HBG to a fresh full inference over the same log;
 //  2. snapshot-consistency: snapshots assembled from HBR cuts replay to
@@ -58,6 +61,11 @@ const (
 	// complete — the failure mode of a transport that acks frames it never
 	// delivered.
 	BugDropBatch = "drop-batch"
+	// BugSwapSendMatch inverts the tie-breaking comparison in the shared
+	// index's send/recv matcher, so among equally plausible candidate sends
+	// the furthest (not nearest) in time wins — the kind of off-by-one a
+	// binary-searched rewrite of a linear scan invites.
+	BugSwapSendMatch = "swap-send-match"
 )
 
 // Config describes one deterministic scenario. The zero values of Shape,
@@ -146,6 +154,11 @@ func Run(cfg Config) *Result {
 			res.Config.Schedule = []Event{}
 		}
 		return res
+	}
+
+	if cfg.Bug == BugSwapSendMatch {
+		hbr.SetSwapSendMatchBug(true)
+		defer hbr.SetSwapSendMatchBug(false)
 	}
 
 	w, err := buildWorld(cfg)
@@ -252,11 +265,16 @@ func (h *harness) infer(ios []capture.IO) *hbg.Graph {
 	return h.strat.Infer(capture.StripOracle(ios))
 }
 
-// checkRound runs the five oracles in order and returns the first failure.
-// The eqclass-delta oracle runs last, after repair-rollback, so it also
-// validates that the delta state survives (is correctly flushed across) a
-// fault injection and rollback.
+// checkRound runs the seven oracles in order and returns the first
+// failure. The fast-vs-reference oracle runs first so any divergence in
+// the inference rewrite is reported as such, not as a downstream
+// repair/snapshot anomaly; the eqclass-delta oracle runs last, after
+// repair-rollback, so it also validates that the delta state survives (is
+// correctly flushed across) a fault injection and rollback.
 func (h *harness) checkRound(round int) *Failure {
+	if f := h.oracleInferFastVsReference(round); f != nil {
+		return f
+	}
 	if f := h.oracleIncrementalVsFull(round); f != nil {
 		return f
 	}

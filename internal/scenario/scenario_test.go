@@ -13,7 +13,7 @@ import (
 // the quick default.
 var rounds = flag.Int("scenario.rounds", 0, "churn rounds per scenario seed (0 = quick default)")
 
-// TestScenario drives ten seeded scenarios through churn and the four
+// TestScenario drives ten seeded scenarios through churn and the seven
 // differential oracles. Each seed is a subtest so a failure names the
 // seed directly.
 func TestScenario(t *testing.T) {
@@ -56,10 +56,11 @@ func TestScenarioDeterminism(t *testing.T) {
 
 // forceBug runs a seeded scenario with a known bug injected and requires
 // the named oracle (or oracles) to catch it, the shrink to produce a
-// reproducible artifact, and the artifact to reproduce the failure.
-func forceBug(t *testing.T, bug string, oracles ...string) {
+// reproducible artifact, and the artifact to reproduce the failure. The
+// seed picks a schedule whose churn actually exposes the bug.
+func forceBug(t *testing.T, seed int64, bug string, oracles ...string) {
 	t.Helper()
-	cfg := Config{Seed: 3, Bug: bug}
+	cfg := Config{Seed: seed, Bug: bug}
 	res := Run(cfg)
 	if res.Failure == nil {
 		t.Fatalf("bug %q not caught by any oracle", bug)
@@ -105,13 +106,13 @@ func forceBug(t *testing.T, bug string, oracles ...string) {
 // cache that never refreshes. (With the frozen graph the repair engine can
 // also trip first on round 0, before the cache visibly diverges.)
 func TestForcedStaleCache(t *testing.T) {
-	forceBug(t, BugStaleCache, OracleIncremental, OracleRepair)
+	forceBug(t, 3, BugStaleCache, OracleIncremental, OracleRepair)
 }
 
 // TestForcedSkipRollback proves the repair-rollback oracle catches a
 // repair engine that never applies its rollback.
 func TestForcedSkipRollback(t *testing.T) {
-	forceBug(t, BugSkipRollback, OracleRepair)
+	forceBug(t, 3, BugSkipRollback, OracleRepair)
 }
 
 // TestForcedStaleEqclass proves the eqclass-delta-vs-full oracle catches a
@@ -119,7 +120,7 @@ func TestForcedSkipRollback(t *testing.T) {
 // classifier diverges from full Compute as soon as churn (or the round's
 // fault injection) moves a FIB entry.
 func TestForcedStaleEqclass(t *testing.T) {
-	forceBug(t, BugStaleEqclass, OracleEqclassDelta)
+	forceBug(t, 3, BugStaleEqclass, OracleEqclassDelta)
 }
 
 // TestForcedDropBatch proves the dist-vs-central oracle catches a
@@ -127,7 +128,17 @@ func TestForcedStaleEqclass(t *testing.T) {
 // the victim node's walks come back empty and diverge from the central
 // walker immediately.
 func TestForcedDropBatch(t *testing.T) {
-	forceBug(t, BugDropBatch, OracleDist)
+	forceBug(t, 3, BugDropBatch, OracleDist)
+}
+
+// TestForcedSwapSendMatch proves the infer-fast-vs-reference oracle
+// catches an inverted tie-break in the indexed send/recv matcher: with
+// multiple in-window candidate sends, the bugged fast path attributes the
+// recv to the furthest send and diverges from the reference edge set.
+// (The same wrong edges can also surface first through the repair engine's
+// root-cause walk.)
+func TestForcedSwapSendMatch(t *testing.T) {
+	forceBug(t, 4, BugSwapSendMatch, OracleInferRef, OracleRepair)
 }
 
 // TestShrinkPreservesFailure checks the shrinker's contract directly on a
