@@ -10,6 +10,7 @@ package hbverify
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"math/rand"
 	"net/netip"
@@ -30,12 +31,14 @@ import (
 	"hbverify/internal/fib"
 	"hbverify/internal/hbg"
 	"hbverify/internal/hbr"
+	"hbverify/internal/metrics"
 	"hbverify/internal/modelck"
 	"hbverify/internal/netsim"
 	"hbverify/internal/network"
 	"hbverify/internal/repair"
 	"hbverify/internal/route"
 	"hbverify/internal/snapshot"
+	"hbverify/internal/stream"
 	"hbverify/internal/topology"
 	"hbverify/internal/trie"
 	"hbverify/internal/verify"
@@ -1267,5 +1270,133 @@ func BenchmarkInferThroughput(b *testing.B) {
 	if allocCut < 3 {
 		b.Errorf("fast parse allocates %.1fx less than reference, want >= 3x (%.1f vs %.1f allocs/event)",
 			allocCut, fastAllocs, refAllocs)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole PR6 — always-on streaming ingestion with bounded memory.
+// ---------------------------------------------------------------------------
+
+// soakEvents caps the soak size: `-soak.events=50000` is the CI smoke
+// setting; the default is the full million-event soak the flat-memory
+// claim is made over.
+var soakEvents = flag.Int("soak.events", 1_000_000, "events to ingest in BenchmarkSoakIngest")
+
+// BenchmarkSoakIngest — tentpole PR6: stream a synthetic router fleet's
+// Cisco-style logs through the always-on daemon and measure the live heap
+// with windowed compaction on versus off. The flat-memory claim is
+// enforced here: after the full soak, the compacting daemon's post-GC
+// heap must stay within 2x its steady-state watermark (sampled by an
+// identical run over a quarter of the events), while the unbounded daemon
+// retains the entire log and its heap grows with it. Persisted to
+// BENCH_soak.json.
+func BenchmarkSoakIngest(b *testing.B) {
+	target := *soakEvents
+	if target < 4_000 {
+		b.Fatalf("-soak.events=%d is too small to reach the compaction steady state", target)
+	}
+	// Tight rule windows keep the retention floor (look-back + 2x skew
+	// slack) at ~1.3s of virtual time — a constant-size window over an
+	// arbitrarily long stream, which is the property under test.
+	strategy := hbr.Rules{Window: 100 * time.Millisecond, ConfigWindow: 500 * time.Millisecond,
+		CrossWindow: 100 * time.Millisecond}
+	const compactEvery = 4096
+
+	type soakRes struct {
+		events      uint64
+		window      int
+		compactions int64
+		heapBytes   uint64
+		elapsed     time.Duration
+	}
+	run := func(events int, every uint64) soakRes {
+		f := stream.Fleet{Routers: 8}
+		f.Waves = (events + f.EventsPerWave() - 1) / f.EventsPerWave()
+		reg := metrics.NewRegistry()
+		d, err := stream.New(stream.Options{Strategy: strategy, Metrics: reg,
+			Resolve: f.Resolver(), CompactEvery: every})
+		if err != nil {
+			b.Fatal(err)
+		}
+		streams := make([]*stream.Stream, f.Routers)
+		for i := range streams {
+			streams[i] = d.Register(f.RouterName(i))
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := range streams {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				streams[i].Consume(f.Reader(i))
+			}()
+		}
+		wg.Wait()
+		if err := d.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		// Post-GC heap while the daemon (log window + folded graph) is the
+		// only thing this run keeps alive.
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return soakRes{events: d.Log().TotalAppended(), window: d.Log().Len(),
+			compactions: reg.Counter("stream.compactions").Value(),
+			heapBytes:   ms.HeapAlloc, elapsed: elapsed}
+	}
+
+	steady := run(target/4, compactEvery)
+	var full soakRes
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		full = run(target, compactEvery)
+	}
+	b.StopTimer()
+	offQuarter := run(target/4, 0)
+	offFull := run(target, 0)
+
+	mb := func(v uint64) float64 { return float64(v) / (1 << 20) }
+	ratio := float64(full.heapBytes) / float64(steady.heapBytes)
+	growth := float64(offFull.heapBytes) / float64(offQuarter.heapBytes)
+	eventsPerSec := float64(full.events) / full.elapsed.Seconds()
+	b.ReportMetric(eventsPerSec, "events/sec")
+	b.ReportMetric(mb(full.heapBytes), "heapMB")
+
+	once("soakingest", func() {
+		fmt.Printf("\n[tentpole/PR6] always-on soak: %d events, 8 routers, compact every %d\n",
+			full.events, compactEvery)
+		fmt.Printf("  compaction on:  %8.1f MB heap after %8d events (steady-state %8.1f MB at %d; %.2fx)\n",
+			mb(full.heapBytes), full.events, mb(steady.heapBytes), steady.events, ratio)
+		fmt.Printf("  compaction off: %8.1f MB heap after %8d events (%8.1f MB at %d; %.2fx growth)\n",
+			mb(offFull.heapBytes), offFull.events, mb(offQuarter.heapBytes), offQuarter.events, growth)
+		fmt.Printf("  window: %d of %d events retained, %d compactions, %.0f events/sec ingested\n",
+			full.window, full.events, full.compactions, eventsPerSec)
+		artifact, _ := json.MarshalIndent(map[string]interface{}{
+			"benchmark": "BenchmarkSoakIngest",
+			"events":    full.events, "routers": 8, "compact_every": compactEvery,
+			"steady_heap_bytes": steady.heapBytes, "final_heap_bytes": full.heapBytes,
+			"heap_ratio": ratio, "window_events": full.window, "compactions": full.compactions,
+			"events_per_sec":               eventsPerSec,
+			"unbounded_quarter_heap_bytes": offQuarter.heapBytes,
+			"unbounded_final_heap_bytes":   offFull.heapBytes, "unbounded_growth": growth,
+		}, "", "  ")
+		if err := os.WriteFile("BENCH_soak.json", append(artifact, '\n'), 0o644); err != nil {
+			fmt.Println("  (could not write BENCH_soak.json:", err, ")")
+		}
+	})
+	if full.compactions == 0 {
+		b.Error("soak never compacted; the flat-memory claim is vacuous")
+	}
+	if full.window*2 > int(full.events) {
+		b.Errorf("compaction retained %d of %d events; the window is not bounded", full.window, full.events)
+	}
+	if ratio > 2 {
+		b.Errorf("soak heap grew to %.2fx the steady-state watermark, want <= 2x (%.1f MB vs %.1f MB)",
+			ratio, mb(full.heapBytes), mb(steady.heapBytes))
+	}
+	if offFull.window != int(offFull.events) {
+		b.Errorf("unbounded control dropped events: window %d of %d", offFull.window, offFull.events)
 	}
 }

@@ -8,21 +8,29 @@
 //	verifyd                   # paper network, healthy
 //	verifyd -violate          # paper network with the Fig. 2 misconfig
 //	verifyd -grid 4           # 4x4 OSPF grid reachability sweep
+//	verifyd -serve            # always-on mode: stream ingestion with
+//	                          # windowed compaction and checkpointing
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sync"
+	"time"
 
 	"hbverify"
 	"hbverify/internal/config"
 	"hbverify/internal/dataplane"
 	"hbverify/internal/dist"
 	"hbverify/internal/fib"
+	"hbverify/internal/hbr"
 	"hbverify/internal/metrics"
 	"hbverify/internal/network"
 	"hbverify/internal/route"
+	"hbverify/internal/stream"
 	"hbverify/internal/verify"
 )
 
@@ -32,12 +40,38 @@ func main() {
 		grid    = flag.Int("grid", 0, "use an NxN OSPF grid instead of the paper network")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		workers = flag.Int("workers", 0, "local verification walk pool size (0 = GOMAXPROCS)")
+
+		serve        = flag.Bool("serve", false, "always-on mode: ingest simulated router log streams")
+		routers      = flag.Int("routers", 4, "serve: simulated router count")
+		waves        = flag.Int("waves", 2000, "serve: advert waves to stream")
+		checkpoint   = flag.String("checkpoint", "", "serve: checkpoint file (enables crash recovery)")
+		compactEvery = flag.Uint64("compact-every", 4096, "serve: compact after this many ingested events (0 = never)")
 	)
 	flag.Parse()
-	if err := run(*violate, *grid, *seed, *workers); err != nil {
+	var err error
+	if *serve {
+		err = runServe(os.Stdout, serveOpts{
+			routers: *routers, waves: *waves,
+			checkpoint: *checkpoint, compactEvery: *compactEvery,
+		})
+	} else {
+		err = run(*violate, *grid, *seed, *workers)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "verifyd:", err)
 		os.Exit(1)
 	}
+}
+
+// setUplinkLocalPref applies the Fig. 2 misconfiguration to the last BGP
+// neighbor. A config with no neighbors gets a clear error instead of the
+// out-of-range panic this used to be.
+func setUplinkLocalPref(c *config.Router, lp uint32) error {
+	if c.BGP == nil || len(c.BGP.Neighbors) == 0 {
+		return errors.New("config has no BGP neighbors to misconfigure")
+	}
+	c.BGP.Neighbors[len(c.BGP.Neighbors)-1].LocalPref = lp
+	return nil
 }
 
 func run(violate bool, grid int, seed int64, workers int) error {
@@ -71,10 +105,14 @@ func run(violate bool, grid int, seed int64, workers int) error {
 			return err
 		}
 		if violate {
+			var cfgErr error
 			if _, err := pn.UpdateConfig("r2", "set uplink local-pref 10", func(c *config.Router) {
-				c.BGP.Neighbors[len(c.BGP.Neighbors)-1].LocalPref = 10
+				cfgErr = setUplinkLocalPref(c, 10)
 			}); err != nil {
 				return err
+			}
+			if cfgErr != nil {
+				return fmt.Errorf("inject violation on r2: %w", cfgErr)
 			}
 			if err := pn.Run(); err != nil {
 				return err
@@ -176,4 +214,82 @@ func max64(a, b int) int {
 		return a
 	}
 	return b
+}
+
+type serveOpts struct {
+	routers      int
+	waves        int
+	checkpoint   string
+	compactEvery uint64
+}
+
+// runServe is the always-on §5 deployment shape: one goroutine per router
+// streaming Cisco-style log lines through ciscolog.ParseReader into the
+// stream daemon, which merges them deterministically, keeps the
+// happens-before graph current through incremental inference, and bounds
+// memory by compacting the capture window into a checkpoint. Restarting
+// with the same -checkpoint path resumes exactly where the last compaction
+// left off.
+func runServe(w io.Writer, o serveOpts) error {
+	if o.routers < 2 {
+		return fmt.Errorf("serve mode needs at least 2 routers, got %d", o.routers)
+	}
+	fleet := stream.Fleet{Routers: o.routers, Waves: o.waves}
+	reg := metrics.NewRegistry()
+	d, err := stream.New(stream.Options{
+		// Tighter windows than the offline default (whose 60s config
+		// window would demand a minute of retained history): the synthetic
+		// fleet's causality fits comfortably, and the window choice is what
+		// makes compaction observable in a short run.
+		Strategy:       hbr.Rules{Window: 500 * time.Millisecond, ConfigWindow: 5 * time.Second, CrossWindow: 500 * time.Millisecond},
+		Metrics:        reg,
+		SkewSlack:      2 * 200 * time.Millisecond, // twice the fleet's clock skew
+		CheckpointPath: o.checkpoint,
+		CompactEvery:   o.compactEvery,
+		Resolve:        fleet.Resolver(),
+	})
+	if err != nil {
+		return err
+	}
+	resumed := d.Log().TotalAppended()
+	if resumed > 0 {
+		fmt.Fprintf(w, "serve: recovered checkpoint %s — %d events already folded, window [%d,%d)\n",
+			o.checkpoint, resumed, d.Log().FirstID(), resumed+1)
+	}
+
+	streams := make([]*stream.Stream, o.routers)
+	for i := range streams {
+		streams[i] = d.Register(fleet.RouterName(i))
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range streams {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			streams[i].Consume(fleet.Reader(i))
+		}()
+	}
+	wg.Wait()
+	if err := d.Wait(); err != nil {
+		return err
+	}
+	if err := d.Compact(); err != nil {
+		return err
+	}
+
+	g := d.Graph()
+	total := d.Log().TotalAppended()
+	fmt.Fprintf(w, "serve: %d routers, %d events total (%d this run) in %v\n",
+		o.routers, total, total-resumed, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(w, "serve: window holds %d events (first retained ID %d), %d compactions, %d checkpoints\n",
+		d.Log().Len(), d.Log().FirstID(), reg.Counter("stream.compactions").Value(),
+		reg.Counter("stream.checkpoints").Value())
+	fmt.Fprintf(w, "serve: graph %d nodes, %d edges, pruned below ID %d\n",
+		g.NodeCount(), len(g.Edges()), g.PrunedBelow())
+	if o.checkpoint != "" {
+		fmt.Fprintf(w, "serve: checkpoint written to %s — restart with the same flag to resume\n", o.checkpoint)
+	}
+	return nil
 }

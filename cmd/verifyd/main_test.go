@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hbverify/internal/config"
+)
 
 func TestPaperHealthy(t *testing.T) {
 	if err := run(false, 0, 1, 0); err != nil {
@@ -17,5 +24,63 @@ func TestPaperViolated(t *testing.T) {
 func TestGridMode(t *testing.T) {
 	if err := run(false, 3, 1, 0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSetUplinkLocalPrefGuard pins the no-neighbor fix: a config without
+// BGP neighbors used to panic with an out-of-range index; now it reports
+// a clear error and leaves the config untouched.
+func TestSetUplinkLocalPrefGuard(t *testing.T) {
+	var c config.Router
+	if err := setUplinkLocalPref(&c, 10); err == nil {
+		t.Fatal("empty neighbor list accepted")
+	} else if !strings.Contains(err.Error(), "no BGP neighbors") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+
+	c.BGP = &config.BGPConfig{Neighbors: []config.Neighbor{{}, {}}}
+	if err := setUplinkLocalPref(&c, 10); err != nil {
+		t.Fatal(err)
+	}
+	if c.BGP.Neighbors[1].LocalPref != 10 {
+		t.Fatalf("last neighbor localpref = %d, want 10", c.BGP.Neighbors[1].LocalPref)
+	}
+	if c.BGP.Neighbors[0].LocalPref != 0 {
+		t.Fatal("guarded setter touched the wrong neighbor")
+	}
+}
+
+// TestServeModeCheckpointRestart runs serve mode twice against the same
+// checkpoint: the first run streams, compacts, and checkpoints; the second
+// must recover and replay to an identical event total without re-ingesting
+// what the checkpoint already covers.
+func TestServeModeCheckpointRestart(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "verifyd.ckpt")
+	o := serveOpts{routers: 3, waves: 400, checkpoint: ckpt, compactEvery: 256}
+
+	var first bytes.Buffer
+	if err := runServe(&first, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "checkpoint written") {
+		t.Fatalf("first run wrote no checkpoint:\n%s", first.String())
+	}
+
+	var second bytes.Buffer
+	if err := runServe(&second, o); err != nil {
+		t.Fatal(err)
+	}
+	out := second.String()
+	if !strings.Contains(out, "recovered checkpoint") {
+		t.Fatalf("second run did not recover:\n%s", out)
+	}
+	if !strings.Contains(out, "(0 this run)") {
+		t.Fatalf("second run re-ingested events past the final checkpoint:\n%s", out)
+	}
+}
+
+func TestServeModeRejectsTinyFleet(t *testing.T) {
+	if err := runServe(&bytes.Buffer{}, serveOpts{routers: 1, waves: 10}); err == nil {
+		t.Fatal("single-router fleet accepted")
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"hbverify/internal/capture"
 	"hbverify/internal/dataplane"
@@ -39,6 +40,7 @@ import (
 	"hbverify/internal/hbg"
 	"hbverify/internal/hbr"
 	"hbverify/internal/metrics"
+	"hbverify/internal/netsim"
 	"hbverify/internal/network"
 	"hbverify/internal/repair"
 	"hbverify/internal/snapshot"
@@ -310,6 +312,50 @@ func (p *Pipeline) DetectAndRepair(policies []verify.Policy) (*repair.Diagnosis,
 // RootCause traces an arbitrary captured I/O to its HBG leaf causes.
 func (p *Pipeline) RootCause(ioID uint64) []capture.IO {
 	return p.Graph().RootCauses(ioID)
+}
+
+// CompactLog evicts captured I/Os older than retain behind the newest
+// event, bounding the pipeline's memory for always-on operation. The full
+// retained window is folded into the incremental strategy first, so the
+// evicted history survives as the cached baseline: Graph and RootCauses
+// keep answering for retained events exactly as if the prefix were still
+// present (evicted vertices' root causes fold into their in-window
+// successors). Retain is clamped up to the strategy's look-back window
+// plus skew slack — evicting closer than that could sever edges the next
+// inference still needs. Returns the number of events evicted; 0 when the
+// strategy cannot absorb history (only hbr.Incremental can) or nothing is
+// old enough.
+func (p *Pipeline) CompactLog(retain time.Duration) int {
+	inc, ok := p.Strategy.(*hbr.Incremental)
+	if !ok {
+		return 0
+	}
+	snap := p.Net.Log.Snapshot()
+	if len(snap) == 0 {
+		return 0
+	}
+	if lb, ok := inc.Base.(hbr.Lookbacker); ok {
+		slack := inc.SkewSlack
+		if slack == 0 {
+			slack = hbr.DefaultSkewSlack
+		} else if slack < 0 {
+			slack = 0
+		}
+		if min := lb.LookbackWindow() + 2*slack; retain < min {
+			retain = min
+		}
+	}
+	p.infer(snap) // fold the window before evicting from it
+	floor := snap[len(snap)-1].Time - netsim.VirtualTime(retain)
+	cut := 0
+	for cut < len(snap) && snap[cut].Time < floor {
+		cut++
+	}
+	if cut == 0 {
+		return 0
+	}
+	inc.CompactBaseline(snap[cut].ID)
+	return p.Net.Log.CompactBefore(snap[cut].ID)
 }
 
 // Summary renders a one-line pipeline state description, followed by the

@@ -1,10 +1,15 @@
 package hbverify
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
+	"time"
 
 	"hbverify/internal/capture"
 	"hbverify/internal/config"
+	"hbverify/internal/hbr"
+	"hbverify/internal/netsim"
 	"hbverify/internal/network"
 	"hbverify/internal/snapshot"
 	"hbverify/internal/verify"
@@ -82,6 +87,59 @@ func TestPipelineVerifySnapshot(t *testing.T) {
 	})
 	if !res.Consistent || !rep.OK() {
 		t.Fatalf("rep=%v res=%+v", rep.Summary(), res)
+	}
+}
+
+// TestPipelineCompactLog exercises the always-on bounded-memory path at
+// the Pipeline layer: fold-then-evict must leave Graph and RootCauses
+// answers for retained events identical to a full inference pruned to the
+// same floor.
+func TestPipelineCompactLog(t *testing.T) {
+	pn, p := startPaper(t)
+	rules := hbr.Rules{Window: 50 * time.Millisecond,
+		ConfigWindow: 100 * time.Millisecond, CrossWindow: 50 * time.Millisecond}
+	inc := hbr.NewIncremental(rules, p.Metrics)
+	inc.SkewSlack = 10 * time.Millisecond
+	p.Strategy = inc
+
+	// The paper scenario converges within ~30ms of virtual time — nothing
+	// would age past any sound retention floor. Drip config churn far past
+	// that burst so CompactLog has history to evict.
+	last := pn.Log.All()[pn.Log.Len()-1].Time
+	for i := 0; i < 40; i++ {
+		last += netsim.VirtualTime(50 * time.Millisecond)
+		pn.Log.Append(capture.IO{Router: "r1", Type: capture.ConfigChange,
+			Detail: fmt.Sprintf("drip %d", i), Time: last, TrueTime: last})
+	}
+	total := pn.Log.Len()
+	all := capture.StripOracle(pn.Log.All())
+
+	evicted := p.CompactLog(0) // 0 clamps up to lookback + skew slack
+	if evicted == 0 {
+		t.Fatal("CompactLog evicted nothing")
+	}
+	if got := pn.Log.Len(); got != total-evicted {
+		t.Fatalf("window holds %d events after evicting %d of %d", got, evicted, total)
+	}
+
+	got := p.Graph()
+	want := rules.Infer(all)
+	want.PruneBefore(got.PrunedBelow())
+	if g, w := got.NodeCount(), want.NodeCount(); g != w {
+		t.Fatalf("compacted graph has %d nodes, pruned full inference has %d", g, w)
+	}
+	if g, w := got.EdgeCount(), want.EdgeCount(); g != w {
+		t.Fatalf("compacted graph has %d edges, pruned full inference has %d", g, w)
+	}
+	for _, io := range pn.Log.Snapshot() {
+		if g, w := got.RootCauses(io.ID), want.RootCauses(io.ID); !reflect.DeepEqual(g, w) {
+			t.Fatalf("RootCauses(%d) diverge after compaction: %v vs %v", io.ID, g, w)
+		}
+	}
+
+	// A second compaction with nothing newly old is a no-op.
+	if n := p.CompactLog(0); n != 0 {
+		t.Fatalf("repeat CompactLog evicted %d events", n)
 	}
 }
 

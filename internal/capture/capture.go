@@ -145,50 +145,181 @@ func nhString(a netip.Addr) string {
 
 // Log is the network-wide capture log shared by all recorders. It is safe
 // for concurrent use (the distributed verifier reads it from goroutines).
+//
+// The log is a *window* over an append-only history: every I/O ever
+// appended gets a dense, monotonically increasing ID, and CompactBefore
+// evicts a prefix of the retained window once its inferred happens-before
+// edges have been folded into a checkpoint (see internal/stream). All
+// accessors operate on the retained window; TotalAppended and FirstID
+// expose the window's position in the full history.
 type Log struct {
-	mu     sync.Mutex
-	nextID uint64
-	ios    []IO
-	subs   []func(IO)
-	// obs caches the ObservedOrder result for one log generation (keyed
-	// by nextID), so repeated inference ticks over an unchanged log do
-	// not re-sort the world.
+	mu      sync.Mutex
+	nextID  uint64
+	firstID uint64 // ID of ios[0]; nextID when the window is empty
+	ios     []IO
+	subs    []func(IO)
+	// gen counts mutations (appends and compactions); obs caches the
+	// ObservedOrder result for one generation, so repeated inference ticks
+	// over an unchanged log do not re-sort the world.
+	gen    uint64
 	obs    []IO
 	obsGen uint64
+	// pending holds appended I/Os awaiting subscriber delivery, in ID
+	// order; dispatchMu serializes delivery so concurrent appenders can
+	// never deliver out of ID order (the documented subscriber guarantee).
+	pending    []IO
+	dispatchMu sync.Mutex
 }
 
 // NewLog returns an empty log.
-func NewLog() *Log { return &Log{nextID: 1} }
+func NewLog() *Log { return &Log{nextID: 1, firstID: 1} }
 
-// Subscribe registers fn to be called synchronously for every appended I/O.
-// Subscribers must not append to the log.
+// RestoreLog rebuilds a log from a recovered checkpoint window: ios must
+// carry dense ascending IDs (as Snapshot returns them) and become the
+// retained window verbatim; ID assignment resumes after the last entry.
+// An empty ios with nextID n restores a fully-compacted log whose next
+// append gets ID n (pass 0 for a fresh log). A non-empty window rejects a
+// nextID past its tail: that would punch a hole in the dense ID space.
+func RestoreLog(ios []IO, nextID uint64) (*Log, error) {
+	l := &Log{nextID: 1, firstID: 1}
+	if len(ios) > 0 {
+		for i := 1; i < len(ios); i++ {
+			if ios[i].ID != ios[i-1].ID+1 {
+				return nil, fmt.Errorf("capture: restore window not dense at index %d (ID %d after %d)",
+					i, ios[i].ID, ios[i-1].ID)
+			}
+		}
+		if ios[0].ID == 0 {
+			return nil, fmt.Errorf("capture: restore window starts at ID 0")
+		}
+		if nextID > ios[len(ios)-1].ID+1 {
+			return nil, fmt.Errorf("capture: restore nextID %d leaves a gap after retained tail %d",
+				nextID, ios[len(ios)-1].ID)
+		}
+		l.ios = append([]IO(nil), ios...)
+		l.firstID = ios[0].ID
+		l.nextID = ios[len(ios)-1].ID + 1
+	} else if nextID > 1 {
+		l.nextID, l.firstID = nextID, nextID
+	}
+	return l, nil
+}
+
+// Subscribe registers fn to be called for every appended I/O, in ID order.
+// Delivery happens outside the log's internal lock but inside a dedicated
+// dispatch lock, so with concurrent appenders an I/O may be delivered by a
+// sibling appender's call rather than its own; the order guarantee holds
+// regardless. Subscribers must not append to the log.
 func (l *Log) Subscribe(fn func(IO)) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.subs = append(l.subs, fn)
 }
 
+// Append records one externally-sourced I/O (e.g. a parsed log line),
+// assigning the next dense ID. Recorder-driven capture goes through the
+// typed helpers below; Append is the ingestion entry point for events that
+// arrive already formed.
+func (l *Log) Append(io IO) IO { return l.append(io) }
+
 func (l *Log) append(io IO) IO {
 	l.mu.Lock()
 	io.ID = l.nextID
 	l.nextID++
+	l.gen++
 	l.ios = append(l.ios, io)
-	subs := l.subs
+	deliver := len(l.subs) > 0
+	if deliver {
+		l.pending = append(l.pending, io)
+	}
 	l.mu.Unlock()
-	for _, fn := range subs {
-		fn(io)
+	if deliver {
+		l.dispatch()
 	}
 	return io
 }
 
-// Len reports the number of captured I/Os.
+// dispatch drains pending I/Os to subscribers in ID order. The dispatch
+// lock makes delivery a critical section of its own: whichever appender
+// wins it delivers everything queued so far, so no interleaving of
+// concurrent appenders can reorder what subscribers observe.
+func (l *Log) dispatch() {
+	l.dispatchMu.Lock()
+	defer l.dispatchMu.Unlock()
+	for {
+		l.mu.Lock()
+		batch := l.pending
+		l.pending = nil
+		subs := l.subs
+		l.mu.Unlock()
+		if len(batch) == 0 {
+			return
+		}
+		for i := range batch {
+			for _, fn := range subs {
+				fn(batch[i])
+			}
+		}
+	}
+}
+
+// Len reports the number of retained I/Os (the current window size).
 func (l *Log) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.ios)
 }
 
-// All returns a copy of every captured I/O in append order (which equals
+// TotalAppended reports how many I/Os have ever been appended, including
+// compacted-away ones.
+func (l *Log) TotalAppended() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextID - 1
+}
+
+// FirstID returns the ID of the oldest retained I/O, or the next ID to be
+// assigned when the window is empty. IDs below FirstID have been
+// compacted away.
+func (l *Log) FirstID() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ios) == 0 {
+		return l.nextID
+	}
+	return l.firstID
+}
+
+// CompactBefore evicts every retained I/O with ID < id, releasing its
+// memory, and returns the number evicted. Callers must first fold the
+// evicted events' inferred edges into a checkpoint (hbg.Checkpoint /
+// hbr.Incremental.CompactBaseline) or they are lost to inference. IDs at
+// or above the append frontier evict the whole window.
+func (l *Log) CompactBefore(id uint64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if id > l.nextID {
+		id = l.nextID
+	}
+	if len(l.ios) == 0 || id <= l.firstID {
+		return 0
+	}
+	drop := int(id - l.firstID)
+	if drop > len(l.ios) {
+		drop = len(l.ios)
+	}
+	// Copy into a right-sized slice so the evicted prefix's backing array
+	// is actually released rather than pinned by the retained tail.
+	kept := make([]IO, len(l.ios)-drop)
+	copy(kept, l.ios[drop:])
+	l.ios = kept
+	l.firstID += uint64(drop)
+	l.gen++
+	l.obs = nil // drop the stale observed-order cache's memory too
+	return drop
+}
+
+// All returns a copy of every retained I/O in append order (which equals
 // TrueTime order because the simulator is single-threaded).
 func (l *Log) All() []IO {
 	l.mu.Lock()
@@ -196,7 +327,7 @@ func (l *Log) All() []IO {
 	return append([]IO(nil), l.ios...)
 }
 
-// Snapshot returns the captured I/Os in append order as a shared,
+// Snapshot returns the retained I/Os in append order as a shared,
 // capacity-capped slice — zero copies. Entries are never mutated after
 // append and the cap prevents aliasing future appends, so the result is
 // immutable; callers must treat it as read-only (use All for a private
@@ -222,26 +353,28 @@ func (l *Log) AppendBatch(ios []IO) []IO {
 		l.ios[i].ID = l.nextID
 		l.nextID++
 	}
+	l.gen++
 	stored := l.ios[start:len(l.ios):len(l.ios)]
-	subs := l.subs
+	deliver := len(l.subs) > 0
+	if deliver {
+		l.pending = append(l.pending, stored...)
+	}
 	l.mu.Unlock()
-	for i := range stored {
-		for _, fn := range subs {
-			fn(stored[i])
-		}
+	if deliver {
+		l.dispatch()
 	}
 	return stored
 }
 
-// ByID returns the I/O with the given ID.
+// ByID returns the I/O with the given ID. Compacted-away IDs report false.
 func (l *Log) ByID(id uint64) (IO, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if id == 0 || id >= l.nextID {
+	if id < l.firstID || id >= l.nextID {
 		return IO{}, false
 	}
-	// IDs are dense and append-ordered.
-	return l.ios[id-1], true
+	// IDs are dense and append-ordered within the retained window.
+	return l.ios[id-l.firstID], true
 }
 
 // Filter returns the I/Os for which keep returns true, in append order.
@@ -279,18 +412,18 @@ func (l *Log) ForPrefix(p netip.Prefix) []IO {
 	return l.Filter(func(io IO) bool { return io.Prefix == p })
 }
 
-// ObservedOrder returns all I/Os sorted by router-observed time, breaking
-// ties by ID. This is the view an inference engine working from collected
-// router logs would have. The result is cached per log generation and
-// shared between calls; callers must treat it as read-only.
+// ObservedOrder returns the retained I/Os sorted by router-observed time,
+// breaking ties by ID. This is the view an inference engine working from
+// collected router logs would have. The result is cached per log
+// generation and shared between calls; callers must treat it as read-only.
 func (l *Log) ObservedOrder() []IO {
 	l.mu.Lock()
-	if l.obs != nil && l.obsGen == l.nextID {
+	if l.obs != nil && l.obsGen == l.gen {
 		out := l.obs
 		l.mu.Unlock()
 		return out
 	}
-	gen := l.nextID
+	gen := l.gen
 	out := append([]IO(nil), l.ios...)
 	l.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool {

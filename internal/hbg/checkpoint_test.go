@@ -1,0 +1,218 @@
+package hbg
+
+import (
+	"bytes"
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/netsim"
+	"hbverify/internal/route"
+)
+
+func testIO(id uint64, router string) capture.IO {
+	return capture.IO{
+		ID:      id,
+		Router:  router,
+		Type:    capture.RecvAdvert,
+		Proto:   route.ProtoBGP,
+		Prefix:  netip.MustParsePrefix("10.0.0.0/8"),
+		NextHop: netip.MustParseAddr("192.168.0.1"),
+		Peer:    "peer-" + router,
+		Attrs: route.BGPAttrs{
+			LocalPref:    200,
+			ASPath:       []uint32{65001, 65002},
+			MED:          7,
+			Communities:  []uint32{0x10001},
+			OriginatorID: netip.MustParseAddr("10.9.9.9"),
+			ClusterList:  []netip.Addr{netip.MustParseAddr("10.8.8.8")},
+		},
+		Detail: "detail " + router,
+		Time:   netsim.VirtualTime(1000 * id),
+	}
+}
+
+// chainGraph builds 1 -> 2 -> ... -> n with a couple of extra roots.
+func chainGraph(n uint64) *Graph {
+	g := New()
+	for i := uint64(1); i <= n; i++ {
+		g.AddNode(testIO(i, "r1"))
+	}
+	for i := uint64(1); i < n; i++ {
+		g.AddEdgeConf(i, i+1, 0.5+float64(i%2)/2)
+	}
+	return g
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	g := chainGraph(6)
+	g.PruneBefore(3)
+	cp := &Checkpoint{
+		Graph:           g,
+		LastID:          6,
+		FirstRetainedID: 3,
+		Retained:        []capture.IO{testIO(3, "r1"), testIO(4, "r1"), testIO(5, "r1"), testIO(6, "r1")},
+	}
+	var buf bytes.Buffer
+	if err := cp.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LastID != 6 || got.FirstRetainedID != 3 {
+		t.Fatalf("watermarks = %d/%d", got.LastID, got.FirstRetainedID)
+	}
+	if !reflect.DeepEqual(got.Retained, cp.Retained) {
+		t.Fatalf("retained diverged:\n got %+v\nwant %+v", got.Retained, cp.Retained)
+	}
+	if !reflect.DeepEqual(got.Graph.Nodes(), g.Nodes()) {
+		t.Fatal("nodes diverged")
+	}
+	if !reflect.DeepEqual(got.Graph.Edges(), g.Edges()) {
+		t.Fatal("edges diverged")
+	}
+	for _, e := range g.Edges() {
+		if got.Graph.Confidence(e.From, e.To) != g.Confidence(e.From, e.To) {
+			t.Fatalf("confidence diverged on %v", e)
+		}
+	}
+	if got.Graph.PrunedBelow() != g.PrunedBelow() {
+		t.Fatalf("prune floor = %d, want %d", got.Graph.PrunedBelow(), g.PrunedBelow())
+	}
+	if !reflect.DeepEqual(got.Graph.RootCauses(6), g.RootCauses(6)) {
+		t.Fatalf("root causes diverged:\n got %+v\nwant %+v", got.Graph.RootCauses(6), g.RootCauses(6))
+	}
+}
+
+// TestCheckpointByteDeterminism: the same logical state must encode to the
+// same bytes regardless of insertion order, and a decode/re-encode cycle
+// must be byte-identical.
+func TestCheckpointByteDeterminism(t *testing.T) {
+	build := func(reverse bool) *Graph {
+		g := New()
+		ids := []uint64{1, 2, 3, 4, 5}
+		if reverse {
+			for i := len(ids) - 1; i >= 0; i-- {
+				g.AddNode(testIO(ids[i], "r1"))
+			}
+			g.AddEdgeConf(3, 4, 0.75)
+			g.AddEdgeConf(1, 2, 1)
+			g.AddEdgeConf(2, 4, 0.5)
+		} else {
+			for _, id := range ids {
+				g.AddNode(testIO(id, "r1"))
+			}
+			g.AddEdgeConf(2, 4, 0.5)
+			g.AddEdgeConf(1, 2, 1)
+			g.AddEdgeConf(3, 4, 0.75)
+		}
+		g.PruneBefore(2)
+		return g
+	}
+	encode := func(g *Graph) []byte {
+		cp := &Checkpoint{Graph: g, LastID: 5, FirstRetainedID: 2,
+			Retained: []capture.IO{testIO(2, "r1"), testIO(3, "r1")}}
+		var buf bytes.Buffer
+		if err := cp.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := encode(build(false)), encode(build(true))
+	if !bytes.Equal(a, b) {
+		t.Fatal("insertion order leaked into checkpoint bytes")
+	}
+	cp, err := DecodeCheckpoint(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2 := &Checkpoint{Graph: cp.Graph, LastID: cp.LastID,
+		FirstRetainedID: cp.FirstRetainedID, Retained: cp.Retained}
+	var buf2 bytes.Buffer
+	if err := cp2.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, buf2.Bytes()) {
+		t.Fatal("decode/re-encode cycle not byte-identical")
+	}
+}
+
+func TestCheckpointDecodeErrors(t *testing.T) {
+	if _, err := DecodeCheckpoint(bytes.NewReader([]byte("NOTCKPT0"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	g := chainGraph(3)
+	cp := &Checkpoint{Graph: g, LastID: 3, FirstRetainedID: 1}
+	var buf bytes.Buffer
+	if err := cp.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation must surface an error, never panic.
+	for cut := 0; cut < buf.Len(); cut += 7 {
+		if _, err := DecodeCheckpoint(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestPruneBeforeFoldsRootCauses(t *testing.T) {
+	// 1 (config root) -> 2 -> 3 -> 4; 5 is an independent root of 4.
+	g := New()
+	for i := uint64(1); i <= 5; i++ {
+		g.AddNode(testIO(i, "r1"))
+	}
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(5, 4)
+
+	before3, before4 := g.RootCauses(3), g.RootCauses(4)
+
+	g.PruneBefore(3)
+
+	if g.NodeCount() != 3 {
+		t.Fatalf("node count = %d, want 3", g.NodeCount())
+	}
+	if g.HasEdge(1, 2) || g.HasEdge(2, 3) {
+		t.Fatal("pruned edges survived")
+	}
+	if !g.HasEdge(3, 4) || !g.HasEdge(5, 4) {
+		t.Fatal("retained edges lost")
+	}
+	if got := g.RootCauses(3); !reflect.DeepEqual(got, before3) {
+		t.Fatalf("RootCauses(3) changed across prune:\n got %+v\nwant %+v", got, before3)
+	}
+	if got := g.RootCauses(4); !reflect.DeepEqual(got, before4) {
+		t.Fatalf("RootCauses(4) changed across prune:\n got %+v\nwant %+v", got, before4)
+	}
+
+	// Prune is monotone: pruning again at a higher floor keeps folding.
+	g.PruneBefore(4)
+	if got := g.RootCauses(4); !reflect.DeepEqual(got, before4) {
+		t.Fatalf("RootCauses(4) changed across second prune:\n got %+v\nwant %+v", got, before4)
+	}
+	if g.PrunedBelow() != 4 {
+		t.Fatalf("PrunedBelow = %d, want 4", g.PrunedBelow())
+	}
+}
+
+func TestPruneBeforeMergeCarriesInheritedRoots(t *testing.T) {
+	g := New()
+	for i := uint64(1); i <= 3; i++ {
+		g.AddNode(testIO(i, "r1"))
+	}
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	want := g.RootCauses(3)
+	g.PruneBefore(2)
+
+	dst := New()
+	dst.AddNode(testIO(3, "r1"))
+	dst.Merge(g)
+	if got := dst.RootCauses(3); !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge dropped inherited roots:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -38,6 +38,13 @@ type Graph struct {
 	// (§4.2: "a statistical confidence attached to each inferred HBR").
 	// Ground-truth and rule-matched edges carry confidence 1.
 	conf map[Edge]float64
+	// inherited holds root-cause I/Os folded in by PruneBefore: when a
+	// vertex's ancestry is compacted away, its root causes are snapshotted
+	// here so RootCauses keeps answering exactly as before the prune.
+	inherited map[uint64][]capture.IO
+	// prunedBelow is the compaction floor: vertices with smaller IDs have
+	// been pruned (their edges folded into inherited root sets).
+	prunedBelow uint64
 }
 
 // New returns an empty graph.
@@ -219,25 +226,183 @@ func (g *Graph) provenanceLocked(id uint64) []capture.IO {
 // RootCauses returns the leaf ancestors of id: provenance vertices with no
 // parents of their own (§6: "any leaf nodes we encounter represent the
 // root cause(s) of the event"). If id itself has no parents it is its own
-// root cause.
+// root cause. Ancestry folded away by PruneBefore still answers: a vertex
+// whose parents were pruned contributes its inherited root set instead of
+// posing as a root itself.
 func (g *Graph) RootCauses(id uint64) []capture.IO {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	prov := g.provenanceLocked(id)
-	if len(prov) == 0 {
+	if len(prov) == 0 && len(g.inherited[id]) == 0 {
 		if io, ok := g.nodes[id]; ok {
 			return []capture.IO{io}
 		}
 		return nil
 	}
-	sort.Slice(prov, func(i, j int) bool { return prov[i].ID < prov[j].ID })
+	seen := map[uint64]bool{}
 	var out []capture.IO
-	for _, io := range prov {
-		if len(g.in[io.ID]) == 0 {
+	add := func(io capture.IO) {
+		if !seen[io.ID] {
+			seen[io.ID] = true
 			out = append(out, io)
 		}
 	}
+	// Roots reached through pruned ancestry of id itself.
+	for _, io := range g.inherited[id] {
+		add(io)
+	}
+	for _, io := range prov {
+		if inh := g.inherited[io.ID]; len(inh) > 0 {
+			// This ancestor's own ancestry was pruned: its snapshotted
+			// roots are roots of id too. If it still has live parents the
+			// walk continues through them as well.
+			for _, r := range inh {
+				add(r)
+			}
+			continue
+		}
+		if len(g.in[io.ID]) == 0 {
+			add(io)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// PruneBefore removes every vertex with ID < id — and every edge touching
+// one — after folding the pruned ancestry into inherited root-cause sets:
+// for each retained vertex with at least one pruned parent, its full
+// RootCauses set is snapshotted first, so RootCauses answers identically
+// before and after the prune. Compaction (internal/stream) calls this in
+// lock-step with capture.Log.CompactBefore to bound graph memory over an
+// unbounded event stream.
+func (g *Graph) PruneBefore(id uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id <= g.prunedBelow {
+		return
+	}
+	// Snapshot root causes for every retained vertex that loses a parent.
+	var folds map[uint64][]capture.IO
+	for e := range g.conf {
+		if e.To >= id && e.From < id {
+			if _, done := folds[e.To]; !done {
+				if folds == nil {
+					folds = map[uint64][]capture.IO{}
+				}
+				folds[e.To] = g.rootCausesLocked(e.To)
+			}
+		}
+	}
+	for to, roots := range folds {
+		if g.inherited == nil {
+			g.inherited = map[uint64][]capture.IO{}
+		}
+		g.inherited[to] = mergeRootSets(g.inherited[to], roots)
+	}
+	// Drop pruned vertices, their edges, and their inherited sets.
+	for nid := range g.nodes {
+		if nid < id {
+			delete(g.nodes, nid)
+			delete(g.inherited, nid)
+		}
+	}
+	for e := range g.conf {
+		if e.From < id || e.To < id {
+			delete(g.conf, e)
+		}
+	}
+	prune := func(adj map[uint64][]uint64) {
+		for nid, peers := range adj {
+			if nid < id {
+				delete(adj, nid)
+				continue
+			}
+			kept := peers[:0]
+			for _, p := range peers {
+				if p >= id {
+					kept = append(kept, p)
+				}
+			}
+			if len(kept) == 0 {
+				delete(adj, nid)
+			} else {
+				adj[nid] = kept
+			}
+		}
+	}
+	prune(g.out)
+	prune(g.in)
+	g.prunedBelow = id
+}
+
+// rootCausesLocked mirrors RootCauses under an already-held lock.
+func (g *Graph) rootCausesLocked(id uint64) []capture.IO {
+	prov := g.provenanceLocked(id)
+	seen := map[uint64]bool{}
+	var out []capture.IO
+	add := func(io capture.IO) {
+		if !seen[io.ID] {
+			seen[io.ID] = true
+			out = append(out, io)
+		}
+	}
+	for _, io := range g.inherited[id] {
+		add(io)
+	}
+	for _, io := range prov {
+		if inh := g.inherited[io.ID]; len(inh) > 0 {
+			for _, r := range inh {
+				add(r)
+			}
+			continue
+		}
+		if len(g.in[io.ID]) == 0 {
+			add(io)
+		}
+	}
+	if len(out) == 0 {
+		if io, ok := g.nodes[id]; ok {
+			out = append(out, io)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// mergeRootSets unions two ID-sorted root sets, deduplicating by ID.
+func mergeRootSets(a, b []capture.IO) []capture.IO {
+	if len(a) == 0 {
+		return b
+	}
+	seen := map[uint64]bool{}
+	out := make([]capture.IO, 0, len(a)+len(b))
+	for _, s := range [2][]capture.IO{a, b} {
+		for _, io := range s {
+			if !seen[io.ID] {
+				seen[io.ID] = true
+				out = append(out, io)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// PrunedBelow reports the compaction floor: vertices with smaller IDs have
+// been pruned away (0 = never pruned).
+func (g *Graph) PrunedBelow() uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.prunedBelow
+}
+
+// InheritedRoots returns the snapshotted root-cause set vertex id acquired
+// through pruning, nil if none.
+func (g *Graph) InheritedRoots(id uint64) []capture.IO {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]capture.IO(nil), g.inherited[id]...)
 }
 
 // Descendants returns every vertex reachable from id (the I/Os the event
@@ -299,6 +464,13 @@ func (g *Graph) Merge(other *Graph) {
 	for e, c := range other.conf {
 		otherEdges[e] = c
 	}
+	var otherInherited map[uint64][]capture.IO
+	if len(other.inherited) > 0 {
+		otherInherited = make(map[uint64][]capture.IO, len(other.inherited))
+		for id, roots := range other.inherited {
+			otherInherited[id] = append([]capture.IO(nil), roots...)
+		}
+	}
 	other.mu.RUnlock()
 
 	g.mu.Lock()
@@ -310,6 +482,12 @@ func (g *Graph) Merge(other *Graph) {
 	}
 	for e, c := range otherEdges {
 		g.addEdgeConfLocked(e.From, e.To, c)
+	}
+	for id, roots := range otherInherited {
+		if g.inherited == nil {
+			g.inherited = map[uint64][]capture.IO{}
+		}
+		g.inherited[id] = mergeRootSets(g.inherited[id], roots)
 	}
 }
 

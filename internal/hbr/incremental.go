@@ -2,10 +2,15 @@
 // inference a hot path — every verification tick re-asks for the graph —
 // yet the capture log is append-only and every rule's reach is bounded by
 // a look-back window. Incremental exploits both: it caches the inferred
-// graph keyed on the covered log prefix and, when new I/Os arrive, re-runs
+// graph keyed on the covered log window and, when new I/Os arrive, re-runs
 // the base strategy only over the new suffix plus the bounded look-back
 // window, merging the resulting edges into the cached graph instead of
 // rebuilding it from scratch.
+//
+// Coverage is tracked by event ID rather than slice position, so the cache
+// survives log compaction: after the capture window's prefix is evicted,
+// "checkpoint graph + retained window" remains a valid baseline
+// (SeedCheckpoint / CompactBaseline below).
 
 package hbr
 
@@ -18,6 +23,16 @@ import (
 	"hbverify/internal/metrics"
 	"hbverify/internal/netsim"
 )
+
+// DefaultSkewSlack bounds how far router clocks may disagree with the
+// capture log's append (true-time) order. The look-back scan in extend
+// must tolerate stragglers: an event appended late because its router's
+// clock runs slow carries an observed Time below its neighbours', and a
+// scan that stops at the first sub-cutoff timestamp would silently skip
+// the in-window events appended before it. Two times the maximum skew of
+// any clock model in the fleet is sufficient; 1 s comfortably covers the
+// ±hundreds-of-ms skews the simulator produces.
+const DefaultSkewSlack = time.Second
 
 // Lookbacker is implemented by strategies whose inference for one event
 // never reaches further back in observed time than a bounded window. That
@@ -69,15 +84,21 @@ func maxDuration(a, b time.Duration) time.Duration {
 // Incremental wraps a base Strategy with a graph cache over the append-only
 // capture log.
 //
-//   - Same log as last time (length and last ID match): return the cached
-//     graph untouched — a cache hit.
-//   - The log grew and its covered prefix is unchanged: run the base
-//     strategy over the new suffix plus the look-back slice and merge the
-//     result into the cached graph.
+//   - Same window as last time (endpoint IDs and length match): return the
+//     cached graph untouched — a cache hit.
+//   - The window grew at the tail and its covered prefix is unchanged: run
+//     the base strategy over the new suffix plus the look-back slice and
+//     merge the result into the cached graph.
 //   - Anything else (shorter log, different prefix — e.g. a cut-filtered
 //     snapshot collection): fall back to a one-off full inference WITHOUT
 //     disturbing the cache, so snapshot sweeps cannot poison the pipeline's
 //     incremental state.
+//
+// Because coverage is keyed on event IDs, log compaction composes with the
+// cache: CompactBaseline moves the covered window's left edge forward (and
+// prunes the cached graph, folding root causes), after which Infer calls
+// over the retained window extend the checkpointed graph exactly as if the
+// evicted prefix were still present.
 //
 // The suffix-merge path is available only when the base strategy implements
 // Lookbacker; otherwise every growth falls back to (cached-as-new-baseline)
@@ -93,11 +114,19 @@ type Incremental struct {
 	// Metrics optionally receives infer.full / infer.incremental timers and
 	// infer.cache.* counters.
 	Metrics *metrics.Registry
+	// SkewSlack widens the look-back scan to tolerate clock skew between
+	// routers (see DefaultSkewSlack). Zero selects the default; a negative
+	// value disables the slack entirely (test hook — unsound under skew).
+	SkewSlack time.Duration
 
 	mu      sync.Mutex
 	cached  *hbg.Graph
-	covered int    // number of I/Os the cached graph covers
-	lastID  uint64 // ID of the last covered I/O (generation check)
+	firstID uint64 // ID the covered window starts at
+	lastID  uint64 // last covered ID; coverage is empty when lastID < firstID
+	// checkpointed marks a cache whose graph covers history below firstID
+	// (seeded from a checkpoint or compacted in place). Such a graph must
+	// never be replaced by a full inference over the retained window alone.
+	checkpointed bool
 }
 
 // NewIncremental wraps base. A nil registry disables metrics.
@@ -114,9 +143,54 @@ func (inc *Incremental) Name() string { return "incremental(" + inc.Base.Name() 
 // than accreted through windowed merges.
 func (inc *Incremental) Invalidate() {
 	inc.mu.Lock()
-	inc.cached, inc.covered, inc.lastID = nil, 0, 0
+	inc.cached, inc.firstID, inc.lastID, inc.checkpointed = nil, 0, 0, false
 	inc.mu.Unlock()
 	inc.Metrics.Counter("infer.cache.invalidations").Inc()
+}
+
+// SeedCheckpoint installs a recovered graph as the cache baseline.
+// firstRetainedID is the ID the retained capture window now starts at
+// (lastID+1 when the window is empty) and lastID is the last event the
+// graph's edges account for. Subsequent Infer calls over the retained
+// window extend g incrementally instead of re-inferring from scratch —
+// which they could not do anyway, since the pre-checkpoint events are gone.
+func (inc *Incremental) SeedCheckpoint(g *hbg.Graph, firstRetainedID, lastID uint64) {
+	inc.mu.Lock()
+	inc.cached, inc.firstID, inc.lastID = g, firstRetainedID, lastID
+	inc.checkpointed = true
+	inc.mu.Unlock()
+	inc.Metrics.Counter("infer.cache.seeded").Inc()
+}
+
+// CompactBaseline records that the capture log evicted all events below
+// firstRetainedID and prunes the cached graph to match (folding the evicted
+// vertices' root causes into their in-window successors, so RootCauses
+// answers are preserved). Call after folding the evicted events' edges into
+// the cache via Infer and before — or after, both orders are safe — the
+// log's own CompactBefore. No-op if the cache is cold or already past the
+// floor.
+func (inc *Incremental) CompactBaseline(firstRetainedID uint64) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	if inc.cached == nil || firstRetainedID <= inc.firstID {
+		return
+	}
+	inc.firstID = firstRetainedID
+	if inc.lastID < inc.firstID-1 {
+		inc.lastID = inc.firstID - 1 // window compacted to empty
+	}
+	inc.checkpointed = true
+	inc.cached.PruneBefore(firstRetainedID)
+	inc.Metrics.Counter("infer.cache.compactions").Inc()
+}
+
+// CoveredWindow reports the ID range [first, last] the cache currently
+// covers (last < first when coverage is empty) and whether a baseline
+// exists at all.
+func (inc *Incremental) CoveredWindow() (first, last uint64, ok bool) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return inc.firstID, inc.lastID, inc.cached != nil
 }
 
 // Infer implements Strategy.
@@ -124,44 +198,97 @@ func (inc *Incremental) Infer(ios []capture.IO) *hbg.Graph {
 	inc.mu.Lock()
 	defer inc.mu.Unlock()
 
-	// Exact hit: the log has not moved.
-	if inc.cached != nil && len(ios) == inc.covered && inc.lastID == lastIDOf(ios) {
-		inc.Metrics.Counter("infer.cache.hits").Inc()
-		return inc.cached
-	}
-
-	// Append-only growth of the covered prefix?
-	if inc.cached != nil && len(ios) > inc.covered && inc.covered > 0 &&
-		ios[inc.covered-1].ID == inc.lastID {
-		if lb, ok := inc.Base.(Lookbacker); ok {
-			return inc.extend(ios, lb.LookbackWindow())
+	if inc.cached != nil {
+		// Exact hit: the window has not moved.
+		if inc.matchesCoveredLocked(ios) {
+			inc.Metrics.Counter("infer.cache.hits").Inc()
+			return inc.cached
+		}
+		// Append-only growth of the covered window?
+		if sufStart, ok := inc.extensionStartLocked(ios); ok {
+			if lb, ok := inc.Base.(Lookbacker); ok {
+				return inc.extend(ios, sufStart, lb.LookbackWindow())
+			}
 		}
 	}
 
-	// Fallback: full inference. A log at least as long as the covered
-	// prefix becomes the new baseline; a shorter or diverged log (snapshot
-	// cuts, a different capture source) is served without touching the
-	// cache.
+	// Fallback: full inference. A log that still starts at the covered
+	// window's left edge and reaches its right edge becomes the new
+	// baseline; a diverged log (snapshot cuts, a different capture source,
+	// a window racing a concurrent compaction) is served without touching
+	// the cache. A checkpointed cache is never replaced here: the full
+	// inference saw only the retained window, not the folded history.
 	start := time.Now()
 	g := inc.runBase(ios)
 	inc.Metrics.Timer("infer.full").Observe(time.Since(start))
 	inc.Metrics.Counter("infer.cache.misses").Inc()
-	if inc.cached == nil || (len(ios) >= inc.covered && prefixIntact(ios, inc.covered, inc.lastID)) {
-		inc.cached, inc.covered, inc.lastID = g, len(ios), lastIDOf(ios)
+	if inc.adoptableLocked(ios) {
+		inc.cached, inc.firstID, inc.lastID = g, ios[0].ID, lastIDOf(ios)
 	}
 	return g
+}
+
+// matchesCoveredLocked reports whether ios is exactly the covered window.
+// IDs are dense and append-ordered, so matching both endpoints plus the
+// length pins the whole slice.
+func (inc *Incremental) matchesCoveredLocked(ios []capture.IO) bool {
+	if inc.lastID < inc.firstID { // empty coverage
+		return len(ios) == 0
+	}
+	n := int(inc.lastID - inc.firstID + 1)
+	return len(ios) == n && ios[0].ID == inc.firstID && ios[n-1].ID == inc.lastID
+}
+
+// extensionStartLocked reports whether ios is the covered window plus a
+// non-empty new suffix, and if so at which index the suffix starts.
+func (inc *Incremental) extensionStartLocked(ios []capture.IO) (int, bool) {
+	if len(ios) == 0 || ios[0].ID != inc.firstID {
+		return 0, false
+	}
+	if inc.lastID < inc.firstID {
+		return 0, true // empty covered window: the whole slice is suffix
+	}
+	pos := int(inc.lastID - inc.firstID) // index of lastID when dense
+	if pos >= len(ios)-1 || ios[pos].ID != inc.lastID {
+		return 0, false
+	}
+	return pos + 1, true
+}
+
+// adoptableLocked reports whether a full inference over ios may replace the
+// cached baseline.
+func (inc *Incremental) adoptableLocked(ios []capture.IO) bool {
+	if len(ios) == 0 {
+		return false
+	}
+	if inc.cached == nil {
+		return true
+	}
+	if inc.checkpointed || ios[0].ID != inc.firstID {
+		return false
+	}
+	if inc.lastID < inc.firstID {
+		return true
+	}
+	pos := int(inc.lastID - inc.firstID)
+	return pos < len(ios) && ios[pos].ID == inc.lastID
 }
 
 // extend runs the base strategy over the new suffix plus the look-back
 // slice and merges the result into the cached graph. Soundness: every rule
 // candidate for a suffix event lies within lookback of that event's
 // observed time, and every suffix event's observed time is at least
-// minSuffixTime, so the slice starting at the last old event with
-// Time >= minSuffixTime-lookback contains all of them. Edges between old
-// events re-derived inside the slice merge idempotently.
-func (inc *Incremental) extend(ios []capture.IO, lookback time.Duration) *hbg.Graph {
+// minSuffixTime, so the slice must contain every old event with
+// Time >= minSuffixTime-lookback. Observed times are TrueTime ± bounded
+// skew, so append order is only NEAR-sorted: a slow-clock straggler can sit
+// later in the log than an in-window event. The backward scan therefore
+// keeps going until it sees an event older than cutoff-slack — events in
+// the slack band are included harmlessly (edge merges are idempotent), and
+// no event with Time >= cutoff can be appended before one with
+// Time < cutoff-slack when slack bounds twice the maximum skew.
+func (inc *Incremental) extend(ios []capture.IO, sufStart int, lookback time.Duration) *hbg.Graph {
 	start := time.Now()
-	suffix := ios[inc.covered:]
+	suffix := ios[sufStart:]
 	minTime := suffix[0].Time
 	for _, io := range suffix[1:] {
 		if io.Time < minTime {
@@ -169,20 +296,28 @@ func (inc *Incremental) extend(ios []capture.IO, lookback time.Duration) *hbg.Gr
 		}
 	}
 	cutoff := minTime - netsim.VirtualTime(lookback)
-	// Observed times are TrueTime ± bounded skew, so append order is
-	// near-sorted; scan backward until the first event older than the
-	// cutoff.
-	lo := inc.covered
-	for lo > 0 && ios[lo-1].Time >= cutoff {
+	scanFloor := cutoff - netsim.VirtualTime(inc.skewSlack())
+	lo := sufStart
+	for lo > 0 && ios[lo-1].Time >= scanFloor {
 		lo--
 	}
 	window := ios[lo:]
 	inc.cached.Merge(inc.runBase(window))
-	inc.covered, inc.lastID = len(ios), lastIDOf(ios)
+	inc.lastID = lastIDOf(ios)
 	inc.Metrics.Timer("infer.incremental").Observe(time.Since(start))
 	inc.Metrics.Counter("infer.suffix.ios").Add(int64(len(suffix)))
 	inc.Metrics.Counter("infer.window.ios").Add(int64(len(window)))
 	return inc.cached
+}
+
+func (inc *Incremental) skewSlack() time.Duration {
+	switch {
+	case inc.SkewSlack < 0:
+		return 0
+	case inc.SkewSlack == 0:
+		return DefaultSkewSlack
+	}
+	return inc.SkewSlack
 }
 
 // runBase builds the shared index for one log generation and runs the
@@ -196,15 +331,6 @@ func (inc *Incremental) runBase(ios []capture.IO) *hbg.Graph {
 	inc.Metrics.Counter("hbr.infer.index.builds").Inc()
 	inc.Metrics.Counter("hbr.infer.index.ios").Add(int64(idx.Len()))
 	return InferIndexed(inc.Base, idx)
-}
-
-// prefixIntact reports whether ios still starts with the covered prefix
-// (checked by the dense, append-ordered ID of its last element).
-func prefixIntact(ios []capture.IO, covered int, lastID uint64) bool {
-	if covered == 0 {
-		return true
-	}
-	return len(ios) >= covered && ios[covered-1].ID == lastID
 }
 
 func lastIDOf(ios []capture.IO) uint64 {

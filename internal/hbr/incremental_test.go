@@ -1,6 +1,9 @@
 package hbr_test
 
 import (
+	"bytes"
+	"fmt"
+	"net/netip"
 	"testing"
 	"time"
 
@@ -9,7 +12,9 @@ import (
 	"hbverify/internal/hbg"
 	"hbverify/internal/hbr"
 	"hbverify/internal/metrics"
+	"hbverify/internal/netsim"
 	"hbverify/internal/network"
+	"hbverify/internal/route"
 )
 
 // grow converges the paper network, then appends rounds of config churn
@@ -151,5 +156,148 @@ func TestIncrementalLookbackWindows(t *testing.T) {
 	c := hbr.Combined{Rules: r}
 	if got := c.LookbackWindow(); got != 3*time.Second {
 		t.Fatalf("Combined lookback = %v, want 3s", got)
+	}
+}
+
+// pairLog builds 2n hand-crafted I/Os: n cross-router advert pairs
+// (send on r1, matching recv on r2) with distinct prefixes, spaced far
+// enough apart that rules never link across pairs. IDs are dense from 1.
+func pairLog(n int) []capture.IO {
+	ios := make([]capture.IO, 0, 2*n)
+	for k := 0; k < n; k++ {
+		at := netsim.VirtualTime((10 + 2*time.Duration(k)) * time.Second)
+		pfx := netip.MustParsePrefix(fmt.Sprintf("10.%d.0.0/16", k))
+		ios = append(ios,
+			capture.IO{ID: uint64(2*k + 1), Router: "r1", Peer: "r2",
+				Type: capture.SendAdvert, Proto: route.ProtoBGP, Prefix: pfx, Time: at},
+			capture.IO{ID: uint64(2*k + 2), Router: "r2", Peer: "r1",
+				Type: capture.RecvAdvert, Proto: route.ProtoBGP, Prefix: pfx,
+				Time: at + netsim.VirtualTime(100*time.Millisecond)},
+		)
+	}
+	return ios
+}
+
+// TestExtendScansPastSkewStragglers pins the look-back soundness fix. A
+// slow-clock router's event lands in the log AFTER an in-window event but
+// with an OLDER observed timestamp. The pre-fix backward scan stopped at
+// the first sub-cutoff timestamp, excluded the in-window event from the
+// re-inference slice, and silently dropped its cross-router edge; the
+// skew-slack scan keeps going and finds it.
+func TestExtendScansPastSkewStragglers(t *testing.T) {
+	rules := hbr.Rules{Window: 500 * time.Millisecond, ConfigWindow: time.Second,
+		CrossWindow: 500 * time.Millisecond} // lookback = 1s
+	pfx := netip.MustParsePrefix("10.0.0.0/16")
+	ios := []capture.IO{
+		{ID: 1, Router: "r1", Type: capture.ConfigChange, Detail: "seed",
+			Time: netsim.VirtualTime(time.Second)},
+		{ID: 2, Router: "r1", Peer: "r2", Type: capture.SendAdvert,
+			Proto: route.ProtoBGP, Prefix: pfx,
+			Time: netsim.VirtualTime(100 * time.Second)},
+		// Straggler: appended after the send, observed 1.5s earlier
+		// (slow clock on r3).
+		{ID: 3, Router: "r3", Type: capture.ConfigChange, Detail: "late",
+			Time: netsim.VirtualTime(98500 * time.Millisecond)},
+	}
+	recv := capture.IO{ID: 4, Router: "r2", Peer: "r1", Type: capture.RecvAdvert,
+		Proto: route.ProtoBGP, Prefix: pfx,
+		Time: netsim.VirtualTime(100200 * time.Millisecond)}
+	full := append(append([]capture.IO(nil), ios...), recv)
+
+	inc := hbr.NewIncremental(rules, nil)
+	inc.Infer(ios)
+	edgesEqual(t, inc.Infer(full), rules.Infer(full))
+
+	// Demonstrate the pre-fix behaviour: with the slack disabled the scan
+	// stops at the straggler and the send→recv edge is lost.
+	old := hbr.NewIncremental(rules, nil)
+	old.SkewSlack = -1
+	old.Infer(ios)
+	if g := old.Infer(full); g.HasEdge(2, 4) {
+		t.Fatal("slack-free scan unexpectedly found the edge; regression scenario no longer exercises the bug")
+	}
+	if !rules.Infer(full).HasEdge(2, 4) {
+		t.Fatal("full inference lost the cross-router edge; scenario broken")
+	}
+}
+
+// TestIncrementalCompactedBaseline pins the ID-keyed coverage contract:
+// after CompactBaseline the cache treats "pruned graph + retained window"
+// as its baseline and keeps extending incrementally, with edge sets equal
+// to full inference pruned at the same floor.
+func TestIncrementalCompactedBaseline(t *testing.T) {
+	rules := hbr.Rules{Window: 500 * time.Millisecond, ConfigWindow: time.Second,
+		CrossWindow: 500 * time.Millisecond}
+	ios := pairLog(10)
+	reg := metrics.NewRegistry()
+	inc := hbr.NewIncremental(rules, reg)
+
+	inc.Infer(ios[:12]) // baseline over IDs 1..12
+	inc.CompactBaseline(5)
+	if first, last, ok := inc.CoveredWindow(); !ok || first != 5 || last != 12 {
+		t.Fatalf("covered window = [%d,%d] ok=%v, want [5,12]", first, last, ok)
+	}
+
+	// Retained window grows: must take the incremental path and match full
+	// inference pruned at the compaction floor.
+	got := inc.Infer(ios[4:16])
+	want := rules.Infer(ios[:16])
+	want.PruneBefore(5)
+	edgesEqual(t, got, want)
+	if n := reg.Counter("infer.cache.misses").Value(); n != 1 {
+		t.Fatalf("full inferences = %d, want 1 (growth after compaction must stay incremental)", n)
+	}
+
+	// A full inference over the retained window alone must not replace the
+	// checkpointed baseline (it lacks the folded history).
+	subset := append([]capture.IO(nil), ios[4:9]...)
+	inc.Infer(subset)
+	if first, last, ok := inc.CoveredWindow(); !ok || first != 5 || last != 16 {
+		t.Fatalf("subset inference disturbed the baseline: [%d,%d] ok=%v", first, last, ok)
+	}
+
+	// Compact to empty, then extend from nothing.
+	inc.CompactBaseline(17)
+	if first, last, ok := inc.CoveredWindow(); !ok || first != 17 || last != 16 {
+		t.Fatalf("empty window = [%d,%d] ok=%v, want [17,16]", first, last, ok)
+	}
+	got = inc.Infer(ios[16:])
+	want = rules.Infer(ios)
+	want.PruneBefore(17)
+	edgesEqual(t, got, want)
+}
+
+// TestSeedCheckpointResumesIncremental round-trips a compacted baseline
+// through the checkpoint codec and checks the recovered cache produces
+// edge-identical graphs to the uninterrupted one — the unit-level version
+// of the daemon's crash-restart differential.
+func TestSeedCheckpointResumesIncremental(t *testing.T) {
+	rules := hbr.Rules{Window: 500 * time.Millisecond, ConfigWindow: time.Second,
+		CrossWindow: 500 * time.Millisecond}
+	ios := pairLog(10)
+
+	inc1 := hbr.NewIncremental(rules, nil)
+	inc1.Infer(ios[:12])
+	inc1.CompactBaseline(5)
+
+	cp := &hbg.Checkpoint{Graph: inc1.Infer(ios[4:12]), LastID: 12,
+		FirstRetainedID: 5, Retained: append([]capture.IO(nil), ios[4:12]...)}
+	var buf bytes.Buffer
+	if err := cp.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := hbg.DecodeCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.NewRegistry()
+	inc2 := hbr.NewIncremental(rules, reg)
+	inc2.SeedCheckpoint(rec.Graph, rec.FirstRetainedID, rec.LastID)
+	got := inc2.Infer(append(append([]capture.IO(nil), rec.Retained...), ios[12:]...))
+	want := inc1.Infer(ios[4:])
+	edgesEqual(t, got, want)
+	if n := reg.Counter("infer.cache.misses").Value(); n != 0 {
+		t.Fatalf("recovered cache fell back to full inference %d times, want 0", n)
 	}
 }

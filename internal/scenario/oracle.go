@@ -1,4 +1,4 @@
-// The seven differential oracles checked after every convergence round.
+// The eight differential oracles checked after every convergence round.
 
 package scenario
 
@@ -19,6 +19,7 @@ import (
 	"hbverify/internal/fib"
 	"hbverify/internal/hbg"
 	"hbverify/internal/hbr"
+	"hbverify/internal/netsim"
 	"hbverify/internal/route"
 	"hbverify/internal/snapshot"
 	"hbverify/internal/verify"
@@ -28,6 +29,7 @@ import (
 const (
 	OracleInferRef     = "infer-fast-vs-reference"
 	OracleIncremental  = "incremental-vs-full"
+	OracleCompaction   = "compaction-vs-full"
 	OracleSnapshot     = "snapshot-consistency"
 	OracleChecker      = "checker-determinism"
 	OracleDist         = "dist-vs-central"
@@ -62,21 +64,24 @@ func (h *harness) oracleInferFastVsReference(round int) *Failure {
 }
 
 // graphDiff describes the first node, edge, or confidence difference
-// between two graphs, or "" when they are identical.
-func graphDiff(got, want *hbg.Graph) string {
+// between two graphs, or "" when they are identical. The labels name the
+// two sides in the reported detail.
+func graphDiff(got, want *hbg.Graph) string { return graphDiffLabeled(got, want, "fast", "reference") }
+
+func graphDiffLabeled(got, want *hbg.Graph, gl, wl string) string {
 	gn, wn := nodeIDs(got.Nodes()), nodeIDs(want.Nodes())
 	if !reflect.DeepEqual(gn, wn) {
-		return fmt.Sprintf("node sets differ: fast=%d reference=%d (first diff: %s)",
-			len(gn), len(wn), firstIDDiff(gn, wn))
+		return fmt.Sprintf("node sets differ: %s=%d %s=%d (first diff: %s)",
+			gl, len(gn), wl, len(wn), firstIDDiff(gn, wn))
 	}
 	ge, we := got.Edges(), want.Edges()
 	if !reflect.DeepEqual(ge, we) {
-		return fmt.Sprintf("edge sets differ: fast=%d reference=%d (first diff: %s)",
-			len(ge), len(we), firstEdgeDiff(ge, we))
+		return fmt.Sprintf("edge sets differ: %s=%d %s=%d (first diff: %s)",
+			gl, len(ge), wl, len(we), firstEdgeDiff(ge, we))
 	}
 	for _, e := range ge {
 		if gc, wc := got.Confidence(e.From, e.To), want.Confidence(e.From, e.To); gc != wc {
-			return fmt.Sprintf("confidence(%d->%d) differs: fast=%v reference=%v", e.From, e.To, gc, wc)
+			return fmt.Sprintf("confidence(%d->%d) differs: %s=%v %s=%v", e.From, e.To, gl, gc, wl, wc)
 		}
 	}
 	return ""
@@ -101,6 +106,70 @@ func (h *harness) oracleIncrementalVsFull(round int) *Failure {
 		return &Failure{Oracle: OracleIncremental, Round: round, Detail: fmt.Sprintf(
 			"edge sets differ: incremental=%d full=%d (first diff: %s)",
 			len(gotEdges), len(wantEdges), firstEdgeDiff(gotEdges, wantEdges))}
+	}
+	return nil
+}
+
+// compactSlack is the clock-skew allowance of the compaction mirror:
+// twice the worlds' worst per-router offset (buildWorld skews clocks by at
+// most ±20ms), so the retention floor never evicts an event that a future
+// straggler could still form an edge with.
+const compactSlack = 40 * time.Millisecond
+
+// compactRootSample bounds how many retained events the compaction oracle
+// probes for root-cause equality each round; the oldest are sampled, where
+// inherited roots from evicted history are most at risk.
+const compactRootSample = 128
+
+// oracleCompactionVsFull mirrors the stream daemon's bounded-memory
+// discipline against the live log: newly captured (oracle-stripped)
+// events append to a retained window, the window is folded into an
+// incremental cache, and events older than the retention floor —
+// look-back plus twice the worst clock skew behind the newest capture —
+// are evicted with their edges compacted into the cache baseline. The
+// cached graph must stay node-, edge-, confidence-, and root-cause
+// identical to a fresh full inference over the complete log pruned at the
+// same floor. BugSkipFold evicts without folding first — a compactor that
+// trims the log ahead of its inference tick — which this oracle must
+// catch.
+func (h *harness) oracleCompactionVsFull(round int) *Failure {
+	all := capture.StripOracle(h.w.net.Log.All())
+	h.cwin = append(h.cwin, all[h.cseen:]...)
+	h.cseen = len(all)
+	if len(h.cwin) == 0 {
+		return nil
+	}
+	if h.cfg.Bug != BugSkipFold {
+		h.cinc.Infer(h.cwin) // fold the window before evicting from it
+	}
+	retain := netsim.VirtualTime(h.cRules.LookbackWindow() + 2*compactSlack)
+	floor := h.cwin[len(h.cwin)-1].Time - retain
+	cut := 0
+	for cut < len(h.cwin)-1 && h.cwin[cut].Time < floor {
+		cut++
+	}
+	if cut > 0 {
+		h.cinc.CompactBaseline(h.cwin[cut].ID)
+		h.cwin = append(h.cwin[:0], h.cwin[cut:]...)
+	}
+
+	got := h.cinc.Infer(h.cwin)
+	want := h.cRules.Infer(all)
+	want.PruneBefore(got.PrunedBelow())
+	if d := graphDiffLabeled(got, want, "window", "full"); d != "" {
+		return &Failure{Oracle: OracleCompaction, Round: round, Detail: fmt.Sprintf(
+			"compacted window (%d of %d events retained, floor ID %d) diverges from pruned full inference: %s",
+			len(h.cwin), len(all), got.PrunedBelow(), d)}
+	}
+	sample := h.cwin
+	if len(sample) > compactRootSample {
+		sample = sample[:compactRootSample]
+	}
+	for _, io := range sample {
+		if g, w := got.RootCauses(io.ID), want.RootCauses(io.ID); !reflect.DeepEqual(g, w) {
+			return &Failure{Oracle: OracleCompaction, Round: round, Detail: fmt.Sprintf(
+				"RootCauses(%d) diverge after compaction: window %v vs full %v", io.ID, g, w)}
+		}
 	}
 	return nil
 }

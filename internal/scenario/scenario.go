@@ -1,24 +1,28 @@
 // Package scenario is the randomized correctness harness: it generates
 // seeded deterministic networks, drives them through churn schedules, and
-// checks seven differential oracles after every convergence round —
+// checks eight differential oracles after every convergence round —
 //
 //  0. infer-fast-vs-reference: every shared-index inference strategy
 //     produces node-, edge-, and confidence-identical graphs to the
 //     preserved pre-index reference implementations;
 //  1. incremental-vs-full: hbr.Incremental yields a node- and
 //     edge-identical HBG to a fresh full inference over the same log;
-//  2. snapshot-consistency: snapshots assembled from HBR cuts replay to
+//  2. compaction-vs-full: a bounded capture window — events folded into
+//     an incremental cache, then evicted below the retention floor, the
+//     stream daemon's memory-bounding discipline — yields the identical
+//     graph and root causes to a full inference pruned at the same floor;
+//  3. snapshot-consistency: snapshots assembled from HBR cuts replay to
 //     the live FIBs, reach §5-consistency from lagged cuts, and show no
 //     loop that never existed in any instantaneous ground-truth state;
-//  3. checker-determinism: verify.Checker verdicts are identical across
+//  4. checker-determinism: verify.Checker verdicts are identical across
 //     worker counts, repeated runs, and eqclass sharding;
-//  4. dist-vs-central: the distributed TCP fleet's walks are
+//  5. dist-vs-central: the distributed TCP fleet's walks are
 //     byte-identical — path, outcome, egress — to the central walker's
 //     over the same FIBs;
-//  5. repair-rollback: after injecting a faulty config and repairing it
+//  6. repair-rollback: after injecting a faulty config and repairing it
 //     via HBG root-cause rollback, the network reconverges to the exact
 //     pre-fault data plane;
-//  6. eqclass-delta-vs-full: the delta path — incremental equivalence
+//  7. eqclass-delta-vs-full: the delta path — incremental equivalence
 //     classes plus the cached-walk checker — agrees exactly with a
 //     from-scratch eqclass.Compute and a cold Checker.Check.
 //
@@ -66,6 +70,11 @@ const (
 	// the furthest (not nearest) in time wins — the kind of off-by-one a
 	// binary-searched rewrite of a linear scan invites.
 	BugSwapSendMatch = "swap-send-match"
+	// BugSkipFold makes the windowed-compaction mirror evict capture
+	// events without first folding their inferred edges into the cached
+	// graph — the failure mode of a compactor that trims the log before
+	// the inference tick that would have covered it.
+	BugSkipFold = "skip-fold"
 )
 
 // Config describes one deterministic scenario. The zero values of Shape,
@@ -217,6 +226,14 @@ type harness struct {
 	eqc    *eqclass.Incremental
 	wcache *verify.WalkCache
 	cached *verify.Checker
+	// The windowed-compaction mirror for the compaction-vs-full oracle:
+	// cwin is the retained capture window (original log IDs preserved),
+	// folded into cinc before every eviction exactly as the stream daemon
+	// folds before compacting; cseen counts log events already mirrored.
+	cRules hbr.Rules
+	cinc   *hbr.Incremental
+	cwin   []capture.IO
+	cseen  int
 }
 
 func newHarness(cfg Config, w *world) *harness {
@@ -226,6 +243,13 @@ func newHarness(cfg Config, w *world) *harness {
 	if cfg.Bug == BugStaleCache {
 		h.strat = &staleStrategy{base: h.strat}
 	}
+	// The compaction mirror needs rule windows small enough that churn
+	// rounds (roundGap apart) actually age past the retention floor, and a
+	// skew slack covering the worlds' ±20ms clock offsets twice over.
+	h.cRules = hbr.Rules{Window: 200 * time.Millisecond,
+		ConfigWindow: 500 * time.Millisecond, CrossWindow: 200 * time.Millisecond}
+	h.cinc = hbr.NewIncremental(h.cRules, h.reg)
+	h.cinc.SkewSlack = compactSlack
 	h.eqc = eqclass.NewIncremental(h.reg)
 	h.wcache = verify.NewWalkCache()
 	if cfg.Bug == BugStaleEqclass {
@@ -265,7 +289,7 @@ func (h *harness) infer(ios []capture.IO) *hbg.Graph {
 	return h.strat.Infer(capture.StripOracle(ios))
 }
 
-// checkRound runs the seven oracles in order and returns the first
+// checkRound runs the eight oracles in order and returns the first
 // failure. The fast-vs-reference oracle runs first so any divergence in
 // the inference rewrite is reported as such, not as a downstream
 // repair/snapshot anomaly; the eqclass-delta oracle runs last, after
@@ -276,6 +300,9 @@ func (h *harness) checkRound(round int) *Failure {
 		return f
 	}
 	if f := h.oracleIncrementalVsFull(round); f != nil {
+		return f
+	}
+	if f := h.oracleCompactionVsFull(round); f != nil {
 		return f
 	}
 	if f := h.oracleSnapshots(round); f != nil {

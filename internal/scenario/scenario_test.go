@@ -13,7 +13,7 @@ import (
 // the quick default.
 var rounds = flag.Int("scenario.rounds", 0, "churn rounds per scenario seed (0 = quick default)")
 
-// TestScenario drives ten seeded scenarios through churn and the seven
+// TestScenario drives ten seeded scenarios through churn and the eight
 // differential oracles. Each seed is a subtest so a failure names the
 // seed directly.
 func TestScenario(t *testing.T) {
@@ -139,6 +139,15 @@ func TestForcedDropBatch(t *testing.T) {
 // root-cause walk.)
 func TestForcedSwapSendMatch(t *testing.T) {
 	forceBug(t, 4, BugSwapSendMatch, OracleInferRef, OracleRepair)
+}
+
+// TestForcedSkipFold proves the compaction-vs-full oracle catches a
+// compactor that evicts capture events before folding their edges into
+// the cached graph: once the round's history ages past the retention
+// floor, the unfolded events' nodes and edges are simply gone from the
+// window graph while the pruned full inference still has them.
+func TestForcedSkipFold(t *testing.T) {
+	forceBug(t, 3, BugSkipFold, OracleCompaction)
 }
 
 // TestShrinkPreservesFailure checks the shrinker's contract directly on a

@@ -1,0 +1,194 @@
+// Synthetic router fleet: a deterministic generator of per-router
+// Cisco-style log streams with real cross-router causality (advert waves
+// propagating down a line of routers) and per-router clock skew. The
+// readers generate lines lazily, so a multi-million-event soak never
+// materializes its input.
+
+package stream
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"hbverify/internal/capture"
+	"hbverify/internal/ciscolog"
+	"hbverify/internal/netsim"
+	"hbverify/internal/route"
+)
+
+// Fleet describes the synthetic topology: Routers in a line, each wave
+// originating at r0 and propagating hop by hop (recv → RIB install →
+// re-advertise). Odd routers run their clocks Skew fast, every third
+// router Skew slow — enough disagreement to exercise the straggler
+// handling in incremental inference.
+type Fleet struct {
+	Routers     int           // ≥ 2
+	Waves       int           // advert waves to emit
+	Gap         time.Duration // spacing between wave origins (default 10ms)
+	Hop         time.Duration // per-hop propagation latency (default 2ms)
+	Skew        time.Duration // per-router clock offset magnitude (default 200ms)
+	ConfigEvery int           // ConfigChange on r0 every N waves (default 50; <0 disables)
+}
+
+func (f Fleet) gap() time.Duration { return defDur(f.Gap, 10*time.Millisecond) }
+func (f Fleet) hop() time.Duration { return defDur(f.Hop, 2*time.Millisecond) }
+func (f Fleet) skewOf(i int) time.Duration {
+	skew := defDur(f.Skew, 200*time.Millisecond)
+	switch {
+	case i%3 == 2:
+		return -skew
+	case i%2 == 1:
+		return skew
+	}
+	return 0
+}
+
+func (f Fleet) configEvery() int {
+	if f.ConfigEvery < 0 {
+		return 0
+	}
+	if f.ConfigEvery == 0 {
+		return 50
+	}
+	return f.ConfigEvery
+}
+
+func defDur(d, def time.Duration) time.Duration {
+	if d == 0 {
+		return def
+	}
+	return d
+}
+
+// RouterName returns "r<i>".
+func (f Fleet) RouterName(i int) string { return fmt.Sprintf("r%d", i) }
+
+// Addr returns router i's session address.
+func (f Fleet) Addr(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i & 0xff)})
+}
+
+// Resolver maps session addresses back to router names.
+func (f Fleet) Resolver() ciscolog.Resolver {
+	names := map[netip.Addr]string{}
+	for i := 0; i < f.Routers; i++ {
+		names[f.Addr(i)] = f.RouterName(i)
+	}
+	return func(a netip.Addr) string { return names[a] }
+}
+
+// EventsPerWave is the fleet-wide event count of one wave, excluding the
+// periodic config change.
+func (f Fleet) EventsPerWave() int {
+	if f.Routers < 2 {
+		return 0
+	}
+	return 3*f.Routers - 3 // r0 sends; middles recv+install+send; last recv+install
+}
+
+// TotalEvents is the exact fleet-wide event count.
+func (f Fleet) TotalEvents() int {
+	n := f.Waves * f.EventsPerWave()
+	if ce := f.configEvery(); ce > 0 {
+		n += (f.Waves + ce - 1) / ce
+	}
+	return n
+}
+
+// wavePrefix cycles through 51200 /24s, far more than ever share a rule
+// window.
+func wavePrefix(w int) netip.Prefix {
+	k := w % 51200
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(1 + k/256), byte(k % 256), 0}), 24)
+}
+
+// eventAt returns router i's step'th event of wave w, with step counting
+// the router's own events in time order, and ok=false past the last step.
+// True times are wave-base + hop offsets; observed times add the router's
+// skew.
+func (f Fleet) eventAt(i, w, step int) (capture.IO, bool) {
+	// Base starts one second past virtual zero: IOS timestamps carry no
+	// year or sign, so emitted times must stay positive even for slow
+	// clocks (negative skew) at wave zero.
+	base := netsim.VirtualTime(time.Second + time.Duration(w)*f.gap())
+	at := func(d time.Duration) netsim.VirtualTime {
+		return base + netsim.VirtualTime(time.Duration(i)*f.hop()+d+f.skewOf(i))
+	}
+	pfx := wavePrefix(w)
+	last := i == f.Routers-1
+	if i == 0 {
+		cfg := 0
+		if ce := f.configEvery(); ce > 0 && w%ce == 0 {
+			if step == 0 {
+				return capture.IO{Router: f.RouterName(0), Type: capture.ConfigChange,
+					Detail: "policy-update", Time: at(-time.Millisecond)}, true
+			}
+			cfg = 1
+		}
+		if step == cfg {
+			return capture.IO{Router: f.RouterName(0), Type: capture.SendAdvert,
+				Proto: route.ProtoBGP, Prefix: pfx, PeerAddr: f.Addr(1),
+				NextHop: f.Addr(0), Attrs: route.BGPAttrs{LocalPref: 100, ASPath: []uint32{65000}},
+				Time: at(0)}, true
+		}
+		return capture.IO{}, false
+	}
+	switch step {
+	case 0:
+		return capture.IO{Router: f.RouterName(i), Type: capture.RecvAdvert,
+			Proto: route.ProtoBGP, Prefix: pfx, PeerAddr: f.Addr(i - 1),
+			NextHop: f.Addr(i - 1), Attrs: route.BGPAttrs{LocalPref: 100, ASPath: []uint32{65000}},
+			Time: at(0)}, true
+	case 1:
+		return capture.IO{Router: f.RouterName(i), Type: capture.RIBInstall,
+			Proto: route.ProtoBGP, Prefix: pfx, NextHop: f.Addr(i - 1),
+			Time: at(f.hop() / 4)}, true
+	case 2:
+		if last {
+			return capture.IO{}, false
+		}
+		return capture.IO{Router: f.RouterName(i), Type: capture.SendAdvert,
+			Proto: route.ProtoBGP, Prefix: pfx, PeerAddr: f.Addr(i + 1),
+			NextHop: f.Addr(i), Attrs: route.BGPAttrs{LocalPref: 100, ASPath: []uint32{65000}},
+			Time: at(f.hop() / 2)}, true
+	}
+	return capture.IO{}, false
+}
+
+// Reader returns a streaming per-router log for router i. Lines are
+// rendered on demand; the reader holds only one wave's worth of bytes.
+func (f Fleet) Reader(i int) io.Reader {
+	return &fleetReader{f: f, i: i}
+}
+
+type fleetReader struct {
+	f    Fleet
+	i    int
+	wave int
+	step int
+	buf  []byte
+	off  int
+}
+
+func (r *fleetReader) Read(p []byte) (int, error) {
+	for r.off == len(r.buf) {
+		if r.wave >= r.f.Waves {
+			return 0, io.EOF
+		}
+		io, ok := r.f.eventAt(r.i, r.wave, r.step)
+		if !ok {
+			r.wave++
+			r.step = 0
+			continue
+		}
+		r.step++
+		r.buf = ciscolog.AppendLine(r.buf[:0], io)
+		r.buf = append(r.buf, '\n')
+		r.off = 0
+	}
+	n := copy(p, r.buf[r.off:])
+	r.off += n
+	return n, nil
+}
