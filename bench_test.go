@@ -1079,6 +1079,217 @@ func BenchmarkDeltaVerify(b *testing.B) {
 	}
 }
 
+// BenchmarkSymbolicWalk measures the PR 7 tentpole: verifying one
+// forwarding equivalence class with a single symbolic DAG walk instead of
+// one concrete probe per ECMP path combination. The topology is a
+// three-stage Clos slice (12 routers, 4 per stage, full bipartite between
+// stages, LAG width 4) carrying 100K prefixes in 12 classes; the baseline
+// enumerates every concrete path (8–16 per class here) and aggregates,
+// the symbolic walker explores the shared DAG once. Persisted to
+// BENCH_ecmp.json; the acceptance floor requires >= 2x fewer walks per
+// class than the probe baseline, with the shared exploration no slower.
+func BenchmarkSymbolicWalk(b *testing.B) {
+	const nPrefixes, nGroups, stageWidth, lagWidth = 100_000, 12, 4, 4
+
+	topo := topology.New()
+	stage := func(s, i int) string { return fmt.Sprintf("t%d-%d", s, i) }
+	for s := 0; s < 3; s++ {
+		for i := 0; i < stageWidth; i++ {
+			if _, err := topo.AddRouter(stage(s, i), netip.AddrFrom4([4]byte{2, 0, byte(s), byte(i + 1)})); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Full bipartite links between consecutive stages; downAddr[s][i] holds
+	// the peer addresses router t<s>-<i> forwards to (its stage-s+1 side).
+	downAddr := [2][stageWidth][]netip.Addr{}
+	for s := 0; s < 2; s++ {
+		for i := 0; i < stageWidth; i++ {
+			for j := 0; j < stageWidth; j++ {
+				sub := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(20 + s), byte(i*stageWidth + j), 0}), 30)
+				up := netip.AddrFrom4([4]byte{10, byte(20 + s), byte(i*stageWidth + j), 1})
+				down := netip.AddrFrom4([4]byte{10, byte(20 + s), byte(i*stageWidth + j), 2})
+				if _, err := topo.AddLink(topology.LinkSpec{
+					ARouter: stage(s, i), AIface: "dn" + stage(s+1, j), AAddr: up,
+					BRouter: stage(s+1, j), BIface: "up" + stage(s, i), BAddr: down,
+					Prefix: sub,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				downAddr[s][i] = append(downAddr[s][i], down)
+			}
+		}
+	}
+	// Every egress router owns the whole destination space as a stub LAN,
+	// so the last stage delivers and the class structure lives entirely in
+	// the middle stage's next-hop sets.
+	dstSpace := netip.MustParsePrefix("100.0.0.0/6")
+	for k := 0; k < stageWidth; k++ {
+		if _, err := topo.AddStub(stage(2, k), "lan",
+			netip.AddrFrom4([4]byte{100, 0, 0, byte(k + 1)}), dstSpace); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// FIBs: ingress routers spray every prefix over the full LAG (width 4);
+	// middle routers use a group-specific subset of their egress links,
+	// which is what splits the 100K prefixes into 12 classes. The subsets
+	// are distinct bitmasks (contiguous rotations alone would collapse: all
+	// four width-4 rotations are the same set).
+	masks := [nGroups]uint{
+		0b0011, 0b0101, 0b0110, 0b1001, 0b1010, 0b1100,
+		0b0111, 0b1011, 0b1101, 0b1110, 0b1111, 0b0001,
+	}
+	fibs := map[string]map[netip.Prefix]fib.Entry{}
+	tries := map[string]*trie.Trie[fib.Entry]{}
+	for s := 0; s < 2; s++ {
+		for i := 0; i < stageWidth; i++ {
+			fibs[stage(s, i)] = map[netip.Prefix]fib.Entry{}
+			tries[stage(s, i)] = trie.New[fib.Entry]()
+		}
+	}
+	prefixes := make([]netip.Prefix, 0, nPrefixes)
+	for i := 0; i < nPrefixes; i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(100 + i>>16), byte(i >> 8), byte(i), 0}), 24)
+		prefixes = append(prefixes, p)
+		g := i % nGroups
+		for ri := 0; ri < stageWidth; ri++ {
+			in := route.CanonHops(downAddr[0][ri])
+			eIn := fib.Entry{Prefix: p, NextHop: in[0], NextHops: in}
+			fibs[stage(0, ri)][p] = eIn
+			tries[stage(0, ri)].Insert(p, eIn)
+
+			var mid []netip.Addr
+			for j := 0; j < stageWidth; j++ {
+				if masks[g]&(1<<uint(j)) != 0 {
+					mid = append(mid, downAddr[1][ri][j])
+				}
+			}
+			mid = route.CanonHops(mid)
+			eMid := fib.Entry{Prefix: p, NextHop: mid[0]}
+			if len(mid) > 1 {
+				eMid.NextHops = mid
+			}
+			fibs[stage(1, ri)][p] = eMid
+			tries[stage(1, ri)].Insert(p, eMid)
+		}
+	}
+	view := func(router string, dst netip.Addr) (fib.Entry, bool) {
+		tr := tries[router]
+		if tr == nil {
+			return fib.Entry{}, false
+		}
+		e, _, ok := tr.Lookup(dst)
+		return e, ok
+	}
+	walker := dataplane.NewWalker(topo, view)
+
+	classes := eqclass.Compute(fibs, prefixes)
+	if len(classes) != nGroups {
+		b.Fatalf("classes = %d, want %d", len(classes), nGroups)
+	}
+	reps := eqclass.Representatives(classes)
+
+	// Sanity: the symbolic walk and the aggregated probes must agree on
+	// every (source, class) pair before timing anything — the same
+	// equivalence the scenario oracle pins continuously.
+	const probeLimit = 256
+	probeCount := 0
+	for _, rep := range reps {
+		dst := dataplane.Representative(rep)
+		for i := 0; i < stageWidth; i++ {
+			w := walker.Forward(stage(0, i), dst)
+			probes := walker.ConcretePaths(stage(0, i), dst, probeLimit)
+			probeCount += len(probes)
+			walks := make([]dataplane.Walk, len(probes))
+			for j, pw := range probes {
+				walks[j] = pw.Walk
+			}
+			agg, _ := dataplane.AggregateProbes(walks)
+			if agg != w.Outcome {
+				b.Fatalf("%s->%v: symbolic %s vs probe aggregate %s", stage(0, i), dst, w.Outcome, agg)
+			}
+		}
+	}
+
+	symTick := func() {
+		for _, rep := range reps {
+			dst := dataplane.Representative(rep)
+			for i := 0; i < stageWidth; i++ {
+				_ = walker.Forward(stage(0, i), dst)
+			}
+		}
+	}
+	probeTick := func() {
+		for _, rep := range reps {
+			dst := dataplane.Representative(rep)
+			for i := 0; i < stageWidth; i++ {
+				probes := walker.ConcretePaths(stage(0, i), dst, probeLimit)
+				walks := make([]dataplane.Walk, len(probes))
+				for j, pw := range probes {
+					walks[j] = pw.Walk
+				}
+				_, _ = dataplane.AggregateProbes(walks)
+			}
+		}
+	}
+
+	b.Run("symbolic", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			symTick()
+		}
+	})
+	b.Run("probes", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			probeTick()
+		}
+	})
+
+	measure := func(tick func(), n int) float64 {
+		runtime.GC()
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			tick()
+		}
+		return float64(time.Since(t0).Nanoseconds()) / float64(n)
+	}
+	symNs := measure(symTick, 50)
+	probeNs := measure(probeTick, 50)
+	speedup := probeNs / symNs
+	pairs := len(reps) * stageWidth
+	walksPerClass := float64(probeCount) / float64(pairs)
+	once("symbolicwalk", func() {
+		fmt.Println("\n[tentpole/PR7] per-class symbolic walk vs concrete probe enumeration")
+		fmt.Printf("  12 routers (3-stage Clos, LAG width %d), %d prefixes, %d classes, %d (src,class) pairs\n",
+			lagWidth, nPrefixes, len(classes), pairs)
+		fmt.Printf("  probes:   %11.0f ns/tick  (%.1f concrete walks per class)\n", probeNs, walksPerClass)
+		fmt.Printf("  symbolic: %11.0f ns/tick  (1 DAG walk per class)\n", symNs)
+		fmt.Printf("  speedup %.1fx\n", speedup)
+		artifact, _ := json.MarshalIndent(map[string]interface{}{
+			"benchmark": "BenchmarkSymbolicWalk",
+			"prefixes":  nPrefixes, "routers": 3 * stageWidth, "lag_width": lagWidth,
+			"classes": len(classes), "pairs": pairs,
+			"probe_walks_per_class": walksPerClass, "symbolic_walks_per_class": 1,
+			"probe_ns_per_tick": probeNs, "symbolic_ns_per_tick": symNs,
+			"speedup": speedup,
+		}, "", "  ")
+		if err := os.WriteFile("BENCH_ecmp.json", append(artifact, '\n'), 0o644); err != nil {
+			fmt.Println("  (could not write BENCH_ecmp.json:", err, ")")
+		}
+	})
+	// Acceptance floor: the symbolic walker must cover each class in >= 2x
+	// fewer walks than the per-probe baseline (it uses exactly 1), and the
+	// walk sharing must not cost wall-clock time.
+	if walksPerClass < 2 {
+		b.Errorf("probe baseline enumerates %.1f walks/class vs 1 symbolic, want >= 2x fewer", walksPerClass)
+	}
+	if speedup < 1 {
+		b.Errorf("symbolic tick slower than probe enumeration: %.0fns vs %.0fns", symNs, probeNs)
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Tentpole PR5 — high-throughput HBR inference and zero-alloc ingestion.
 // ---------------------------------------------------------------------------

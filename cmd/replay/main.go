@@ -36,7 +36,9 @@ func main() {
 		dot      = flag.Bool("dot", false, "print the inferred HBG as Graphviz DOT")
 		seed     = flag.Int64("seed", 0, "run the randomized scenario with this seed (nonzero)")
 		shape    = flag.String("shape", "", "override the scenario topology shape (ring|mesh|fattree)")
+		mix      = flag.String("mix", "", "override the scenario protocol mix (ospf+bgp|ospf|rip|eigrp)")
 		rounds   = flag.Int("rounds", 0, "override the scenario churn-round count")
+		bug      = flag.String("bug", "", "inject a known bug (e.g. drop-ecmp-branch) so an oracle must catch it")
 		schedule = flag.String("schedule", "", "replay a scenario failure artifact (JSON) exactly")
 	)
 	flag.Parse()
@@ -48,7 +50,7 @@ func main() {
 		return
 	}
 	if *seed != 0 || *schedule != "" {
-		cfg := scenario.Config{Seed: *seed, Shape: *shape, Rounds: *rounds}
+		cfg := scenario.Config{Seed: *seed, Shape: *shape, Mix: *mix, Rounds: *rounds, Bug: *bug}
 		failed, err := runScenario(cfg, *schedule, os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "replay:", err)

@@ -391,6 +391,29 @@ func (s *Speaker) runDecision(p netip.Prefix, causes []uint64) {
 			best = &cands[i]
 		}
 	}
+	if best != nil && !best.local && best.r.NextHop.IsValid() {
+		// BGP multipath: candidates that tie with best through the IGP
+		// metric step contribute their next hops as an equal-cost set.
+		// Comparing under PreferOldest reports 0 exactly at such ties (the
+		// later steps are pure tie-breakers). NextHop stays the decision
+		// winner's — adverts and PreferOldest semantics are untouched —
+		// while NextHops carries the sorted ECMP set.
+		qTie := s.cfg.Quirks
+		qTie.PreferOldest = true
+		hops := []netip.Addr{best.r.NextHop}
+		for i := range cands {
+			c := &cands[i]
+			if c == best || c.local || !c.r.NextHop.IsValid() {
+				continue
+			}
+			if route.CompareBGP(c.r, best.r, s.env.IGPMetric, qTie) == 0 {
+				hops = append(hops, c.r.NextHop)
+			}
+		}
+		if set := route.CanonHops(hops); len(set) > 1 {
+			best.r.NextHops = set
+		}
+	}
 	cur, had := s.locRIB[p]
 	switch {
 	case best == nil && had:
@@ -406,7 +429,7 @@ func (s *Speaker) runDecision(p netip.Prefix, causes []uint64) {
 		s.locRIB[p] = best.r
 		io := s.rec.Record(capture.IO{
 			Type: capture.RIBInstall, Proto: route.ProtoBGP, Prefix: p,
-			NextHop: best.r.NextHop, Attrs: best.r.Attrs, Causes: causes,
+			NextHop: best.r.NextHop, NextHops: best.r.NextHops, Attrs: best.r.Attrs, Causes: causes,
 		})
 		s.locRIBIO[p] = io.ID
 		s.scheduleFIB(p, []uint64{io.ID})
@@ -431,7 +454,7 @@ func (s *Speaker) anyAddPath() bool {
 
 func routeEqual(a, b route.Route) bool {
 	if a.Prefix != b.Prefix || a.NextHop != b.NextHop || a.PeerType != b.PeerType ||
-		a.LearnedFrom != b.LearnedFrom {
+		a.LearnedFrom != b.LearnedFrom || !a.SameHops(b) {
 		return false
 	}
 	if a.Attrs.EffectiveLocalPref() != b.Attrs.EffectiveLocalPref() ||

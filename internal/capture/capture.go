@@ -96,6 +96,9 @@ type IO struct {
 	// prefix-less events (config changes, link events).
 	Prefix  netip.Prefix
 	NextHop netip.Addr
+	// NextHops carries the full ECMP next-hop set for multipath FIB I/Os
+	// (sorted, NextHops[0] == NextHop); nil for single-path I/Os.
+	NextHops []netip.Addr
 	// Peer names the remote router for send/recv I/Os; PeerAddr is the
 	// session address. For link events Peer names the other end.
 	Peer     string

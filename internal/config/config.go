@@ -169,10 +169,13 @@ type EIGRPConfig struct {
 	Interfaces []string
 }
 
-// StaticRoute is a configured static route.
+// StaticRoute is a configured static route. NextHops optionally lists an
+// equal-cost set of next hops (an ECMP static); when present it supersedes
+// NextHop, which is kept for single-path statics and older configs.
 type StaticRoute struct {
-	Prefix  netip.Prefix
-	NextHop netip.Addr
+	Prefix   netip.Prefix
+	NextHop  netip.Addr
+	NextHops []netip.Addr
 }
 
 // Router is a complete router configuration. Values are plain data so the
@@ -205,6 +208,9 @@ func (r *Router) Clone() *Router {
 	out.RIP.Interfaces = append([]string(nil), r.RIP.Interfaces...)
 	out.EIGRP.Interfaces = append([]string(nil), r.EIGRP.Interfaces...)
 	out.Statics = append([]StaticRoute(nil), r.Statics...)
+	for i := range out.Statics {
+		out.Statics[i].NextHops = append([]netip.Addr(nil), out.Statics[i].NextHops...)
+	}
 	if r.BGP != nil {
 		b := *r.BGP
 		b.Neighbors = append([]Neighbor(nil), r.BGP.Neighbors...)

@@ -4,6 +4,15 @@
 // up), and reports the outcome: delivered, dropped (no route), looped, or
 // stuck (unresolvable next hop).
 //
+// FIB entries may be multipath (ECMP): a walk is therefore *symbolic* — it
+// explores every equal-cost branch at once, turning the walk into a DAG
+// exploration that verifies a whole forwarding equivalence class in one
+// pass (ACORN's route-nondeterminism abstraction). Besides the per-path
+// outcomes above, symbolic walks detect two ECMP-specific conditions:
+// DivergentEgress (every member path delivers, but at different egress
+// routers) and PartialBlackhole (some members deliver while others drop or
+// get stuck — the partial-LAG failure mode).
+//
 // The walker is deliberately decoupled from live fib.Tables: it reads FIBs
 // through a View function, so verifiers can walk a *snapshot* — including
 // an inconsistent one, which is the whole point of the paper's Fig. 1c —
@@ -14,6 +23,7 @@ package dataplane
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"strings"
 
 	"hbverify/internal/fib"
@@ -53,12 +63,21 @@ func SnapshotView(snap map[string]map[netip.Prefix]fib.Entry) View {
 // Outcome classifies a walk.
 type Outcome uint8
 
-// Walk outcomes.
+// Walk outcomes. The first four are per-path outcomes; the last two are
+// aggregates only a symbolic (multi-branch) walk can produce. Aggregation
+// precedence is Looped > PartialBlackhole > Stuck > Dropped >
+// DivergentEgress > Delivered.
 const (
 	Delivered Outcome = iota
 	Dropped           // no matching route
 	Looped            // revisited a router
 	Stuck             // next hop unresolvable to a neighbor
+	// DivergentEgress: every ECMP member path delivers, but the paths exit
+	// at more than one egress router.
+	DivergentEgress
+	// PartialBlackhole: some ECMP member paths deliver while others drop
+	// or get stuck.
+	PartialBlackhole
 )
 
 func (o Outcome) String() string {
@@ -69,23 +88,47 @@ func (o Outcome) String() string {
 		return "dropped"
 	case Looped:
 		return "looped"
+	case DivergentEgress:
+		return "divergent-egress"
+	case PartialBlackhole:
+		return "partial-blackhole"
 	default:
 		return "stuck"
 	}
 }
 
-// Walk is the result of forwarding one packet.
+// Walk is the result of forwarding one packet — concretely along a single
+// path, or symbolically over every ECMP branch at once.
 type Walk struct {
 	Dst     netip.Addr
 	Outcome Outcome
-	// Path lists the routers traversed, in order, starting at the source.
+	// Path lists the routers explored, in DFS pre-order starting at the
+	// source. For concrete (branch-free) walks this is the hop sequence;
+	// for symbolic walks it covers every router in the explored DAG — the
+	// exact set whose FIB/link state the outcome depends on, which is what
+	// walk caches key invalidation on.
 	Path []string
-	// Egress is the last router, set for Delivered walks.
+	// Egress is the egress router, set when every path delivers at a
+	// single egress (Outcome == Delivered).
 	Egress string
+	// Egresses lists the distinct delivered egress routers (sorted), set
+	// for symbolic walks that branched.
+	Egresses []string
+	// Edges lists the explored forwarding DAG's edges in discovery order,
+	// set for symbolic walks that branched. Waypoint evaluation uses it to
+	// check that *every* member path traverses the waypoint.
+	Edges [][2]string
+	// Branches counts the routers whose next-hop set fanned out during the
+	// exploration; 0 means the walk was a single concrete path.
+	Branches int
 }
 
 func (w Walk) String() string {
-	return fmt.Sprintf("%s: %s [%s]", w.Dst, w.Outcome, strings.Join(w.Path, " -> "))
+	s := fmt.Sprintf("%s: %s [%s]", w.Dst, w.Outcome, strings.Join(w.Path, " -> "))
+	if len(w.Egresses) > 1 {
+		s += " egresses=" + strings.Join(w.Egresses, ",")
+	}
+	return s
 }
 
 // Traverses reports whether the walk visited router. Path always includes
@@ -101,12 +144,219 @@ func (w Walk) Traverses(router string) bool {
 	return false
 }
 
+// Expansion describes one router's forwarding behaviour for a destination:
+// the terminal branches that end at this router, plus the distinct set of
+// adjacent routers its ECMP members forward to.
+type Expansion struct {
+	// Delivered is set when the packet terminates here: the destination is
+	// local, the matching entry is directly attached, or a member next hop
+	// resolves back to this router.
+	Delivered bool
+	// Dropped is set when no route matches (exclusive of all other fields).
+	Dropped bool
+	// Stuck is set when some member next hop fails to resolve to any
+	// adjacent router.
+	Stuck bool
+	// Nexts lists the distinct adjacent routers the remaining members
+	// forward to, sorted.
+	Nexts []string
+}
+
+// terminal reports whether the expansion has no onward branches.
+func (e Expansion) terminal() bool { return len(e.Nexts) == 0 }
+
+// branchOption is one concrete choice at a router: either a terminal
+// outcome or a forward to one next router. Options are ordered
+// deterministically (terminals first, then sorted nexts) so a choice index
+// sequence identifies one concrete path through the DAG.
+type branchOption struct {
+	terminal bool
+	outcome  Outcome // valid when terminal
+	next     string  // valid when !terminal
+}
+
+// options expands the Expansion into its ordered concrete branches.
+func (e Expansion) options() []branchOption {
+	out := make([]branchOption, 0, len(e.Nexts)+2)
+	if e.Dropped {
+		out = append(out, branchOption{terminal: true, outcome: Dropped})
+	}
+	if e.Delivered {
+		out = append(out, branchOption{terminal: true, outcome: Delivered})
+	}
+	if e.Stuck {
+		out = append(out, branchOption{terminal: true, outcome: Stuck})
+	}
+	for _, nx := range e.Nexts {
+		out = append(out, branchOption{next: nx})
+	}
+	return out
+}
+
+// ExpandFunc supplies a router's expansion for the walk's destination.
+type ExpandFunc func(router string) Expansion
+
+// SymbolicWalk drives the shared DFS over per-router expansions: it
+// explores every branch once (routers already explored are not re-expanded
+// — the DAG property that makes a symbolic walk linear in routers rather
+// than exponential in paths), detects cycles via back edges, and folds the
+// terminal outcomes into the aggregate taxonomy. Both the central walker
+// and the distributed set-walk finalization call this, so their results
+// are byte-identical by construction.
+func SymbolicWalk(src string, dst netip.Addr, maxHops int, expand ExpandFunc) Walk {
+	if maxHops <= 0 {
+		maxHops = 64
+	}
+	w := Walk{Dst: dst}
+	var (
+		anyDelivered, anyDropped, anyStuck bool
+		loopFound                          bool
+		loopClose                          string
+		egress                             = map[string]bool{}
+		visited                            = map[string]bool{}
+		onPath                             = map[string]bool{}
+	)
+	var dfs func(r string, depth int)
+	dfs = func(r string, depth int) {
+		visited[r], onPath[r] = true, true
+		w.Path = append(w.Path, r)
+		ex := expand(r)
+		if ex.Delivered {
+			anyDelivered = true
+			egress[r] = true
+		}
+		if ex.Dropped {
+			anyDropped = true
+		}
+		if ex.Stuck {
+			anyStuck = true
+		}
+		// A branch point is any router with more than one concrete option —
+		// multiple next hops, or a terminal flag alongside a forward.
+		opts := len(ex.Nexts)
+		for _, f := range [...]bool{ex.Delivered, ex.Dropped, ex.Stuck} {
+			if f {
+				opts++
+			}
+		}
+		if opts > 1 {
+			w.Branches++
+		}
+		for _, nx := range ex.Nexts {
+			w.Edges = append(w.Edges, [2]string{r, nx})
+			switch {
+			case onPath[nx]:
+				// Back edge: a concrete member path revisits nx.
+				if !loopFound {
+					loopFound, loopClose = true, nx
+				}
+			case visited[nx]:
+				// Cross edge into an already-explored subgraph: no new
+				// work, and (DFS back-edge theorem) no new cycle.
+			case depth >= maxHops:
+				// Hop budget exhausted: treat as a forwarding loop, as the
+				// concrete walker always has.
+				loopFound = true
+			default:
+				dfs(nx, depth+1)
+			}
+		}
+		onPath[r] = false
+	}
+	dfs(src, 1)
+
+	switch {
+	case loopFound:
+		w.Outcome = Looped
+		if loopClose != "" {
+			w.Path = append(w.Path, loopClose)
+		}
+	case anyDelivered && (anyDropped || anyStuck):
+		w.Outcome = PartialBlackhole
+	case anyStuck:
+		w.Outcome = Stuck
+	case anyDropped:
+		w.Outcome = Dropped
+	case len(egress) > 1:
+		w.Outcome = DivergentEgress
+	case len(egress) == 1:
+		w.Outcome = Delivered
+		for r := range egress {
+			w.Egress = r
+		}
+	default:
+		// Unreachable: every DFS leaf is terminal or closes a cycle.
+		w.Outcome = Stuck
+	}
+	if w.Branches > 0 {
+		w.Egresses = make([]string, 0, len(egress))
+		for r := range egress {
+			w.Egresses = append(w.Egresses, r)
+		}
+		sort.Strings(w.Egresses)
+	} else {
+		// Concrete path: keep the legacy single-path representation
+		// (Egresses/Edges nil) so unbranched walks are byte-identical to
+		// the pre-ECMP walker's.
+		w.Edges = nil
+	}
+	return w
+}
+
+// AggregateProbes folds per-path probe outcomes into the symbolic
+// taxonomy: the outcome a symbolic walk must report if those are exactly
+// its concrete member paths. The symbolic-vs-probe differential oracle
+// pins SymbolicWalk against this independent aggregation.
+func AggregateProbes(walks []Walk) (Outcome, []string) {
+	var (
+		anyDelivered, anyDropped, anyStuck, anyLoop bool
+		egress                                      = map[string]bool{}
+	)
+	for _, w := range walks {
+		switch w.Outcome {
+		case Delivered:
+			anyDelivered = true
+			egress[w.Egress] = true
+		case Dropped:
+			anyDropped = true
+		case Stuck:
+			anyStuck = true
+		case Looped:
+			anyLoop = true
+		}
+	}
+	egresses := make([]string, 0, len(egress))
+	for r := range egress {
+		egresses = append(egresses, r)
+	}
+	sort.Strings(egresses)
+	switch {
+	case anyLoop:
+		return Looped, egresses
+	case anyDelivered && (anyDropped || anyStuck):
+		return PartialBlackhole, egresses
+	case anyStuck:
+		return Stuck, egresses
+	case anyDropped:
+		return Dropped, egresses
+	case len(egresses) > 1:
+		return DivergentEgress, egresses
+	default:
+		return Delivered, egresses
+	}
+}
+
 // Walker forwards packets over a topology using a FIB view.
 type Walker struct {
 	Topo *topology.Topology
 	View View
 	// MaxHops bounds walks; defaults to 64.
 	MaxHops int
+	// BugDropEcmpBranch is an injectable fault for the symbolic-vs-probe
+	// differential oracle: when set, symbolic exploration silently ignores
+	// the last member of every multi-way branch. Concrete probes are
+	// unaffected, so the oracle must catch the divergence.
+	BugDropEcmpBranch bool
 }
 
 // NewWalker builds a walker over the live tables of a topology.
@@ -114,14 +364,16 @@ func NewWalker(topo *topology.Topology, view View) *Walker {
 	return &Walker{Topo: topo, View: view, MaxHops: 64}
 }
 
-// resolve maps a next-hop address to the adjacent router to hand the packet
-// to, performing one level of recursive lookup when the next hop is not on
-// a connected subnet (the standard recursive-route resolution BGP relies
-// on).
-func (w *Walker) resolve(router string, nh netip.Addr, depth int) (string, bool) {
+// resolveSet maps a next-hop address to the set of adjacent routers the
+// packet may be handed to, performing recursive lookup when the next hop
+// is not on a connected subnet (the standard recursive-route resolution
+// BGP relies on). A recursive lookup through a multipath entry fans out to
+// every member. The set is appended to out (deduplicated by the caller);
+// stuck reports whether some resolution chain dead-ended.
+func (w *Walker) resolveSet(router string, nh netip.Addr, depth int, out []string) (res []string, stuck bool) {
 	r := w.Topo.Router(router)
 	if r == nil {
-		return "", false
+		return out, true
 	}
 	// Directly connected?
 	for _, i := range r.Interfaces() {
@@ -130,42 +382,135 @@ func (w *Walker) resolve(router string, nh netip.Addr, depth int) (string, bool)
 		}
 		if i.Prefix.Contains(nh) && i.Addr != nh {
 			if peer := i.Peer(); peer != nil && peer.Addr == nh {
-				return peer.Router, true
+				return append(out, peer.Router), false
 			}
 			// Next hop inside a stub subnet: local delivery domain.
 			if i.Peer() == nil {
-				return router, true
+				return append(out, router), false
 			}
 		}
 	}
 	// The next hop might be this router's own address (self-pointing).
 	if owner := w.Topo.OwnerOf(nh); owner == router {
-		return router, true
+		return append(out, router), false
 	}
 	if depth <= 0 {
-		return "", false
+		return out, true
 	}
 	// Recursive resolution: look the next hop itself up in the FIB.
 	e, ok := w.View(router, nh)
 	if !ok {
-		return "", false
+		return out, true
 	}
-	if !e.NextHop.IsValid() {
+	if e.HopCount() == 0 {
 		// Resolved via a connected route: the owner of nh is adjacent.
 		owner := w.Topo.OwnerOf(nh)
 		if owner == "" {
-			return "", false
+			return out, true
 		}
-		return owner, true
+		return append(out, owner), false
 	}
-	if e.NextHop == nh {
-		return "", false
+	for i := 0; i < e.HopCount(); i++ {
+		h := e.Hop(i)
+		if h == nh {
+			stuck = true
+			continue
+		}
+		var s bool
+		out, s = w.resolveSet(router, h, depth-1, out)
+		stuck = stuck || s
 	}
-	return w.resolve(router, e.NextHop, depth-1)
+	return out, stuck
 }
 
-// Forward walks a packet for dst starting at source router src.
+// Expand computes router's forwarding expansion for dst: local-delivery
+// and no-route checks first, then every ECMP member resolved to its
+// adjacent router. Nexts is sorted and deduplicated; a member resolving to
+// the router itself records local delivery, and one that fails to resolve
+// records a stuck branch.
+func (w *Walker) Expand(router string, dst netip.Addr) Expansion {
+	r := w.Topo.Router(router)
+	if r == nil {
+		return Expansion{Stuck: true}
+	}
+	// Local delivery: dst is on a connected subnet of this router.
+	for _, i := range r.Interfaces() {
+		if i.Link != nil && !i.Link.Up() {
+			continue
+		}
+		if i.Prefix.Contains(dst) {
+			// Point-to-point link toward another router: only a real
+			// delivery if the address is an interface address; otherwise
+			// fall through to FIB lookup.
+			if i.Peer() == nil || i.Addr == dst || i.Peer().Addr == dst {
+				return Expansion{Delivered: true}
+			}
+		}
+	}
+	if r.Loopback == dst {
+		return Expansion{Delivered: true}
+	}
+	e, ok := w.View(router, dst)
+	if !ok {
+		return Expansion{Dropped: true}
+	}
+	if e.HopCount() == 0 {
+		// Connected/attached route: delivered out of this router.
+		return Expansion{Delivered: true}
+	}
+	var ex Expansion
+	var scratch []string
+	for i := 0; i < e.HopCount(); i++ {
+		res, stuck := w.resolveSet(router, e.Hop(i), 4, scratch[:0])
+		if stuck {
+			ex.Stuck = true
+		}
+		for _, nx := range res {
+			if nx == router {
+				ex.Delivered = true
+				continue
+			}
+			ex.Nexts = append(ex.Nexts, nx)
+		}
+		scratch = res
+	}
+	if len(ex.Nexts) > 1 {
+		sort.Strings(ex.Nexts)
+		w2 := 1
+		for i := 1; i < len(ex.Nexts); i++ {
+			if ex.Nexts[i] != ex.Nexts[w2-1] {
+				ex.Nexts[w2] = ex.Nexts[i]
+				w2++
+			}
+		}
+		ex.Nexts = ex.Nexts[:w2]
+	}
+	if len(ex.Nexts) == 0 && !ex.Delivered && !ex.Dropped && !ex.Stuck {
+		// Every member vanished (cannot normally happen): stuck.
+		ex.Stuck = true
+	}
+	return ex
+}
+
+// Forward walks a packet for dst starting at source router src. FIBs with
+// multipath entries make this a symbolic walk over every ECMP branch;
+// single-path FIBs degrade to exactly the classic hop-by-hop walk.
 func (w *Walker) Forward(src string, dst netip.Addr) Walk {
+	return SymbolicWalk(src, dst, w.MaxHops, func(r string) Expansion {
+		ex := w.Expand(r, dst)
+		if w.BugDropEcmpBranch && len(ex.Nexts) > 1 {
+			ex.Nexts = ex.Nexts[:len(ex.Nexts)-1]
+		}
+		return ex
+	})
+}
+
+// ForwardChoices walks one *concrete* path: at every router whose
+// expansion offers more than one branch, the next entry of choices picks
+// the branch (out-of-range indexes clamp; exhausted choices pick the first
+// branch). This is the single-next-hop probe walker the symbolic-vs-probe
+// oracle replays enumerated member paths through.
+func (w *Walker) ForwardChoices(src string, dst netip.Addr, choices []int) Walk {
 	maxHops := w.MaxHops
 	if maxHops <= 0 {
 		maxHops = 64
@@ -173,64 +518,119 @@ func (w *Walker) Forward(src string, dst netip.Addr) Walk {
 	walk := Walk{Dst: dst, Path: []string{src}}
 	visited := map[string]bool{src: true}
 	cur := src
+	ci := 0
 	for hop := 0; hop < maxHops; hop++ {
-		r := w.Topo.Router(cur)
-		if r == nil {
+		opts := w.Expand(cur, dst).options()
+		if len(opts) == 0 {
 			walk.Outcome = Stuck
 			return walk
 		}
-		// Local delivery: dst is on a connected subnet of cur.
-		delivered := false
-		for _, i := range r.Interfaces() {
-			if i.Link != nil && !i.Link.Up() {
-				continue
+		pick := 0
+		if len(opts) > 1 {
+			if ci < len(choices) {
+				pick = choices[ci]
 			}
-			if i.Prefix.Contains(dst) {
-				// Point-to-point link toward another router: only a real
-				// delivery if the address is an interface address;
-				// otherwise fall through to FIB lookup.
-				if i.Peer() == nil || i.Addr == dst || i.Peer().Addr == dst {
-					delivered = true
-				}
+			ci++
+			if pick < 0 {
+				pick = 0
+			}
+			if pick >= len(opts) {
+				pick = len(opts) - 1
 			}
 		}
-		if delivered || r.Loopback == dst {
-			walk.Outcome = Delivered
-			walk.Egress = cur
+		o := opts[pick]
+		if o.terminal {
+			walk.Outcome = o.outcome
+			if o.outcome == Delivered {
+				walk.Egress = cur
+			}
 			return walk
 		}
-		e, ok := w.View(cur, dst)
-		if !ok {
-			walk.Outcome = Dropped
-			return walk
-		}
-		if !e.NextHop.IsValid() {
-			// Connected/attached route: delivered out of this router.
-			walk.Outcome = Delivered
-			walk.Egress = cur
-			return walk
-		}
-		next, ok := w.resolve(cur, e.NextHop, 4)
-		if !ok {
-			walk.Outcome = Stuck
-			return walk
-		}
-		if next == cur {
-			walk.Outcome = Delivered
-			walk.Egress = cur
-			return walk
-		}
-		if visited[next] {
-			walk.Path = append(walk.Path, next)
+		if visited[o.next] {
+			walk.Path = append(walk.Path, o.next)
 			walk.Outcome = Looped
 			return walk
 		}
-		visited[next] = true
-		walk.Path = append(walk.Path, next)
-		cur = next
+		visited[o.next] = true
+		walk.Path = append(walk.Path, o.next)
+		cur = o.next
 	}
 	walk.Outcome = Looped // exceeded hop budget: treat as a forwarding loop
 	return walk
+}
+
+// ProbeWalk couples one enumerated concrete path with the branch choices
+// that select it, so a probe walker can re-execute exactly that path.
+type ProbeWalk struct {
+	Walk    Walk
+	Choices []int
+}
+
+// ConcretePaths enumerates every concrete single-next-hop path through the
+// symbolic walk's DAG (per-path loop detection, same hop budget), up to
+// limit paths (0 = no limit). The enumeration is independent of
+// SymbolicWalk's traversal — it branches per path rather than exploring
+// the DAG once — which is what makes the symbolic-vs-probe comparison a
+// real differential.
+func (w *Walker) ConcretePaths(src string, dst netip.Addr, limit int) []ProbeWalk {
+	maxHops := w.MaxHops
+	if maxHops <= 0 {
+		maxHops = 64
+	}
+	var out []ProbeWalk
+	full := func() bool { return limit > 0 && len(out) >= limit }
+	emit := func(path []string, choices []int, outcome Outcome, egress string) {
+		if full() {
+			return
+		}
+		out = append(out, ProbeWalk{
+			Walk: Walk{
+				Dst: dst, Outcome: outcome, Egress: egress,
+				Path: append([]string(nil), path...),
+			},
+			Choices: append([]int(nil), choices...),
+		})
+	}
+	var rec func(cur string, path []string, visited map[string]bool, choices []int)
+	rec = func(cur string, path []string, visited map[string]bool, choices []int) {
+		if full() {
+			return
+		}
+		if len(path) > maxHops {
+			emit(path, choices, Looped, "")
+			return
+		}
+		opts := w.Expand(cur, dst).options()
+		if len(opts) == 0 {
+			emit(path, choices, Stuck, "")
+			return
+		}
+		for i, o := range opts {
+			c := choices
+			if len(opts) > 1 {
+				c = append(choices, i)
+			}
+			switch {
+			case o.terminal:
+				eg := ""
+				if o.outcome == Delivered {
+					eg = cur
+				}
+				emit(path, c, o.outcome, eg)
+			case visited[o.next]:
+				emit(append(path, o.next), c, Looped, "")
+			default:
+				visited[o.next] = true
+				rec(o.next, append(path, o.next), visited, c)
+				delete(visited, o.next)
+			}
+			if full() {
+				return
+			}
+		}
+	}
+	rec(src, []string{src}, map[string]bool{src: true}, nil)
+	return out
 }
 
 // ForwardPrefix walks a representative address (the first usable host) of a

@@ -2,10 +2,12 @@ package dataplane
 
 import (
 	"net/netip"
+	"reflect"
 	"testing"
 
 	"hbverify/internal/fib"
 	"hbverify/internal/network"
+	"hbverify/internal/topology"
 )
 
 func addr(s string) netip.Addr  { return netip.MustParseAddr(s) }
@@ -160,9 +162,216 @@ func TestWalkString(t *testing.T) {
 func TestOutcomeStrings(t *testing.T) {
 	for o, want := range map[Outcome]string{
 		Delivered: "delivered", Dropped: "dropped", Looped: "looped", Stuck: "stuck",
+		DivergentEgress: "divergent-egress", PartialBlackhole: "partial-blackhole",
 	} {
 		if o.String() != want {
 			t.Fatalf("%d = %q", o, o.String())
 		}
+	}
+}
+
+// expandMap adapts a hand-built expansion table to an ExpandFunc; routers
+// absent from the map drop (no route).
+func expandMap(m map[string]Expansion) ExpandFunc {
+	return func(r string) Expansion {
+		if ex, ok := m[r]; ok {
+			return ex
+		}
+		return Expansion{Dropped: true}
+	}
+}
+
+// TestSymbolicWalkTaxonomy drives the shared DFS engine over hand-built
+// expansions and pins the aggregate outcome for every branch combination
+// the ECMP taxonomy distinguishes.
+func TestSymbolicWalkTaxonomy(t *testing.T) {
+	dst := addr("10.0.0.1")
+	cases := []struct {
+		name     string
+		exps     map[string]Expansion
+		outcome  Outcome
+		egresses []string
+		branches int
+	}{
+		{
+			name: "divergent-egress",
+			exps: map[string]Expansion{
+				"s": {Nexts: []string{"a", "b"}},
+				"a": {Delivered: true}, "b": {Delivered: true},
+			},
+			outcome: DivergentEgress, egresses: []string{"a", "b"}, branches: 1,
+		},
+		{
+			name: "partial-blackhole-drop",
+			exps: map[string]Expansion{
+				"s": {Nexts: []string{"a", "b"}},
+				"a": {Delivered: true},
+			},
+			outcome: PartialBlackhole, egresses: []string{"a"}, branches: 1,
+		},
+		{
+			name: "partial-blackhole-stuck",
+			exps: map[string]Expansion{
+				"s": {Nexts: []string{"a", "b"}},
+				"a": {Delivered: true}, "b": {Stuck: true},
+			},
+			outcome: PartialBlackhole, egresses: []string{"a"}, branches: 1,
+		},
+		{
+			name: "loop-wins-over-delivery",
+			exps: map[string]Expansion{
+				"s": {Nexts: []string{"a", "b"}},
+				"a": {Delivered: true}, "b": {Nexts: []string{"s"}},
+			},
+			outcome: Looped, egresses: []string{"a"}, branches: 1,
+		},
+		{
+			name: "all-branches-stuck",
+			exps: map[string]Expansion{
+				"s": {Nexts: []string{"a", "b"}},
+				"a": {Stuck: true}, "b": {Stuck: true},
+			},
+			outcome: Stuck, egresses: []string{}, branches: 1,
+		},
+		{
+			name: "converged-single-egress",
+			exps: map[string]Expansion{
+				"s": {Nexts: []string{"a", "b"}},
+				"a": {Nexts: []string{"c"}}, "b": {Nexts: []string{"c"}},
+				"c": {Delivered: true},
+			},
+			outcome: Delivered, egresses: []string{"c"}, branches: 1,
+		},
+		{
+			name: "terminal-flag-beside-forward-is-a-branch",
+			exps: map[string]Expansion{
+				"s": {Delivered: true, Nexts: []string{"a"}},
+				"a": {Delivered: true},
+			},
+			outcome: DivergentEgress, egresses: []string{"a", "s"}, branches: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := SymbolicWalk("s", dst, 16, expandMap(tc.exps))
+			if w.Outcome != tc.outcome {
+				t.Fatalf("outcome = %v, want %v (walk %+v)", w.Outcome, tc.outcome, w)
+			}
+			if w.Branches != tc.branches {
+				t.Fatalf("branches = %d, want %d", w.Branches, tc.branches)
+			}
+			if !reflect.DeepEqual(w.Egresses, tc.egresses) {
+				t.Fatalf("egresses = %v, want %v", w.Egresses, tc.egresses)
+			}
+		})
+	}
+}
+
+// TestSymbolicWalkUnbranchedLegacyShape pins the pre-ECMP representation
+// for single-path walks: no Branches, nil Edges/Egresses, Path as the hop
+// sequence — the byte-compat contract the dist transport and walk caches
+// rely on.
+func TestSymbolicWalkUnbranchedLegacyShape(t *testing.T) {
+	w := SymbolicWalk("s", addr("10.0.0.1"), 16, expandMap(map[string]Expansion{
+		"s": {Nexts: []string{"a"}},
+		"a": {Nexts: []string{"b"}},
+		"b": {Delivered: true},
+	}))
+	if w.Outcome != Delivered || w.Egress != "b" || w.Branches != 0 {
+		t.Fatalf("walk = %+v", w)
+	}
+	if w.Edges != nil || w.Egresses != nil {
+		t.Fatalf("unbranched walk leaked DAG fields: %+v", w)
+	}
+	if !reflect.DeepEqual(w.Path, []string{"s", "a", "b"}) {
+		t.Fatalf("path = %v", w.Path)
+	}
+}
+
+// diamondWalker builds a live four-router diamond (s fans out to a and b,
+// both converge on d, which owns the destination as a stub LAN) with a
+// multipath FIB entry at s, returning the walker.
+func diamondWalker(t *testing.T) *Walker {
+	t.Helper()
+	p := pfx("55.0.0.0/24")
+	topo := topology.New()
+	for i, r := range []string{"s", "a", "b", "d"} {
+		if _, err := topo.AddRouter(r, netip.AddrFrom4([4]byte{9, 9, 9, byte(i + 1)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	links := []struct {
+		a, b   string
+		subnet string
+	}{
+		{"s", "a", "10.0.1.0/30"}, {"s", "b", "10.0.2.0/30"},
+		{"a", "d", "10.0.3.0/30"}, {"b", "d", "10.0.4.0/30"},
+	}
+	for _, l := range links {
+		sub := pfx(l.subnet)
+		a4 := sub.Addr().As4()
+		if _, err := topo.AddLink(topology.LinkSpec{
+			ARouter: l.a, AIface: "to-" + l.b, AAddr: netip.AddrFrom4([4]byte{a4[0], a4[1], a4[2], 1}),
+			BRouter: l.b, BIface: "to-" + l.a, BAddr: netip.AddrFrom4([4]byte{a4[0], a4[1], a4[2], 2}),
+			Prefix: sub,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := topo.AddStub("d", "lan", addr("55.0.0.254"), p); err != nil {
+		t.Fatal(err)
+	}
+	snap := map[string]map[netip.Prefix]fib.Entry{
+		"s": {p: {Prefix: p, NextHop: addr("10.0.1.2"),
+			NextHops: []netip.Addr{addr("10.0.1.2"), addr("10.0.2.2")}}},
+		"a": {p: {Prefix: p, NextHop: addr("10.0.3.2")}},
+		"b": {p: {Prefix: p, NextHop: addr("10.0.4.2")}},
+	}
+	return NewWalker(topo, SnapshotView(snap))
+}
+
+// TestConcretePathsMatchSymbolic checks the differential the oracle relies
+// on, at unit scale: enumerating every concrete path through the diamond
+// and aggregating reproduces the symbolic walk's outcome, and each
+// enumerated choice vector replays to the identical concrete walk.
+func TestConcretePathsMatchSymbolic(t *testing.T) {
+	w := diamondWalker(t)
+	dst := addr("55.0.0.1")
+	sym := w.Forward("s", dst)
+	if sym.Outcome != Delivered || sym.Egress != "d" || sym.Branches != 1 {
+		t.Fatalf("symbolic walk = %+v", sym)
+	}
+	probes := w.ConcretePaths("s", dst, 0)
+	if len(probes) != 2 {
+		t.Fatalf("paths = %d, want 2 (one per ECMP member)", len(probes))
+	}
+	walks := make([]Walk, len(probes))
+	for i, pw := range probes {
+		walks[i] = pw.Walk
+		replayed := w.ForwardChoices("s", dst, pw.Choices)
+		if !reflect.DeepEqual(replayed.Path, pw.Walk.Path) || replayed.Outcome != pw.Walk.Outcome {
+			t.Fatalf("choices %v replay to %+v, enumerated %+v", pw.Choices, replayed, pw.Walk)
+		}
+	}
+	agg, egresses := AggregateProbes(walks)
+	if agg != sym.Outcome || !reflect.DeepEqual(egresses, sym.Egresses) {
+		t.Fatalf("aggregate = %v %v, symbolic = %v %v", agg, egresses, sym.Outcome, sym.Egresses)
+	}
+}
+
+// TestBugDropEcmpBranchVisible proves the injectable fault is observable
+// exactly the way the symbolic-vs-probe oracle detects it: the bugged
+// symbolic walk claims an unbranched path while probe enumeration (which
+// the bug must not touch) still finds both members.
+func TestBugDropEcmpBranchVisible(t *testing.T) {
+	w := diamondWalker(t)
+	dst := addr("55.0.0.1")
+	w.BugDropEcmpBranch = true
+	sym := w.Forward("s", dst)
+	if sym.Branches != 0 {
+		t.Fatalf("bugged walk still branches: %+v", sym)
+	}
+	if probes := w.ConcretePaths("s", dst, 0); len(probes) != 2 {
+		t.Fatalf("probes = %d, want 2 (bug must not affect enumeration)", len(probes))
 	}
 }

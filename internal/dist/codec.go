@@ -114,7 +114,36 @@ func appendWalk(b []byte, w *WalkMsg) []byte {
 	b = append(b, byte(w.Outcome))
 	b = appendBool(b, w.Done)
 	b = appendString(b, w.Egress)
-	return appendString(b, w.Err)
+	b = appendString(b, w.Err)
+	// Symbolic set-walk state (frontier, expansions, DAG result).
+	b = appendUvarint(b, uint64(len(w.Frontier)))
+	for _, f := range w.Frontier {
+		b = appendString(b, f.Router)
+		b = appendUvarint(b, uint64(f.Depth))
+	}
+	b = appendUvarint(b, uint64(len(w.Exps)))
+	for _, e := range w.Exps {
+		b = appendString(b, e.Router)
+		var flags byte
+		if e.Delivered {
+			flags |= 1
+		}
+		if e.Dropped {
+			flags |= 2
+		}
+		if e.Stuck {
+			flags |= 4
+		}
+		b = append(b, flags)
+		b = appendStrings(b, e.Nexts)
+	}
+	b = appendStrings(b, w.Egresses)
+	b = appendUvarint(b, uint64(len(w.Edges)))
+	for _, e := range w.Edges {
+		b = appendString(b, e[0])
+		b = appendString(b, e[1])
+	}
+	return appendUvarint(b, uint64(w.Branches))
 }
 
 // appendWalkBatch encodes a full walk-batch (or result-batch) frame body.
@@ -133,7 +162,13 @@ func appendEntry(b []byte, e fib.Entry) []byte {
 	b = appendAddr(b, e.NextHop)
 	b = appendString(b, e.OutIface)
 	b = append(b, byte(e.Proto), e.AD)
-	return appendUvarint(b, uint64(e.Metric))
+	b = appendUvarint(b, uint64(e.Metric))
+	// ECMP next-hop set; 0 marks a single-path entry.
+	b = appendUvarint(b, uint64(len(e.NextHops)))
+	for _, h := range e.NextHops {
+		b = appendAddr(b, h)
+	}
+	return b
 }
 
 func appendIface(b []byte, i IfaceInfo) []byte {
@@ -385,6 +420,32 @@ func (r *wireReader) walk() WalkMsg {
 	w.Done = r.bool()
 	w.Egress = r.string()
 	w.Err = r.string()
+	if n := r.count("frontier"); n > 0 {
+		w.Frontier = make([]FrontierHop, 0, n)
+		for i := 0; i < n; i++ {
+			w.Frontier = append(w.Frontier, FrontierHop{Router: r.string(), Depth: int(r.uvarint())})
+		}
+	}
+	if n := r.count("exps"); n > 0 {
+		w.Exps = make([]ExpMsg, 0, n)
+		for i := 0; i < n; i++ {
+			e := ExpMsg{Router: r.string()}
+			flags := r.byte()
+			e.Delivered = flags&1 != 0
+			e.Dropped = flags&2 != 0
+			e.Stuck = flags&4 != 0
+			e.Nexts = r.strings()
+			w.Exps = append(w.Exps, e)
+		}
+	}
+	w.Egresses = r.strings()
+	if n := r.count("edges"); n > 0 {
+		w.Edges = make([][2]string, 0, n)
+		for i := 0; i < n; i++ {
+			w.Edges = append(w.Edges, [2]string{r.string(), r.string()})
+		}
+	}
+	w.Branches = int(r.uvarint())
 	return w
 }
 
@@ -406,6 +467,12 @@ func (r *wireReader) entry() fib.Entry {
 	e.Proto = route.Protocol(r.byte())
 	e.AD = r.byte()
 	e.Metric = uint32(r.uvarint())
+	if n := r.count("nexthops"); n > 0 {
+		e.NextHops = make([]netip.Addr, 0, n)
+		for i := 0; i < n; i++ {
+			e.NextHops = append(e.NextHops, r.addr())
+		}
+	}
 	return e
 }
 

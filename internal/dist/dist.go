@@ -209,21 +209,175 @@ func (v *LocalView) resolve(nh netip.Addr, visited map[netip.Addr]bool) (string,
 	return v.resolve(e.NextHop, visited)
 }
 
-// WalkMsg is a verification walk in flight between nodes.
+// Expand computes this router's forwarding expansion for dst using only
+// node-local knowledge — the set-aware analogue of Step, mirroring the
+// central dataplane.Walker.Expand so a distributed set-walk replays to the
+// same result.
+func (v *LocalView) Expand(dst netip.Addr) dataplane.Expansion {
+	for _, i := range v.Ifaces {
+		if !i.Up {
+			continue
+		}
+		if i.Prefix.Contains(dst) {
+			if i.Stub || i.Addr == dst || i.PeerAddr == dst {
+				return dataplane.Expansion{Delivered: true}
+			}
+		}
+	}
+	if dst == v.Loopback {
+		return dataplane.Expansion{Delivered: true}
+	}
+	e, ok := v.lpm(dst)
+	if !ok {
+		return dataplane.Expansion{Dropped: true}
+	}
+	if e.HopCount() == 0 {
+		return dataplane.Expansion{Delivered: true}
+	}
+	var ex dataplane.Expansion
+	for i := 0; i < e.HopCount(); i++ {
+		res, stuck := v.resolveSet(e.Hop(i), 4, nil)
+		if stuck {
+			ex.Stuck = true
+		}
+		for _, nx := range res {
+			if nx == v.Router {
+				ex.Delivered = true
+				continue
+			}
+			ex.Nexts = append(ex.Nexts, nx)
+		}
+	}
+	if len(ex.Nexts) > 1 {
+		sort.Strings(ex.Nexts)
+		w := 1
+		for i := 1; i < len(ex.Nexts); i++ {
+			if ex.Nexts[i] != ex.Nexts[w-1] {
+				ex.Nexts[w] = ex.Nexts[i]
+				w++
+			}
+		}
+		ex.Nexts = ex.Nexts[:w]
+	}
+	if len(ex.Nexts) == 0 && !ex.Delivered && !ex.Dropped && !ex.Stuck {
+		ex.Stuck = true
+	}
+	return ex
+}
+
+// resolveSet resolves nh to the set of adjacent routers it may hand the
+// packet to, fanning out through multipath entries during recursive
+// resolution. It mirrors the central walker's resolveSet; stuck reports a
+// resolution chain that dead-ended.
+func (v *LocalView) resolveSet(nh netip.Addr, depth int, out []string) (res []string, stuck bool) {
+	for _, i := range v.Ifaces {
+		if !i.Up {
+			continue
+		}
+		if i.Prefix.Contains(nh) && i.Addr != nh {
+			if i.PeerAddr == nh {
+				return append(out, i.PeerName), false
+			}
+			if i.Stub {
+				return append(out, v.Router), false
+			}
+		}
+		if i.Addr == nh {
+			return append(out, v.Router), false
+		}
+	}
+	if nh == v.Loopback {
+		return append(out, v.Router), false
+	}
+	if depth <= 0 {
+		return out, true
+	}
+	e, ok := v.lpm(nh)
+	if !ok {
+		return out, true
+	}
+	if e.HopCount() == 0 {
+		for _, i := range v.Ifaces {
+			if i.Up && i.Prefix.Contains(nh) && i.PeerAddr == nh {
+				return append(out, i.PeerName), false
+			}
+		}
+		return out, true
+	}
+	for i := 0; i < e.HopCount(); i++ {
+		h := e.Hop(i)
+		if h == nh {
+			stuck = true
+			continue
+		}
+		var s bool
+		out, s = v.resolveSet(h, depth-1, out)
+		stuck = stuck || s
+	}
+	return out, stuck
+}
+
+// FrontierHop is one pending stop of a travelling set-walk: a router to
+// expand and the DFS depth it was discovered at.
+type FrontierHop struct {
+	Router string
+	Depth  int
+}
+
+// ExpMsg is one router's collected forwarding expansion, accumulated as a
+// set-walk travels the fleet.
+type ExpMsg struct {
+	Router    string
+	Delivered bool     `json:",omitempty"`
+	Dropped   bool     `json:",omitempty"`
+	Stuck     bool     `json:",omitempty"`
+	Nexts     []string `json:",omitempty"`
+}
+
+// WalkMsg is a verification walk in flight between nodes. Multipath FIBs
+// make the walk *symbolic*: instead of hopping one next hop at a time, the
+// message is a travelling depth-first search over the forwarding DAG — it
+// carries the frontier of routers still to expand plus every expansion
+// collected so far, and each node forwards it to the next unexpanded
+// frontier router. The final node replays dataplane.SymbolicWalk over the
+// collected expansions, so the distributed result is identical to the
+// central walker's by construction, with O(routers) messages per walk
+// instead of O(concrete paths).
 type WalkMsg struct {
-	WalkID  int
-	Policy  verify.Policy
-	Source  string
-	Dst     netip.Addr
-	Path    []string
+	WalkID int
+	Policy verify.Policy
+	Source string
+	Dst    netip.Addr
+	Path   []string
+	// Hops carries the DFS depth of the router the message is addressed
+	// to (the classic hop count when no entry is multipath).
 	Hops    int
 	Msgs    int // messages spent so far (accounting piggybacks on the walk)
 	Outcome dataplane.Outcome
 	Done    bool
 	Egress  string
+	// Frontier is the travelling DFS stack: routers discovered but not yet
+	// expanded, top at the end.
+	Frontier []FrontierHop `json:",omitempty"`
+	// Exps collects per-router expansions in DFS discovery order.
+	Exps []ExpMsg `json:",omitempty"`
+	// Egresses, Edges, and Branches mirror the symbolic dataplane.Walk
+	// fields on finished walks whose exploration branched.
+	Egresses []string    `json:",omitempty"`
+	Edges    [][2]string `json:",omitempty"`
+	Branches int         `json:",omitempty"`
 	// Err carries a transport failure (dead peer, timeout) back to the
 	// coordinator instead of losing the walk silently.
 	Err string `json:",omitempty"`
+}
+
+// AsWalk converts a finished walk message to the dataplane result it
+// represents.
+func (w WalkMsg) AsWalk() dataplane.Walk {
+	return dataplane.Walk{
+		Dst: w.Dst, Outcome: w.Outcome, Path: w.Path, Egress: w.Egress,
+		Egresses: w.Egresses, Edges: w.Edges, Branches: w.Branches,
+	}
 }
 
 type envelope struct {
@@ -412,37 +566,86 @@ func (n *Node) SetResultTo(addr string) { n.resultTo = addr }
 // in-process use by the coordinator when seeding walks (legacy mode).
 func (n *Node) HandleWalk(w WalkMsg) { n.handleWalk(w) }
 
-// stepWalk applies this node's transfer step to one walk. It returns the
-// advanced walk, the next node's address when the walk continues, and
-// whether the walk terminated here.
+// walkMaxHops bounds the DFS depth of a distributed walk, matching the
+// central walker's default.
+const walkMaxHops = 64
+
+// stepWalk advances a travelling set-walk by one node: it records this
+// router's expansion (if not already collected), pushes the discovered
+// branches onto the frontier in reverse-sorted order (so pops follow the
+// central DFS's pre-order exactly), and forwards the walk to the next
+// unexpanded frontier router. When the frontier drains, the walk
+// terminates here: the node replays dataplane.SymbolicWalk over the
+// collected expansions, yielding the same Walk the central walker would
+// compute. It returns the advanced walk, the next node's address when the
+// walk continues, and whether the walk terminated.
 func (n *Node) stepWalk(w WalkMsg) (WalkMsg, string, bool) {
 	n.viewMu.RLock()
 	defer n.viewMu.RUnlock()
-	w.Path = append(w.Path, n.View.Router)
-	w.Hops++
-	// Loop detection on the accumulated path.
-	visits := 0
-	for _, r := range w.Path {
-		if r == n.View.Router {
-			visits++
+	expanded := make(map[string]bool, len(w.Exps)+1)
+	for _, e := range w.Exps {
+		expanded[e.Router] = true
+	}
+	cur := n.View.Router
+	depth := w.Hops
+	if depth <= 0 {
+		depth = 1 // seed: the source router is at DFS depth 1
+	}
+	if !expanded[cur] {
+		ex := n.View.Expand(w.Dst)
+		w.Exps = append(w.Exps, ExpMsg{
+			Router: cur, Delivered: ex.Delivered, Dropped: ex.Dropped,
+			Stuck: ex.Stuck, Nexts: ex.Nexts,
+		})
+		expanded[cur] = true
+		if depth < walkMaxHops {
+			// Reverse order: the stack pops the first branch first.
+			for i := len(ex.Nexts) - 1; i >= 0; i-- {
+				w.Frontier = append(w.Frontier, FrontierHop{Router: ex.Nexts[i], Depth: depth + 1})
+			}
 		}
 	}
-	if visits > 1 || w.Hops > 64 {
-		w.Done, w.Outcome = true, dataplane.Looped
-		return w, "", true
+	for len(w.Frontier) > 0 {
+		top := w.Frontier[len(w.Frontier)-1]
+		w.Frontier = w.Frontier[:len(w.Frontier)-1]
+		if expanded[top.Router] {
+			continue // already explored via an earlier branch
+		}
+		addr, ok := n.directory(top.Router)
+		if !ok {
+			// No node serves that router: the branch is unverifiable —
+			// record it stuck and keep exploring the rest of the DAG.
+			w.Exps = append(w.Exps, ExpMsg{Router: top.Router, Stuck: true})
+			expanded[top.Router] = true
+			continue
+		}
+		w.Hops = top.Depth
+		w.Msgs++
+		return w, addr, false
 	}
-	step := n.View.Step(w.Dst)
-	if step.Terminal {
-		w.Done, w.Outcome, w.Egress = true, step.Outcome, n.View.Router
-		return w, "", true
+	// Frontier exhausted: replay the shared symbolic engine over the
+	// collected expansions to aggregate outcomes and detect loops.
+	exps := make(map[string]dataplane.Expansion, len(w.Exps))
+	for _, e := range w.Exps {
+		exps[e.Router] = dataplane.Expansion{
+			Delivered: e.Delivered, Dropped: e.Dropped, Stuck: e.Stuck, Nexts: e.Nexts,
+		}
 	}
-	addr, ok := n.directory(step.Next)
-	if !ok {
-		w.Done, w.Outcome = true, dataplane.Stuck
-		return w, "", true
-	}
-	w.Msgs++
-	return w, addr, false
+	replay := dataplane.SymbolicWalk(w.Source, w.Dst, walkMaxHops, func(r string) dataplane.Expansion {
+		if ex, ok := exps[r]; ok {
+			return ex
+		}
+		return dataplane.Expansion{Stuck: true}
+	})
+	w.Done = true
+	w.Outcome = replay.Outcome
+	w.Path = replay.Path
+	w.Egress = replay.Egress
+	w.Egresses = replay.Egresses
+	w.Edges = replay.Edges
+	w.Branches = replay.Branches
+	w.Frontier = nil
+	return w, "", true
 }
 
 func (n *Node) handleWalk(w WalkMsg) {
@@ -823,7 +1026,7 @@ func (c *Coordinator) VerifyWith(nodes map[string]*Node, policies []verify.Polic
 			}
 			if dirty != nil {
 				if prev, ok := c.retainedWalk(src, j.dst); ok && pathAvoids(prev.Path, dirty) {
-					j.walk = dataplane.Walk{Dst: prev.Dst, Outcome: prev.Outcome, Path: prev.Path, Egress: prev.Egress}
+					j.walk = prev.AsWalk()
 					stats.CleanSkipped++
 					jobs = append(jobs, j)
 					continue
@@ -973,19 +1176,19 @@ func (c *Coordinator) VerifyWith(nodes map[string]*Node, policies []verify.Polic
 			stats.Messages += w.Msgs
 			c.retain(j.src, j.dst, w)
 			if opts.Cache != nil {
-				opts.Cache.Store(j.src, j.dst,
-					dataplane.Walk{Dst: w.Dst, Outcome: w.Outcome, Path: w.Path, Egress: w.Egress}, epoch)
+				opts.Cache.Store(j.src, j.dst, w.AsWalk(), epoch)
 			}
 		} else {
 			w = WalkMsg{Policy: j.policy, Source: j.src, Dst: j.dst, Done: true,
-				Path: j.walk.Path, Outcome: j.walk.Outcome, Egress: j.walk.Egress}
+				Path: j.walk.Path, Outcome: j.walk.Outcome, Egress: j.walk.Egress,
+				Egresses: j.walk.Egresses, Edges: j.walk.Edges, Branches: j.walk.Branches}
 			if j.walk.Dst.IsValid() {
 				w.Dst = j.walk.Dst
 			}
 		}
 		stats.Results = append(stats.Results, w)
 		stats.Report.Checked++
-		walk := dataplane.Walk{Dst: w.Dst, Outcome: w.Outcome, Path: w.Path, Egress: w.Egress}
+		walk := w.AsWalk()
 		if v, bad := verify.Evaluate(j.policy, j.src, walk); bad {
 			stats.Report.Violations = append(stats.Report.Violations, v)
 		}
@@ -1038,7 +1241,7 @@ func pathAvoids(path []string, dirty map[string]struct{}) bool {
 // for deterministic frames.
 func DiffFIB(old, cur map[netip.Prefix]fib.Entry) (installs []fib.Entry, removes []netip.Prefix) {
 	for p, e := range cur {
-		if oe, ok := old[p]; !ok || oe != e {
+		if oe, ok := old[p]; !ok || !oe.Equal(e) {
 			installs = append(installs, e)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hbverify/internal/network"
+	"hbverify/internal/route"
 	"hbverify/internal/verify"
 )
 
@@ -57,6 +58,89 @@ func TestConcurrentVerifyDuringShutdown(t *testing.T) {
 	case <-done:
 	case <-time.After(30 * time.Second):
 		t.Fatal("verify calls failed to return after shutdown")
+	}
+}
+
+// TestSetWalkBatchesDuringShutdown is the multipath variant of the
+// shutdown hammer: the verified prefix resolves through an ECMP static on
+// r1 whose membership a mutator churns (2 members <-> 1 <-> withdrawn), so
+// the distributed walk batches carry branching set walks while the fleet
+// tears down. Every call must return; no hangs, no panics, no races.
+func TestSetWalkBatchesDuringShutdown(t *testing.T) {
+	pn := startPaper(t, network.DefaultPaperOpts())
+	ecmpPrefix := pfx("77.0.0.0/24")
+	r1 := pn.Router("r1")
+	wide := route.Route{Prefix: ecmpPrefix, Proto: route.ProtoStatic}.
+		WithNextHops(addr("10.0.1.2"), addr("10.0.2.2"))
+	narrow := route.Route{Prefix: ecmpPrefix, Proto: route.ProtoStatic}.
+		WithNextHops(addr("10.0.1.2"))
+	r1.FIB.Offer(wide)
+
+	coord, nodes, teardown, err := BuildFleet(pn.Network, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := []verify.Policy{
+		{Kind: verify.NoLoop, Prefix: ecmpPrefix},
+		{Kind: verify.NoLoop, Prefix: pn.P},
+	}
+	sources := []string{"r1", "r2", "r3"}
+
+	stop := make(chan struct{})
+	var mutWg sync.WaitGroup
+	mutWg.Add(1)
+	go func() {
+		defer mutWg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				r1.FIB.Offer(wide)
+			case 1:
+				r1.FIB.Offer(narrow)
+			case 2:
+				r1.FIB.Withdraw(route.ProtoStatic, ecmpPrefix)
+			}
+			i++
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, _ = coord.VerifyWith(nodes, policies, sources, VerifyOpts{
+					Timeout: 500 * time.Millisecond,
+				})
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	teardown()
+	close(stop)
+	mutWg.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("set-walk verify calls failed to return after shutdown")
 	}
 }
 

@@ -92,21 +92,28 @@ func fnv64(b []byte) uint64 {
 const (
 	sigUnrouted = 0 // no matching route
 	sigDirect   = 1 // directly delivered; followed by len-prefixed iface
-	sigNextHop  = 2 // followed by the 16-byte next-hop address
+	sigNextHop  = 2 // followed by a count byte and count 16-byte next hops
 )
 
-// appendBehaviour encodes one router's forwarding verdict for a probe.
+// appendBehaviour encodes one router's forwarding verdict for a probe. The
+// encoding hashes the *full* next-hop set, so two prefixes forwarded over
+// different ECMP member sets (even sharing the lowest hop) land in
+// different classes — the invariant the per-class symbolic walk relies on.
 func appendBehaviour(dst []byte, e fib.Entry, ok bool) []byte {
 	switch {
 	case !ok:
 		return append(dst, sigUnrouted)
-	case !e.NextHop.IsValid():
+	case e.HopCount() == 0:
 		dst = append(dst, sigDirect, byte(len(e.OutIface)))
 		return append(dst, e.OutIface...)
 	default:
-		a := e.NextHop.As16()
-		dst = append(dst, sigNextHop)
-		return append(dst, a[:]...)
+		n := e.HopCount()
+		dst = append(dst, sigNextHop, byte(n))
+		for i := 0; i < n; i++ {
+			a := e.Hop(i).As16()
+			dst = append(dst, a[:]...)
+		}
+		return dst
 	}
 }
 
@@ -162,10 +169,15 @@ func (l *lookupper) render(probe netip.Addr) string {
 		switch {
 		case !ok:
 			b.WriteByte('-')
-		case !e.NextHop.IsValid():
+		case e.HopCount() == 0:
 			b.WriteString("direct:" + e.OutIface)
 		default:
-			b.WriteString(e.NextHop.String())
+			for i := 0; i < e.HopCount(); i++ {
+				if i > 0 {
+					b.WriteByte('|')
+				}
+				b.WriteString(e.Hop(i).String())
+			}
 		}
 	}
 	return b.String()
@@ -272,6 +284,49 @@ func SyntheticFIBs(routers []string, nPrefixes, nGroups int) (map[string]map[net
 			// between groups but not within one.
 			nh := netip.AddrFrom4([4]byte{192, 168, byte(group), byte(ri + 1)})
 			fibs[r][p] = fib.Entry{Prefix: p, NextHop: nh}
+		}
+	}
+	return fibs, prefixes
+}
+
+// SyntheticECMPFIBs is the multipath variant of SyntheticFIBs: every entry
+// carries an equal-cost next-hop set. Group g uses a set width between 2
+// and maxWidth (varying by group so widths, not just members, distinguish
+// classes), and the hop addresses rotate with the group so withdrawing one
+// member of a set moves its prefixes to a different class. The generated
+// prefixes are 100.x.y.0/24 with a 3-byte index, so they stay distinct
+// well past the 65K roll-over of SyntheticFIBs' scheme.
+func SyntheticECMPFIBs(routers []string, nPrefixes, nGroups, maxWidth int) (map[string]map[netip.Prefix]fib.Entry, []netip.Prefix) {
+	if nGroups < 1 {
+		nGroups = 1
+	}
+	if maxWidth < 2 {
+		maxWidth = 2
+	}
+	fibs := map[string]map[netip.Prefix]fib.Entry{}
+	for _, r := range routers {
+		fibs[r] = map[netip.Prefix]fib.Entry{}
+	}
+	prefixes := make([]netip.Prefix, 0, nPrefixes)
+	for i := 0; i < nPrefixes; i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4(
+			[4]byte{byte(100 + i>>16), byte(i >> 8), byte(i), 0}), 24)
+		prefixes = append(prefixes, p)
+		group := i % nGroups
+		width := 2 + group%(maxWidth-1)
+		for ri, r := range routers {
+			hops := make([]netip.Addr, 0, width)
+			for k := 0; k < width; k++ {
+				// Hops ascend within the set, so the generated sets are
+				// already in canonical sorted order.
+				hops = append(hops, netip.AddrFrom4(
+					[4]byte{192, 168, byte(group), byte(ri*maxWidth + k + 1)}))
+			}
+			e := fib.Entry{Prefix: p, NextHop: hops[0]}
+			if len(hops) > 1 {
+				e.NextHops = hops
+			}
+			fibs[r][p] = e
 		}
 	}
 	return fibs, prefixes

@@ -34,6 +34,48 @@ func TestSyntheticGrouping(t *testing.T) {
 	}
 }
 
+func TestSyntheticECMPGrouping(t *testing.T) {
+	routers := []string{"a", "b", "c"}
+	fibs, prefixes := SyntheticECMPFIBs(routers, 1200, 12, 4)
+	classes := Compute(fibs, prefixes)
+	if len(classes) != 12 {
+		t.Fatalf("classes = %d, want 12", len(classes))
+	}
+	// Multipath sets must be visible in the signature (rendered a|b|...),
+	// otherwise two groups differing only in set membership would collapse.
+	multipath := 0
+	for _, c := range classes {
+		for i := range c.Signature {
+			if c.Signature[i] == '|' {
+				multipath++
+				break
+			}
+		}
+	}
+	if multipath != len(classes) {
+		t.Fatalf("signatures with multipath sets = %d, want %d", multipath, len(classes))
+	}
+
+	// Withdrawing one member of one router's set moves the prefix into a
+	// class of its own: set membership, not just reachability, is part of
+	// the forwarding behaviour.
+	victim := prefixes[0]
+	e := fibs["b"][victim]
+	if len(e.NextHops) < 2 {
+		t.Fatalf("victim entry not multipath: %v", e)
+	}
+	e.NextHops = append([]netip.Addr(nil), e.NextHops[:len(e.NextHops)-1]...)
+	if len(e.NextHops) == 1 {
+		e.NextHops = nil
+	}
+	e.NextHop = e.Hop(0)
+	fibs["b"][victim] = e
+	after := Compute(fibs, prefixes)
+	if len(after) != 13 {
+		t.Fatalf("classes after withdraw-one-member = %d, want 13", len(after))
+	}
+}
+
 func TestHeadlineScale100K(t *testing.T) {
 	if testing.Short() {
 		t.Skip("large-scale class computation")

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"strings"
 	"sync"
 
 	"hbverify/internal/capture"
@@ -16,7 +17,10 @@ import (
 	"hbverify/internal/trie"
 )
 
-// Entry is an installed forwarding entry.
+// Entry is an installed forwarding entry. Multipath (ECMP) entries carry
+// the full equal-cost next-hop set in NextHops, sorted and deduplicated,
+// with NextHop aliasing the lowest member; single-path entries leave
+// NextHops nil.
 type Entry struct {
 	Prefix   netip.Prefix
 	NextHop  netip.Addr // invalid => directly delivered
@@ -24,14 +28,76 @@ type Entry struct {
 	Proto    route.Protocol
 	AD       uint8
 	Metric   uint32
+	// NextHops is the sorted equal-cost next-hop set for ECMP entries
+	// (len >= 2, NextHops[0] == NextHop); nil for single-path entries.
+	NextHops []netip.Addr
 }
 
 func (e Entry) String() string {
 	nh := "direct"
-	if e.NextHop.IsValid() {
+	switch {
+	case len(e.NextHops) > 1:
+		parts := make([]string, len(e.NextHops))
+		for i, h := range e.NextHops {
+			parts[i] = h.String()
+		}
+		nh = strings.Join(parts, "|")
+	case e.NextHop.IsValid():
 		nh = e.NextHop.String()
 	}
 	return fmt.Sprintf("%s via %s (%s)", e.Prefix, nh, e.Proto)
+}
+
+// Multipath reports whether the entry forwards over more than one next hop.
+func (e Entry) Multipath() bool { return len(e.NextHops) > 1 }
+
+// HopCount returns the number of next hops the entry forwards over (0 for
+// directly delivered entries).
+func (e Entry) HopCount() int {
+	if len(e.NextHops) > 0 {
+		return len(e.NextHops)
+	}
+	if e.NextHop.IsValid() {
+		return 1
+	}
+	return 0
+}
+
+// Hop returns the i-th next hop in canonical (sorted) order. Together with
+// HopCount it lets walkers iterate the set without allocating.
+func (e Entry) Hop(i int) netip.Addr {
+	if len(e.NextHops) > 0 {
+		return e.NextHops[i]
+	}
+	return e.NextHop
+}
+
+// HopSet returns the entry's full next-hop set (nil for direct entries).
+func (e Entry) HopSet() []netip.Addr {
+	if len(e.NextHops) > 0 {
+		return e.NextHops
+	}
+	if e.NextHop.IsValid() {
+		return []netip.Addr{e.NextHop}
+	}
+	return nil
+}
+
+// Equal reports whether two entries are identical, including the full
+// next-hop set. Entry is not comparable with == (NextHops is a slice);
+// every comparison site must go through Equal.
+func (e Entry) Equal(o Entry) bool {
+	if e.Prefix != o.Prefix || e.NextHop != o.NextHop || e.OutIface != o.OutIface ||
+		e.Proto != o.Proto || e.AD != o.AD || e.Metric != o.Metric ||
+		len(e.NextHops) != len(o.NextHops) {
+		return false
+	}
+	for i := range e.NextHops {
+		if e.NextHops[i] != o.NextHops[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Update notifies a listener of a FIB change. IO is the recorded capture
@@ -170,7 +236,10 @@ func (t *Table) reselectLocked(prefix netip.Prefix) (change, bool) {
 		Prefix: prefix, NextHop: best.NextHop, OutIface: best.OutIface,
 		Proto: best.Proto, AD: best.AdminDistance(), Metric: best.Metric,
 	}
-	if had && cur == next {
+	if len(best.NextHops) > 1 {
+		next.NextHops = append([]netip.Addr(nil), best.NextHops...)
+	}
+	if had && cur.Equal(next) {
 		return change{}, false
 	}
 	_ = t.lpm.Insert(prefix, next)
@@ -186,7 +255,8 @@ func (t *Table) emit(c change, causes []uint64) capture.IO {
 	}
 	io := t.rec.Record(capture.IO{
 		Type: typ, Prefix: c.entry.Prefix,
-		NextHop: c.entry.NextHop, Proto: c.entry.Proto, Causes: causes,
+		NextHop: c.entry.NextHop, NextHops: c.entry.NextHops,
+		Proto: c.entry.Proto, Causes: causes,
 	})
 	t.mu.RLock()
 	var listeners []func(Update)

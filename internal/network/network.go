@@ -398,9 +398,7 @@ func (n *Network) Start() {
 		}
 		// Statics.
 		for _, st := range r.Cfg.Statics {
-			r.FIB.Offer(route.Route{
-				Prefix: st.Prefix, NextHop: st.NextHop, Proto: route.ProtoStatic,
-			}, cause)
+			r.FIB.Offer(staticRoute(st), cause)
 		}
 		r.appliedStatics = append([]config.StaticRoute(nil), r.Cfg.Statics...)
 		if r.OSPF != nil {
@@ -552,11 +550,23 @@ func (n *Network) syncStatics(r *Router, cause uint64) {
 		}
 	}
 	for _, st := range r.Cfg.Statics {
-		r.FIB.Offer(route.Route{
-			Prefix: st.Prefix, NextHop: st.NextHop, Proto: route.ProtoStatic,
-		}, cause)
+		r.FIB.Offer(staticRoute(st), cause)
 	}
 	r.appliedStatics = append(r.appliedStatics[:0], r.Cfg.Statics...)
+}
+
+// staticRoute builds the FIB route for a configured static, spreading an
+// ECMP next-hop set when one is present.
+func staticRoute(st config.StaticRoute) route.Route {
+	rt := route.Route{Prefix: st.Prefix, NextHop: st.NextHop, Proto: route.ProtoStatic}
+	if len(st.NextHops) > 0 {
+		hops := append([]netip.Addr(nil), st.NextHops...)
+		if st.NextHop.IsValid() {
+			hops = append(hops, st.NextHop)
+		}
+		rt = rt.WithNextHops(hops...)
+	}
+	return rt
 }
 
 // OnLinkChange registers a listener invoked whenever a link actually flips

@@ -212,11 +212,11 @@ func (o *Instance) runSPF() {
 	causes := o.spfCauses
 	o.spfPending, o.spfCauses = false, nil
 
-	type hop struct {
-		iface *Iface
-	}
 	dist := map[netip.Addr]uint32{o.routerID: 0}
-	first := map[netip.Addr]hop{}
+	// first maps each reachable router to its equal-cost *set* of first-hop
+	// interfaces. Ties during relaxation merge sets instead of keeping the
+	// incumbent, which is exactly OSPF's ECMP rule.
+	first := map[netip.Addr][]*Iface{}
 	visited := map[netip.Addr]bool{}
 	for {
 		var u netip.Addr
@@ -245,43 +245,43 @@ func (o *Instance) runSPF() {
 				continue
 			}
 			back := false
-			var nbAddr netip.Addr
 			for _, bl := range nlsa.Links {
 				if bl.NeighborID == u && bl.Prefix == ln.Prefix {
 					back = true
-					nbAddr = bl.LocalAddr
 					break
 				}
 			}
-			if !back {
+			if !back || visited[ln.NeighborID] {
 				continue
 			}
 			nd := best + ln.Cost
-			if cur, ok := dist[ln.NeighborID]; ok && cur <= nd {
+			cur, seen := dist[ln.NeighborID]
+			if seen && cur < nd {
 				continue
 			}
-			dist[ln.NeighborID] = nd
+			var hops []*Iface
 			if u == o.routerID {
 				// Direct neighbor: first hop is the local interface.
-				var via *Iface
 				for _, i := range o.ifaces {
 					if i.Up && !i.Stub && i.NeighborID == ln.NeighborID && i.Prefix == ln.Prefix {
-						via = i
+						hops = []*Iface{i}
 						break
 					}
 				}
-				first[ln.NeighborID] = hop{iface: via}
-				_ = nbAddr
 			} else {
-				first[ln.NeighborID] = first[u]
+				hops = first[u]
 			}
+			if seen && cur == nd {
+				// Equal-cost path: union the first-hop sets (ECMP merge).
+				first[ln.NeighborID] = mergeHops(first[ln.NeighborID], hops)
+				continue
+			}
+			dist[ln.NeighborID] = nd
+			first[ln.NeighborID] = append([]*Iface(nil), hops...)
 		}
 	}
 
 	// Build candidate routes: every reachable router's stubs and links.
-	type cand struct {
-		r route.Route
-	}
 	newRIB := map[netip.Prefix]route.Route{}
 	consider := func(p netip.Prefix, cost uint32, owner netip.Addr) {
 		if owner == o.routerID {
@@ -294,17 +294,38 @@ func (o *Instance) runSPF() {
 				return
 			}
 		}
-		h, ok := first[owner]
-		if !ok || h.iface == nil {
+		hops, ok := first[owner]
+		if !ok {
 			return
 		}
-		r := route.Route{
-			Prefix: p.Masked(), NextHop: h.iface.NeighborAddr, OutIface: h.iface.Name,
-			Proto: route.ProtoOSPF, Metric: cost, LearnedFrom: owner,
+		addrs := make([]netip.Addr, 0, len(hops))
+		for _, h := range hops {
+			if h != nil {
+				addrs = append(addrs, h.NeighborAddr)
+			}
 		}
-		if cur, ok := newRIB[r.Prefix]; !ok || r.Metric < cur.Metric {
-			newRIB[r.Prefix] = r
+		if len(addrs) == 0 {
+			return
 		}
+		prefix := p.Masked()
+		cur, exists := newRIB[prefix]
+		switch {
+		case exists && cost > cur.Metric:
+			return
+		case exists && cost == cur.Metric:
+			// A second owner advertises the prefix at the same distance:
+			// union the next-hop sets (ECMP across exits).
+			addrs = append(addrs, cur.HopSet()...)
+		}
+		r := route.Route{Prefix: prefix, Proto: route.ProtoOSPF, Metric: cost, LearnedFrom: owner}
+		if exists && cost == cur.Metric {
+			r.LearnedFrom = cur.LearnedFrom // first (lowest-ID) owner stays
+		}
+		r = r.WithNextHops(addrs...)
+		if via := o.ifaceToward(r.NextHop); via != nil {
+			r.OutIface = via.Name
+		}
+		newRIB[prefix] = r
 	}
 	owners := map[netip.Addr]netip.Addr{}
 	ids := make([]netip.Addr, 0, len(dist))
@@ -337,10 +358,8 @@ func (o *Instance) runSPF() {
 		}
 	}
 	for p, r := range newRIB {
-		if cur, ok := o.rib[p]; !ok || cur.NextHop != r.NextHop || cur.Metric != r.Metric {
+		if cur, ok := o.rib[p]; !ok || cur.Metric != r.Metric || !cur.SameHops(r) {
 			changed = append(changed, p)
-			_ = cur
-			_ = r
 		}
 	}
 	sort.Slice(removed, func(i, j int) bool { return lessPrefix(removed[i], removed[j]) })
@@ -360,11 +379,40 @@ func (o *Instance) runSPF() {
 		o.rib[p] = r
 		io := o.rec.Record(capture.IO{
 			Type: capture.RIBInstall, Proto: route.ProtoOSPF, Prefix: p,
-			NextHop: r.NextHop, Causes: causes,
+			NextHop: r.NextHop, NextHops: r.NextHops, Causes: causes,
 		})
 		o.ribIO[p] = io.ID
 		o.fib.Offer(r, io.ID)
 	}
+}
+
+// mergeHops unions two first-hop interface sets without aliasing either.
+func mergeHops(a, b []*Iface) []*Iface {
+	out := append([]*Iface(nil), a...)
+	for _, h := range b {
+		dup := false
+		for _, e := range out {
+			if e == h {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// ifaceToward returns the up, non-stub interface whose neighbor address is
+// nh (the interface a first hop exits through).
+func (o *Instance) ifaceToward(nh netip.Addr) *Iface {
+	for _, i := range o.ifaces {
+		if i.Up && !i.Stub && i.NeighborAddr == nh {
+			return i
+		}
+	}
+	return nil
 }
 
 // Metric reports the IGP cost to the router owning addr, for BGP next-hop

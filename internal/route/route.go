@@ -6,6 +6,7 @@ package route
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"strings"
 )
 
@@ -196,6 +197,77 @@ type Route struct {
 	// LearnedFrom is the router-ID or neighbor address the route came from,
 	// used in provenance displays; invalid for local routes.
 	LearnedFrom netip.Addr
+	// NextHops is the full equal-cost next-hop set for multipath routes,
+	// sorted and deduplicated, with NextHops[0] == NextHop. Nil means the
+	// route is single-path (NextHop alone describes forwarding).
+	NextHops []netip.Addr
+}
+
+// CanonHops canonicalizes a next-hop set: invalid members are dropped and
+// the rest sorted and deduplicated. The result is nil when no valid hop
+// remains.
+func CanonHops(hops []netip.Addr) []netip.Addr {
+	out := make([]netip.Addr, 0, len(hops))
+	for _, h := range hops {
+		if h.IsValid() {
+			out = append(out, h)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// WithNextHops returns a copy of r forwarding over the given equal-cost
+// set: NextHop becomes the lowest member and NextHops carries the full
+// sorted set when it has more than one member (nil otherwise, preserving
+// the single-path representation).
+func (r Route) WithNextHops(hops ...netip.Addr) Route {
+	set := CanonHops(hops)
+	switch len(set) {
+	case 0:
+		r.NextHop, r.NextHops = netip.Addr{}, nil
+	case 1:
+		r.NextHop, r.NextHops = set[0], nil
+	default:
+		r.NextHop, r.NextHops = set[0], set
+	}
+	return r
+}
+
+// HopSet returns the route's full next-hop set: NextHops when multipath,
+// else the single NextHop, else nil for local routes.
+func (r Route) HopSet() []netip.Addr {
+	if len(r.NextHops) > 0 {
+		return r.NextHops
+	}
+	if r.NextHop.IsValid() {
+		return []netip.Addr{r.NextHop}
+	}
+	return nil
+}
+
+// SameHops reports whether two routes forward over the same next-hop set.
+func (r Route) SameHops(o Route) bool {
+	a, b := r.HopSet(), o.HopSet()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // AdminDistance returns the route's effective administrative distance.
@@ -209,7 +281,14 @@ func (r Route) IsLocal() bool { return !r.NextHop.IsValid() }
 
 func (r Route) String() string {
 	nh := "direct"
-	if r.NextHop.IsValid() {
+	switch {
+	case len(r.NextHops) > 1:
+		parts := make([]string, len(r.NextHops))
+		for i, h := range r.NextHops {
+			parts[i] = h.String()
+		}
+		nh = strings.Join(parts, "|")
+	case r.NextHop.IsValid():
 		nh = r.NextHop.String()
 	}
 	return fmt.Sprintf("%s via %s [%s ad=%d metric=%d]", r.Prefix, nh, r.Proto, r.AdminDistance(), r.Metric)

@@ -46,6 +46,16 @@ type world struct {
 	// staticNH maps each internal router to a reachable next-hop address
 	// (a directly connected peer) for generated static routes.
 	staticNH map[string]string
+	// staticNHs maps each internal router to every directly connected peer
+	// address, the draw pool for ECMP static next-hop sets.
+	staticNHs map[string][]string
+	// lagLinks lists internal links whose loss narrows an equal-cost group
+	// without stranding an endpoint (both ends keep another link) — the
+	// partial-LAG failure targets.
+	lagLinks [][2]string
+	// ecmpRouters lists internal routers with at least two connected peers,
+	// eligible for ECMP static churn.
+	ecmpRouters []string
 }
 
 func (w *world) isExternal(name string) bool { return w.external[name] }
@@ -60,7 +70,8 @@ func buildWorld(cfg Config) (*world, error) {
 		return nil, fmt.Errorf("scenario: need at least 4 routers, have %d", n)
 	}
 	net := network.New(cfg.Seed)
-	w := &world{net: net, external: map[string]bool{}, staticNH: map[string]string{}}
+	w := &world{net: net, external: map[string]bool{},
+		staticNH: map[string]string{}, staticNHs: map[string][]string{}}
 
 	name := func(i int) string { return fmt.Sprintf("x%d", i) }
 	lb := func(i int) string { return fmt.Sprintf("10.255.%d.1", i) }
@@ -134,16 +145,34 @@ func buildWorld(cfg Config) (*world, error) {
 		return nil, err
 	}
 	// A valid next hop for generated statics: the peer address across each
-	// router's first link.
+	// router's first link. staticNHs keeps the full peer pool for ECMP
+	// static sets.
 	for _, r := range net.Routers() {
 		if w.external[r.Name] {
 			continue
 		}
 		for _, i := range r.Topo.Interfaces() {
 			if i.Link != nil {
-				w.staticNH[r.Name] = i.Peer().Addr.String()
-				break
+				if w.staticNH[r.Name] == "" {
+					w.staticNH[r.Name] = i.Peer().Addr.String()
+				}
+				w.staticNHs[r.Name] = append(w.staticNHs[r.Name], i.Peer().Addr.String())
 			}
+		}
+		if len(w.staticNHs[r.Name]) >= 2 {
+			w.ecmpRouters = append(w.ecmpRouters, r.Name)
+		}
+	}
+	// Partial-LAG targets: internal links both of whose endpoints keep at
+	// least one other internal link when this one fails.
+	degree := map[string]int{}
+	for _, l := range w.links {
+		degree[l[0]]++
+		degree[l[1]]++
+	}
+	for _, l := range w.links {
+		if degree[l[0]] >= 2 && degree[l[1]] >= 2 {
+			w.lagLinks = append(w.lagLinks, l)
 		}
 	}
 	return w, nil

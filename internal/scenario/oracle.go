@@ -1,4 +1,4 @@
-// The eight differential oracles checked after every convergence round.
+// The nine differential oracles checked after every convergence round.
 
 package scenario
 
@@ -35,6 +35,7 @@ const (
 	OracleDist         = "dist-vs-central"
 	OracleRepair       = "repair-rollback"
 	OracleEqclassDelta = "eqclass-delta-vs-full"
+	OracleSymbolic     = "symbolic-vs-probe"
 )
 
 // inferRefCap bounds the log suffix the fast-vs-reference oracle compares
@@ -262,15 +263,32 @@ func (h *harness) oracleSnapshots(round int) *Failure {
 		}
 	}
 
-	// (c) no phantom loops.
+	// (c) no phantom loops. Concrete (unbranched) loops must have existed
+	// in some instantaneous ground-truth state — the Fig. 1c guarantee.
+	// Loops discovered across ECMP branches get a weaker ground truth:
+	// equal-cost sets let a consistent snapshot legitimately combine
+	// per-router states from causally-independent events into a cycle no
+	// instant exhibited (OSPF floods an LSA before its debounced SPF
+	// updates the FIB, so apply-before-advertise does not order them), but
+	// every per-router entry on the cycle must still have been real at
+	// some instant — a snapshot that fabricates entries is still caught.
 	fibs := snapshot.BuildFIBs(collected)
 	w := dataplane.NewWalker(h.w.net.Topo, dataplane.SnapshotView(fibs))
 	for _, src := range h.w.internals {
 		for _, p := range []netip.Prefix{PrefixP, PrefixQ} {
 			walk := w.ForwardPrefix(src, p)
-			if walk.Outcome == dataplane.Looped && !h.loopWasReal(src, dataplane.Representative(p)) {
+			if walk.Outcome != dataplane.Looped {
+				continue
+			}
+			dst := dataplane.Representative(p)
+			if walk.Branches == 0 && !h.loopWasReal(src, dst) {
 				return &Failure{Oracle: OracleSnapshot, Round: round, Detail: fmt.Sprintf(
 					"phantom loop in collected snapshot: %s from %s (%s), never present in any instantaneous state",
+					p, src, walk)}
+			}
+			if walk.Branches > 0 && !h.entriesWereReal(fibs, walk.Path, dst) {
+				return &Failure{Oracle: OracleSnapshot, Round: round, Detail: fmt.Sprintf(
+					"phantom ECMP loop in collected snapshot: %s from %s (%s) traverses an entry no instantaneous state ever held",
 					p, src, walk)}
 			}
 		}
@@ -278,11 +296,9 @@ func (h *harness) oracleSnapshots(round int) *Failure {
 	return nil
 }
 
-// loopWasReal replays the FIB event stream in true-time order and reports
-// whether forwarding from src to dst looped in any instantaneous state.
-// It uses the simulator's oracle timestamps on purpose: this is the
-// ground-truth side of the differential check.
-func (h *harness) loopWasReal(src string, dst netip.Addr) bool {
+// fibEventsTrueTime returns the FIB install/remove events in true-time
+// order — the ground-truth replay input for the phantom-loop checks.
+func (h *harness) fibEventsTrueTime() []capture.IO {
 	var evs []capture.IO
 	for _, io := range h.w.net.Log.All() {
 		if io.Type == capture.FIBInstall || io.Type == capture.FIBRemove {
@@ -295,6 +311,64 @@ func (h *harness) loopWasReal(src string, dst netip.Addr) bool {
 		}
 		return evs[i].ID < evs[j].ID
 	})
+	return evs
+}
+
+// entriesWereReal replays ground truth and reports whether, for every
+// router on the walk, the snapshot's covering entry for dst (including its
+// full next-hop set) matched the router's live covering entry at some
+// instant. It is the per-entry ground truth for symbolic loops.
+func (h *harness) entriesWereReal(snap map[string]map[netip.Prefix]fib.Entry, routers []string, dst netip.Addr) bool {
+	covering := func(table map[netip.Prefix]fib.Entry) (fib.Entry, bool) {
+		var best fib.Entry
+		bits := -1
+		for p, e := range table {
+			if p.Contains(dst) && p.Bits() > bits {
+				best, bits = e, p.Bits()
+			}
+		}
+		return best, bits >= 0
+	}
+	need := map[string]fib.Entry{}
+	for _, r := range routers {
+		if e, ok := covering(snap[r]); ok {
+			need[r] = e
+		}
+	}
+	fibs := map[string]map[netip.Prefix]fib.Entry{}
+	for _, r := range h.w.net.Routers() {
+		fibs[r.Name] = map[netip.Prefix]fib.Entry{}
+	}
+	for _, io := range h.fibEventsTrueTime() {
+		if io.Type == capture.FIBInstall {
+			e := fib.Entry{Prefix: io.Prefix, NextHop: io.NextHop, Proto: io.Proto}
+			if len(io.NextHops) > 1 {
+				e.NextHops = append([]netip.Addr(nil), io.NextHops...)
+			}
+			fibs[io.Router][io.Prefix] = e
+		} else {
+			delete(fibs[io.Router], io.Prefix)
+		}
+		want, needed := need[io.Router]
+		if !needed || !io.Prefix.Contains(dst) {
+			continue
+		}
+		if got, ok := covering(fibs[io.Router]); ok && got.Equal(want) {
+			delete(need, io.Router)
+			if len(need) == 0 {
+				return true
+			}
+		}
+	}
+	return len(need) == 0
+}
+
+// loopWasReal replays the FIB event stream in true-time order and reports
+// whether forwarding from src to dst looped in any instantaneous state.
+// It uses the simulator's oracle timestamps on purpose: this is the
+// ground-truth side of the differential check.
+func (h *harness) loopWasReal(src string, dst netip.Addr) bool {
+	evs := h.fibEventsTrueTime()
 	fibs := map[string]map[netip.Prefix]fib.Entry{}
 	for _, r := range h.w.net.Routers() {
 		fibs[r.Name] = map[netip.Prefix]fib.Entry{}
@@ -302,7 +376,11 @@ func (h *harness) loopWasReal(src string, dst netip.Addr) bool {
 	w := dataplane.NewWalker(h.w.net.Topo, dataplane.SnapshotView(fibs))
 	for _, io := range evs {
 		if io.Type == capture.FIBInstall {
-			fibs[io.Router][io.Prefix] = fib.Entry{Prefix: io.Prefix, NextHop: io.NextHop, Proto: io.Proto}
+			e := fib.Entry{Prefix: io.Prefix, NextHop: io.NextHop, Proto: io.Proto}
+			if len(io.NextHops) > 1 {
+				e.NextHops = append([]netip.Addr(nil), io.NextHops...)
+			}
+			fibs[io.Router][io.Prefix] = e
 		} else {
 			delete(fibs[io.Router], io.Prefix)
 		}
@@ -327,9 +405,9 @@ func diffFIBs(replayed map[string]map[netip.Prefix]fib.Entry, live map[string]ma
 			if !ok {
 				return fmt.Sprintf("%s: %s live but not replayed", router, p)
 			}
-			if re.NextHop != le.NextHop || re.Proto != le.Proto {
+			if re.NextHop != le.NextHop || re.Proto != le.Proto || !hopSetsEqual(re.NextHops, le.NextHops) {
 				return fmt.Sprintf("%s: %s replayed %v/%v vs live %v/%v",
-					router, p, re.NextHop, re.Proto, le.NextHop, le.Proto)
+					router, p, re, re.Proto, le, le.Proto)
 			}
 		}
 	}
@@ -420,6 +498,83 @@ func diffVerdictSets(a, b verify.Report) string {
 		}
 	}
 	return ""
+}
+
+// probeEnumLimit bounds concrete-path enumeration in the symbolic-vs-probe
+// oracle; a walk whose DAG exceeds it is skipped rather than compared
+// against a truncated aggregate.
+const probeEnumLimit = 1024
+
+// oracleSymbolicVsProbe is the set-vs-probe differential: for every
+// (source, destination) the harness verifies, it enumerates every concrete
+// single-next-hop path through the symbolic walk's ECMP DAG with the probe
+// walker, aggregates those per-path outcomes independently, and requires
+// the aggregate to reproduce the symbolic walk's outcome and egress set —
+// and every probe to traverse only edges the symbolic DAG recorded.
+// BugDropEcmpBranch makes the symbolic side silently skip the last member
+// of each multi-way branch, which the edge-coverage check must catch.
+func (h *harness) oracleSymbolicVsProbe(round int) *Failure {
+	sym := h.liveWalker()
+	sym.BugDropEcmpBranch = h.cfg.Bug == BugDropEcmpBranch
+	probe := h.liveWalker()
+	for _, p := range []netip.Prefix{PrefixP, PrefixQ} {
+		dst := dataplane.Representative(p)
+		for _, src := range h.w.internals {
+			w := sym.Forward(src, dst)
+			probes := probe.ConcretePaths(src, dst, probeEnumLimit)
+			if len(probes) >= probeEnumLimit {
+				continue // truncated enumeration: aggregate would be partial
+			}
+			walks := make([]dataplane.Walk, len(probes))
+			for i := range probes {
+				walks[i] = probes[i].Walk
+			}
+			aggOut, aggEgress := dataplane.AggregateProbes(walks)
+			if aggOut != w.Outcome {
+				return &Failure{Oracle: OracleSymbolic, Round: round, Detail: fmt.Sprintf(
+					"%s->%s: symbolic outcome %s, but %d concrete probes aggregate to %s",
+					src, dst, w.Outcome, len(probes), aggOut)}
+			}
+			symEgress := w.Egresses
+			if symEgress == nil && w.Egress != "" {
+				symEgress = []string{w.Egress}
+			}
+			if !reflect.DeepEqual(append([]string{}, aggEgress...), append([]string{}, symEgress...)) {
+				return &Failure{Oracle: OracleSymbolic, Round: round, Detail: fmt.Sprintf(
+					"%s->%s: symbolic egresses %v, probes exit at %v", src, dst, symEgress, aggEgress)}
+			}
+			if w.Branches == 0 && len(probes) != 1 {
+				// A branch-dropping symbolic walker degrades a genuine ECMP
+				// fan-out into an apparently concrete path; the probe count
+				// exposes the branches it never explored.
+				return &Failure{Oracle: OracleSymbolic, Round: round, Detail: fmt.Sprintf(
+					"%s->%s: symbolic walk claims an unbranched path %v, but %d concrete paths exist",
+					src, dst, w.Path, len(probes))}
+			}
+			if w.Branches > 0 {
+				edges := map[[2]string]bool{}
+				for _, e := range w.Edges {
+					edges[e] = true
+				}
+				for _, pw := range probes {
+					path := pw.Walk.Path
+					for i := 0; i+1 < len(path); i++ {
+						if !edges[[2]string{path[i], path[i+1]}] {
+							return &Failure{Oracle: OracleSymbolic, Round: round, Detail: fmt.Sprintf(
+								"%s->%s: probe path %v traverses %s->%s, absent from the symbolic DAG (%d edges, %d branches)",
+								src, dst, path, path[i], path[i+1], len(w.Edges), w.Branches)}
+						}
+					}
+				}
+			} else if len(probes) == 1 && w.Outcome != dataplane.Looped &&
+				!reflect.DeepEqual(probes[0].Walk.Path, w.Path) {
+				return &Failure{Oracle: OracleSymbolic, Round: round, Detail: fmt.Sprintf(
+					"%s->%s: unbranched symbolic path %v differs from concrete probe %v",
+					src, dst, w.Path, probes[0].Walk.Path)}
+			}
+		}
+	}
+	return nil
 }
 
 // oracleDistVsCentral builds a distributed verification fleet over the
@@ -610,12 +765,25 @@ func diffSnapshots(a, b map[string]map[netip.Prefix]fib.Entry) string {
 			if !ok {
 				return fmt.Sprintf("%s: %s missing after repair", router, p)
 			}
-			if ae != be {
+			if !ae.Equal(be) {
 				return fmt.Sprintf("%s: %s was %s, now %s", router, p, ae, be)
 			}
 		}
 	}
 	return ""
+}
+
+// hopSetsEqual compares two canonical (sorted) next-hop sets.
+func hopSetsEqual(a, b []netip.Addr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // randDuration draws a uniform duration in [0, maxMillis) milliseconds.

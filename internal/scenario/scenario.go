@@ -1,6 +1,6 @@
 // Package scenario is the randomized correctness harness: it generates
 // seeded deterministic networks, drives them through churn schedules, and
-// checks eight differential oracles after every convergence round —
+// checks nine differential oracles after every convergence round —
 //
 //  0. infer-fast-vs-reference: every shared-index inference strategy
 //     produces node-, edge-, and confidence-identical graphs to the
@@ -24,7 +24,11 @@
 //     pre-fault data plane;
 //  7. eqclass-delta-vs-full: the delta path — incremental equivalence
 //     classes plus the cached-walk checker — agrees exactly with a
-//     from-scratch eqclass.Compute and a cold Checker.Check.
+//     from-scratch eqclass.Compute and a cold Checker.Check;
+//  8. symbolic-vs-probe: every concrete single-next-hop path enumerated
+//     through a symbolic walk's ECMP DAG, independently aggregated,
+//     reproduces the symbolic walk's outcome and egress set, and no
+//     concrete path traverses an edge the DAG lacks.
 //
 // A failure carries the seed and churn schedule; Shrink greedily drops
 // events until the failure is minimal, and the artifact replays with
@@ -75,6 +79,12 @@ const (
 	// graph — the failure mode of a compactor that trims the log before
 	// the inference tick that would have covered it.
 	BugSkipFold = "skip-fold"
+	// BugDropEcmpBranch makes symbolic exploration silently ignore the
+	// last member of every multi-way ECMP branch — the failure mode of a
+	// set-walker whose branch iteration is off by one. Concrete probe
+	// walks are unaffected, so the symbolic-vs-probe oracle must catch
+	// the missing branch.
+	BugDropEcmpBranch = "drop-ecmp-branch"
 )
 
 // Config describes one deterministic scenario. The zero values of Shape,
@@ -289,7 +299,7 @@ func (h *harness) infer(ios []capture.IO) *hbg.Graph {
 	return h.strat.Infer(capture.StripOracle(ios))
 }
 
-// checkRound runs the eight oracles in order and returns the first
+// checkRound runs the nine oracles in order and returns the first
 // failure. The fast-vs-reference oracle runs first so any divergence in
 // the inference rewrite is reported as such, not as a downstream
 // repair/snapshot anomaly; the eqclass-delta oracle runs last, after
@@ -309,6 +319,9 @@ func (h *harness) checkRound(round int) *Failure {
 		return f
 	}
 	if f := h.oracleCheckerDeterminism(round); f != nil {
+		return f
+	}
+	if f := h.oracleSymbolicVsProbe(round); f != nil {
 		return f
 	}
 	if f := h.oracleDistVsCentral(round); f != nil {

@@ -60,10 +60,14 @@ func TestScenarioDeterminism(t *testing.T) {
 // seed picks a schedule whose churn actually exposes the bug.
 func forceBug(t *testing.T, seed int64, bug string, oracles ...string) {
 	t.Helper()
-	cfg := Config{Seed: seed, Bug: bug}
+	forceBugCfg(t, Config{Seed: seed, Bug: bug}, oracles...)
+}
+
+func forceBugCfg(t *testing.T, cfg Config, oracles ...string) {
+	t.Helper()
 	res := Run(cfg)
 	if res.Failure == nil {
-		t.Fatalf("bug %q not caught by any oracle", bug)
+		t.Fatalf("bug %q not caught by any oracle", cfg.Bug)
 	}
 	found := false
 	for _, o := range oracles {
@@ -72,7 +76,7 @@ func forceBug(t *testing.T, seed int64, bug string, oracles ...string) {
 		}
 	}
 	if !found {
-		t.Fatalf("bug %q caught by oracle %q, want one of %v", bug, res.Failure.Oracle, oracles)
+		t.Fatalf("bug %q caught by oracle %q, want one of %v", cfg.Bug, res.Failure.Oracle, oracles)
 	}
 
 	a, report := ReportFailure(res.Config, *res.Failure, t.TempDir())
@@ -148,6 +152,16 @@ func TestForcedSwapSendMatch(t *testing.T) {
 // window graph while the pruned full inference still has them.
 func TestForcedSkipFold(t *testing.T) {
 	forceBug(t, 3, BugSkipFold, OracleCompaction)
+}
+
+// TestForcedDropEcmpBranch proves the symbolic-vs-probe oracle catches a
+// set-walker that silently skips an ECMP branch. The fat-tree OSPF world
+// guarantees equal-cost fan-out (every edge router is dual-homed to both
+// cores), so concrete probe enumeration finds paths through the branch the
+// bugged symbolic walk never recorded.
+func TestForcedDropEcmpBranch(t *testing.T) {
+	forceBugCfg(t, Config{Seed: 3, Shape: "fattree", Mix: "ospf", Routers: 6, Bug: BugDropEcmpBranch},
+		OracleSymbolic)
 }
 
 // TestShrinkPreservesFailure checks the shrinker's contract directly on a

@@ -22,20 +22,32 @@ const (
 	KindConfigLP     = "config-lp"
 	KindStaticAdd    = "static-add"
 	KindStaticDel    = "static-del"
+	// KindLagDown / KindLagUp flap one member of an ECMP fan-out — a link
+	// whose loss narrows an equal-cost group rather than partitioning the
+	// graph (a partial-LAG failure). Mechanically a link flap; the draw is
+	// biased to multi-homed links so symbolic walks see set churn.
+	KindLagDown = "lag-down"
+	KindLagUp   = "lag-up"
+	// KindEcmpStatic installs (or rewrites in place) a static route whose
+	// next-hop set spans a random subset of the router's connected peers.
+	// Re-draws across rounds widen and narrow the set — hash-polarization
+	// churn — exercising withdraw-one-member transitions end to end.
+	KindEcmpStatic = "ecmp-static"
 )
 
 // Event is one scheduled churn action. A and B name routers (for link and
 // session events) or router and neighbor address (for config-lp); At is
 // the virtual-time offset from the round's start.
 type Event struct {
-	Round   int    `json:"round"`
-	At      int64  `json:"at"` // nanoseconds into the round
-	Kind    string `json:"kind"`
-	A       string `json:"a,omitempty"`
-	B       string `json:"b,omitempty"`
-	Prefix  string `json:"prefix,omitempty"`
-	NextHop string `json:"nextHop,omitempty"`
-	Value   uint32 `json:"value,omitempty"`
+	Round    int      `json:"round"`
+	At       int64    `json:"at"` // nanoseconds into the round
+	Kind     string   `json:"kind"`
+	A        string   `json:"a,omitempty"`
+	B        string   `json:"b,omitempty"`
+	Prefix   string   `json:"prefix,omitempty"`
+	NextHop  string   `json:"nextHop,omitempty"`
+	NextHops []string `json:"nextHops,omitempty"`
+	Value    uint32   `json:"value,omitempty"`
 }
 
 func (e Event) String() string {
@@ -51,6 +63,14 @@ func (e Event) String() string {
 	}
 	if e.NextHop != "" {
 		s += " via " + e.NextHop
+	}
+	for i, nh := range e.NextHops {
+		if i == 0 {
+			s += " via "
+		} else {
+			s += "|"
+		}
+		s += nh
 	}
 	if e.Kind == KindConfigLP {
 		s += fmt.Sprintf(" lp=%d", e.Value)
@@ -103,6 +123,30 @@ func generateSchedule(cfg Config, w *world) []Event {
 				evs = append(evs, Event{
 					Round: round, At: rng.Int63n(int64(200 * time.Millisecond)),
 					Kind: KindStaticDel, A: add.A, Prefix: add.Prefix})
+			case KindLagDown:
+				l := w.lagLinks[rng.Intn(len(w.lagLinks))]
+				down := rng.Int63n(int64(100 * time.Millisecond))
+				up := down + int64(200*time.Millisecond) + rng.Int63n(int64(300*time.Millisecond))
+				evs = append(evs,
+					Event{Round: round, At: down, Kind: KindLagDown, A: l[0], B: l[1]},
+					Event{Round: round, At: up, Kind: KindLagUp, A: l[0], B: l[1]})
+			case KindEcmpStatic:
+				router := w.ecmpRouters[rng.Intn(len(w.ecmpRouters))]
+				peers := w.staticNHs[router]
+				width := 1 + rng.Intn(len(peers))
+				perm := rng.Perm(len(peers))[:width]
+				hops := make([]string, 0, width)
+				for _, ix := range perm {
+					hops = append(hops, peers[ix])
+				}
+				ev := Event{
+					Round: round, At: rng.Int63n(int64(200 * time.Millisecond)),
+					Kind: KindEcmpStatic, A: router,
+					Prefix:   fmt.Sprintf("198.19.%d.0/24", rng.Intn(4)),
+					NextHops: hops,
+				}
+				evs = append(evs, ev)
+				liveStatics = append(liveStatics, ev)
 			}
 		}
 	}
@@ -121,6 +165,12 @@ func pickKind(rng *rand.Rand, w *world, liveStatics []Event) string {
 	if len(liveStatics) > 0 {
 		kinds = append(kinds, KindStaticDel)
 	}
+	if len(w.lagLinks) > 0 {
+		kinds = append(kinds, KindLagDown)
+	}
+	if len(w.ecmpRouters) > 0 {
+		kinds = append(kinds, KindEcmpStatic)
+	}
 	return kinds[rng.Intn(len(kinds))]
 }
 
@@ -129,9 +179,9 @@ func pickKind(rng *rand.Rand, w *world, liveStatics []Event) string {
 // are no-ops, never errors, so every schedule subset stays runnable.
 func applyEvent(w *world, ev Event) {
 	switch ev.Kind {
-	case KindLinkDown:
+	case KindLinkDown, KindLagDown:
 		_, _ = w.net.SetLinkUp(ev.A, ev.B, false)
-	case KindLinkUp:
+	case KindLinkUp, KindLagUp:
 		_, _ = w.net.SetLinkUp(ev.A, ev.B, true)
 	case KindSessionReset:
 		_ = w.net.ResetBGPSession(ev.A, ev.B)
@@ -163,6 +213,31 @@ func applyEvent(w *world, ev Event) {
 			}
 			c.Statics = append(c.Statics, config.StaticRoute{Prefix: p, NextHop: nh})
 		})
+	case KindEcmpStatic:
+		p, err := netip.ParsePrefix(ev.Prefix)
+		if err != nil {
+			return
+		}
+		var hops []netip.Addr
+		for _, s := range ev.NextHops {
+			if a, err := netip.ParseAddr(s); err == nil {
+				hops = append(hops, a)
+			}
+		}
+		if len(hops) == 0 {
+			return
+		}
+		_, _ = w.net.UpdateConfig(ev.A, fmt.Sprintf("ecmp static %s width %d", ev.Prefix, len(hops)),
+			func(c *config.Router) {
+				st := config.StaticRoute{Prefix: p, NextHop: hops[0], NextHops: hops}
+				for i := range c.Statics {
+					if c.Statics[i].Prefix == p {
+						c.Statics[i] = st
+						return
+					}
+				}
+				c.Statics = append(c.Statics, st)
+			})
 	case KindStaticDel:
 		p, err := netip.ParsePrefix(ev.Prefix)
 		if err != nil {

@@ -63,9 +63,11 @@ func BuildFIBs(ios []capture.IO) map[string]map[netip.Prefix]fib.Entry {
 			if out[io.Router] == nil {
 				out[io.Router] = map[netip.Prefix]fib.Entry{}
 			}
-			out[io.Router][io.Prefix] = fib.Entry{
-				Prefix: io.Prefix, NextHop: io.NextHop, Proto: io.Proto,
+			e := fib.Entry{Prefix: io.Prefix, NextHop: io.NextHop, Proto: io.Proto}
+			if len(io.NextHops) > 1 {
+				e.NextHops = append([]netip.Addr(nil), io.NextHops...)
 			}
+			out[io.Router][io.Prefix] = e
 		case capture.FIBRemove:
 			delete(out[io.Router], io.Prefix)
 		default:

@@ -164,3 +164,89 @@ func TestCachedCheckUnderInvalidation(t *testing.T) {
 	close(stop)
 	invWg.Wait()
 }
+
+// TestSymbolicWalksUnderSetChurn races cached symbolic walks against
+// next-hop *set-membership* churn: a mutator widens and narrows an ECMP
+// static on r1 (2 members <-> 1 member <-> withdrawn) while four goroutines
+// run cached Checks whose walks branch through that entry. Under -race it
+// proves the symbolic DFS, the shared WalkCache, and fib.Table's multipath
+// entry copies compose; the stable paper policies must hold throughout.
+func TestSymbolicWalksUnderSetChurn(t *testing.T) {
+	pn, err := network.BuildPaper(1, network.DefaultPaperOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn.Start()
+	if err := pn.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tables := map[string]*fib.Table{}
+	for _, r := range pn.Routers() {
+		tables[r.Name] = r.FIB
+	}
+	w := dataplane.NewWalker(pn.Topo, dataplane.TableView(tables))
+	checker := NewChecker(w, []string{"r1", "r2", "r3"})
+	checker.Workers = 8
+	checker.Cache = NewWalkCache()
+
+	churnPrefix := netip.MustParsePrefix("77.0.0.0/24")
+	policies := []Policy{
+		{Kind: Egress, Prefix: pn.P, Expect: "e2"},
+		{Kind: NoLoop, Prefix: pn.P},
+		// The churn prefix branches toward r2 and r3 (or collapses to a
+		// single path) mid-walk; it must never loop whatever the set state.
+		{Kind: NoLoop, Prefix: churnPrefix},
+	}
+
+	// r1's two internal peers: r2 across 10.0.1.0/30, r3 across 10.0.2.0/30.
+	wide := route.Route{Prefix: churnPrefix, Proto: route.ProtoStatic}.
+		WithNextHops(netip.MustParseAddr("10.0.1.2"), netip.MustParseAddr("10.0.2.2"))
+	narrow := route.Route{Prefix: churnPrefix, Proto: route.ProtoStatic}.
+		WithNextHops(netip.MustParseAddr("10.0.1.2"))
+
+	stop := make(chan struct{})
+	var mutWg sync.WaitGroup
+	mutWg.Add(1)
+	go func() {
+		defer mutWg.Done()
+		r1 := tables["r1"]
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				r1.Offer(wide)
+			case 1:
+				r1.Offer(narrow) // withdraw-one-member transition
+			case 2:
+				r1.Withdraw(route.ProtoStatic, churnPrefix)
+			}
+			checker.Cache.InvalidateRouter("r1")
+			i++
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rep := checker.Check(policies)
+				for _, v := range rep.Violations {
+					if v.Policy.Prefix == pn.P {
+						t.Errorf("stable policy violated during set churn: %v", v)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	mutWg.Wait()
+}

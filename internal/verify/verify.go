@@ -39,9 +39,13 @@ const (
 	Waypoint
 	// Avoid: no walk may traverse the Expect router.
 	Avoid
+	// EcmpConsistent: equal-cost paths must agree — a symbolic walk may not
+	// split into different egresses (DivergentEgress) or deliver on some
+	// branches while dropping on others (PartialBlackhole).
+	EcmpConsistent
 )
 
-var kindNames = [...]string{"reachable", "no-loop", "no-blackhole", "egress", "waypoint", "avoid"}
+var kindNames = [...]string{"reachable", "no-loop", "no-blackhole", "egress", "waypoint", "avoid", "ecmp-consistent"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -314,7 +318,9 @@ func Evaluate(p Policy, src string, walk dataplane.Walk) (Violation, bool) {
 	}
 	switch p.Kind {
 	case Reachable:
-		if walk.Outcome != dataplane.Delivered {
+		// DivergentEgress still means every equal-cost branch delivered —
+		// reachability holds even though the exit points disagree.
+		if walk.Outcome != dataplane.Delivered && walk.Outcome != dataplane.DivergentEgress {
 			return fail("not delivered: " + walk.Outcome.String())
 		}
 	case NoLoop:
@@ -322,10 +328,14 @@ func Evaluate(p Policy, src string, walk dataplane.Walk) (Violation, bool) {
 			return fail("forwarding loop")
 		}
 	case NoBlackhole:
-		if walk.Outcome == dataplane.Dropped || walk.Outcome == dataplane.Stuck {
+		switch walk.Outcome {
+		case dataplane.Dropped, dataplane.Stuck, dataplane.PartialBlackhole:
 			return fail("blackhole: " + walk.Outcome.String())
 		}
 	case Egress:
+		if walk.Outcome == dataplane.DivergentEgress {
+			return fail(fmt.Sprintf("divergent egresses %v, want %s", walk.Egresses, p.Expect))
+		}
 		if walk.Outcome != dataplane.Delivered {
 			return fail("not delivered: " + walk.Outcome.String())
 		}
@@ -333,6 +343,16 @@ func Evaluate(p Policy, src string, walk dataplane.Walk) (Violation, bool) {
 			return fail(fmt.Sprintf("egress %s, want %s", walk.Egress, p.Expect))
 		}
 	case Waypoint:
+		if walk.Branches > 0 {
+			// Symbolic walk: Path lists every visited router, so membership
+			// only proves SOME branch hits the waypoint. Walk the DAG from
+			// the source with the waypoint removed; reaching any terminal
+			// means one equal-cost trajectory completes without it.
+			if bypassesWaypoint(walk, p.Expect) {
+				return fail("waypoint " + p.Expect + " bypassed on an equal-cost branch")
+			}
+			return Violation{}, false
+		}
 		for _, r := range walk.Path {
 			if r == p.Expect {
 				return Violation{}, false
@@ -340,13 +360,58 @@ func Evaluate(p Policy, src string, walk dataplane.Walk) (Violation, bool) {
 		}
 		return fail("waypoint " + p.Expect + " bypassed")
 	case Avoid:
+		// Path holds every visited router even for symbolic walks, and every
+		// visited router lies on some concrete trajectory, so a membership
+		// scan is exact for Avoid.
 		for _, r := range walk.Path {
 			if r == p.Expect {
 				return fail("traversed avoided router " + p.Expect)
 			}
 		}
+	case EcmpConsistent:
+		switch walk.Outcome {
+		case dataplane.DivergentEgress, dataplane.PartialBlackhole:
+			return fail("equal-cost branches disagree: " + walk.Outcome.String())
+		}
 	}
 	return Violation{}, false
+}
+
+// bypassesWaypoint reports whether the symbolic walk's DAG contains a
+// source→terminal trajectory that never traverses the waypoint. Terminals
+// are routers with no outgoing edge in the DAG — delivery, drop, and stuck
+// endpoints alike; a trajectory ending anywhere without the waypoint
+// bypassed it.
+func bypassesWaypoint(walk dataplane.Walk, waypoint string) bool {
+	if len(walk.Path) == 0 {
+		return false
+	}
+	src := walk.Path[0]
+	if src == waypoint {
+		return false
+	}
+	next := map[string][]string{}
+	for _, e := range walk.Edges {
+		next[e[0]] = append(next[e[0]], e[1])
+	}
+	seen := map[string]bool{src: true}
+	stack := []string{src}
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		outs := next[r]
+		if len(outs) == 0 {
+			return true // terminal reached without the waypoint
+		}
+		for _, nr := range outs {
+			if nr == waypoint || seen[nr] {
+				continue
+			}
+			seen[nr] = true
+			stack = append(stack, nr)
+		}
+	}
+	return false
 }
 
 // PreferredEgressPolicy expresses the paper's running policy — "R2 is the
