@@ -1611,3 +1611,235 @@ func BenchmarkSoakIngest(b *testing.B) {
 		b.Errorf("unbounded control dropped events: window %d of %d", offFull.window, offFull.events)
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Tentpole PR8 — scale: timer wheel, compressed trie, interned attributes.
+// ---------------------------------------------------------------------------
+
+// scaleK and scalePrefixCount size BenchmarkScaleConvergence. The defaults
+// are the acceptance size (fat-tree k=16, 320 routers; 500K prefixes through
+// the route-reflector tiers); the CI scale-smoke job runs -scale.k=8
+// -scale.prefixes=50000.
+var (
+	scaleK           = flag.Int("scale.k", 16, "fat-tree arity in BenchmarkScaleConvergence")
+	scalePrefixCount = flag.Int("scale.prefixes", 500_000,
+		"prefixes announced through the route-reflector tiers in BenchmarkScaleConvergence")
+)
+
+// scaleRun is one converged simulation's vitals.
+type scaleRun struct {
+	routers      int
+	events       uint64
+	eventsPerSec float64
+	rssPerRouter float64
+	highWater    int
+}
+
+// drainToConvergence runs the network until the event queue empties,
+// compacting the capture log between chunks so the post-run heap measures
+// routing state (FIBs, tries, RIBs, LSDBs), not retained history. Returns
+// the wall time spent firing events.
+func drainToConvergence(b *testing.B, n *network.Network) time.Duration {
+	b.Helper()
+	n.Sched.MaxEvents = 1 << 62 // the scale runs legitimately exceed the 5M default
+	start := time.Now()
+	// Compaction is driven by retained count, not virtual time: BGP's
+	// millisecond timers converge 500K prefixes inside a few hundred
+	// virtual milliseconds, so any RunFor cadence would still buffer the
+	// whole run (>2 GB of capture IOs) before the first compaction.
+	var steps uint64
+	for n.Sched.Step() {
+		if steps++; steps&0xfff == 0 && n.Log.Len() > 1<<16 {
+			n.Log.CompactBefore(n.Log.TotalAppended() + 1)
+		}
+	}
+	n.Log.CompactBefore(n.Log.TotalAppended() + 1)
+	return time.Since(start)
+}
+
+// BenchmarkScaleConvergence — tentpole PR8: the three hot-path
+// optimizations at their target scale. Phase 1 converges a fat-tree
+// (default k=16, 320 routers, 2048 links) under the wheel and heap
+// scheduler kernels, recording convergence events/sec and post-GC heap per
+// router. Phase 2 announces -scale.prefixes routes through the ISP
+// route-reflector tiers and measures the interning ratio: bytes that
+// per-speaker deep copies would have retained over bytes the canonical
+// table actually retains (deterministic, unlike RSS at 500K prefixes).
+// Phase 3 replays a scheduler-bound churn kernel workload — full
+// simulations dilute the kernel with protocol work — at the larger of the
+// measured high-water queue depth and 128K, where the heap pays its log-n
+// pops and lazy dead-entry sweeps. Floors (intern ratio >= 5x, wheel >= 2x
+// heap on churn events/sec) are enforced here and the whole record is
+// persisted to BENCH_scale.json.
+func BenchmarkScaleConvergence(b *testing.B) {
+	runFatTree := func(b *testing.B, kern netsim.Kernel) (res scaleRun) {
+		defer func(k netsim.Kernel) { netsim.DefaultKernel = k }(netsim.DefaultKernel)
+		netsim.DefaultKernel = kern
+		for i := 0; i < b.N; i++ {
+			runtime.GC()
+			var before runtime.MemStats
+			runtime.ReadMemStats(&before)
+			n, err := network.BuildFatTree(1, *scaleK)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n.Start()
+			elapsed := drainToConvergence(b, n)
+			runtime.GC()
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			res = scaleRun{
+				routers:      len(n.Routers()),
+				events:       n.Sched.Processed,
+				eventsPerSec: float64(n.Sched.Processed) / elapsed.Seconds(),
+				rssPerRouter: float64(int64(after.HeapAlloc)-int64(before.HeapAlloc)) / float64(len(n.Routers())),
+				highWater:    n.Sched.HighWater(),
+			}
+			b.ReportMetric(res.eventsPerSec, "events/sec")
+			runtime.KeepAlive(n)
+		}
+		return res
+	}
+
+	runISP := func(b *testing.B) (res scaleRun, ratio float64, stats route.InternStats) {
+		prefixes := network.ScalePrefixes(*scalePrefixCount)
+		for i := 0; i < b.N; i++ {
+			before := route.DefaultInterner.Stats()
+			n, err := network.BuildISPRR(1, 2, 1, prefixes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n.Start()
+			elapsed := drainToConvergence(b, n)
+			// Convergence spot-check at the edge furthest from the origin.
+			pe := n.Router("pe1-0")
+			for _, p := range []netip.Prefix{prefixes[0], prefixes[len(prefixes)/2], prefixes[len(prefixes)-1]} {
+				if _, ok := pe.FIB.Exact(p); !ok {
+					b.Fatalf("pe1-0 missing %v after convergence", p)
+				}
+			}
+			stats = route.DefaultInterner.Stats()
+			dShared := stats.SharedBytes - before.SharedBytes
+			dCanon := stats.CanonicalBytes - before.CanonicalBytes
+			if dCanon < 1 {
+				dCanon = 1 // attrs already canonical from an earlier benchmark
+			}
+			ratio = float64(dShared) / float64(dCanon)
+			res = scaleRun{
+				routers:      len(n.Routers()),
+				events:       n.Sched.Processed,
+				eventsPerSec: float64(n.Sched.Processed) / elapsed.Seconds(),
+				highWater:    n.Sched.HighWater(),
+			}
+			b.ReportMetric(res.eventsPerSec, "events/sec")
+			runtime.KeepAlive(n)
+		}
+		return res, ratio, stats
+	}
+
+	// runChurn replays the watchdog-churn workload: every tick cancels a
+	// live far-future timer and rearms it, the access pattern protocol
+	// retransmit timers produce. Closures are preallocated so the kernels'
+	// schedule/cancel/pop costs dominate the measurement.
+	runChurn := func(b *testing.B, kern netsim.Kernel, depth int) (eps float64) {
+		const churnFires = 300_000
+		noop := func() {}
+		for i := 0; i < b.N; i++ {
+			s := netsim.NewSchedulerKernel(1, kern)
+			watchdogs := make([]*netsim.Timer, depth)
+			ticks := make([]func(), 64)
+			var fired, cursor int
+			for j := range ticks {
+				j := j
+				ticks[j] = func() {
+					c := cursor % depth
+					cursor++
+					if watchdogs[c] != nil {
+						watchdogs[c].Stop()
+					}
+					watchdogs[c] = s.After(10*time.Second, noop)
+					fired++
+					if fired < churnFires {
+						s.After(time.Duration(1+j%7)*time.Millisecond, ticks[j])
+					}
+				}
+			}
+			for j := range ticks {
+				s.After(time.Duration(j%97)*time.Millisecond, ticks[j])
+			}
+			start := time.Now()
+			if err := s.Run(); err != nil {
+				b.Fatal(err)
+			}
+			eps = float64(s.Processed) / time.Since(start).Seconds()
+			b.ReportMetric(eps, "events/sec")
+		}
+		return eps
+	}
+
+	var ftWheel, ftHeap, isp scaleRun
+	var internRatio float64
+	var internStats route.InternStats
+	b.Run("fattree/wheel", func(b *testing.B) { ftWheel = runFatTree(b, netsim.KernelWheel) })
+	b.Run("fattree/heap", func(b *testing.B) { ftHeap = runFatTree(b, netsim.KernelHeap) })
+	b.Run("isp-rr", func(b *testing.B) { isp, internRatio, internStats = runISP(b) })
+	depth := ftWheel.highWater
+	if isp.highWater > depth {
+		depth = isp.highWater
+	}
+	if depth < 1<<17 {
+		depth = 1 << 17
+	}
+	var churnWheel, churnHeap float64
+	b.Run("churn/wheel", func(b *testing.B) { churnWheel = runChurn(b, netsim.KernelWheel, depth) })
+	b.Run("churn/heap", func(b *testing.B) { churnHeap = runChurn(b, netsim.KernelHeap, depth) })
+	if ftWheel.eventsPerSec == 0 || ftHeap.eventsPerSec == 0 || isp.eventsPerSec == 0 ||
+		churnWheel == 0 || churnHeap == 0 {
+		return // sub-benchmarks filtered out
+	}
+	speedup := churnWheel / churnHeap
+
+	once("scaleconvergence", func() {
+		fmt.Printf("\n[tentpole/PR8] scale: fat-tree k=%d (%d routers) + %d prefixes through RR tiers\n",
+			*scaleK, ftWheel.routers, *scalePrefixCount)
+		fmt.Printf("  fat-tree OSPF convergence: wheel %9.0f events/sec, heap %9.0f events/sec (%d events)\n",
+			ftWheel.eventsPerSec, ftHeap.eventsPerSec, ftWheel.events)
+		fmt.Printf("  heap per router after convergence: %.2f MB\n", ftWheel.rssPerRouter/(1<<20))
+		fmt.Printf("  ISP RR convergence: %d events, %9.0f events/sec, %d routers\n",
+			isp.events, isp.eventsPerSec, isp.routers)
+		fmt.Printf("  intern ratio %.1fx (deep-copy bytes over canonical; %d unique attr sets, %d live refs)\n",
+			internRatio, internStats.Unique, internStats.LiveRefs)
+		fmt.Printf("  kernel churn replay at depth %d: wheel %9.0f vs heap %9.0f events/sec => %.2fx\n",
+			depth, churnWheel, churnHeap, speedup)
+		artifact, _ := json.MarshalIndent(map[string]interface{}{
+			"benchmark": "BenchmarkScaleConvergence",
+			"fattree_k": *scaleK, "fattree_routers": ftWheel.routers,
+			"fattree_events":               ftWheel.events,
+			"fattree_wheel_events_per_sec": ftWheel.eventsPerSec,
+			"fattree_heap_events_per_sec":  ftHeap.eventsPerSec,
+			"fattree_rss_bytes_per_router": ftWheel.rssPerRouter,
+			"isp_prefixes":                 *scalePrefixCount,
+			"isp_routers":                  isp.routers,
+			"isp_events":                   isp.events,
+			"isp_events_per_sec":           isp.eventsPerSec,
+			"intern_ratio":                 internRatio,
+			"intern_unique":                internStats.Unique,
+			"intern_live_refs":             internStats.LiveRefs,
+			"churn_depth":                  depth,
+			"churn_wheel_events_per_sec":   churnWheel,
+			"churn_heap_events_per_sec":    churnHeap,
+			"churn_speedup":                speedup,
+			"floors":                       map[string]float64{"intern_ratio_min": 5, "churn_speedup_min": 2},
+		}, "", "  ")
+		if err := os.WriteFile("BENCH_scale.json", append(artifact, '\n'), 0o644); err != nil {
+			fmt.Println("  (could not write BENCH_scale.json:", err, ")")
+		}
+	})
+	if internRatio < 5 {
+		b.Errorf("interning retains %.1fx fewer route-storage bytes than deep copies, want >= 5x", internRatio)
+	}
+	if speedup < 2 {
+		b.Errorf("wheel kernel %.2fx heap on churn events/sec, want >= 2x (%.0f vs %.0f)",
+			speedup, churnWheel, churnHeap)
+	}
+}

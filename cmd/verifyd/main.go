@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sync"
 	"time"
@@ -46,8 +48,17 @@ func main() {
 		waves        = flag.Int("waves", 2000, "serve: advert waves to stream")
 		checkpoint   = flag.String("checkpoint", "", "serve: checkpoint file (enables crash recovery)")
 		compactEvery = flag.Uint64("compact-every", 4096, "serve: compact after this many ingested events (0 = never)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for scale runs")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers via the blank import.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "verifyd: pprof listener:", err)
+			}
+		}()
+	}
 	var err error
 	if *serve {
 		err = runServe(os.Stdout, serveOpts{

@@ -93,9 +93,34 @@ func DefaultTiming() Timing {
 	return Timing{FIBDelay: time.Millisecond, AdvertDelay: 4 * time.Millisecond}
 }
 
-type rawRoute struct {
-	msg Message
+// rawPath is one received path in the Adj-RIB-In. Attributes are held as a
+// refcounted handle onto the global intern table — 500K prefixes announced
+// through a route-reflector hierarchy share a handful of canonical
+// attribute sets instead of half a million deep copies. Paths for a prefix
+// live in a small slice sorted by PathID (almost always length 1), which is
+// an order of magnitude leaner than the nested map it replaces.
+type rawPath struct {
+	id  uint32
+	nh  netip.Addr
 	seq uint64 // arrival order, used for age-based tie-breaking
+	ref route.AttrRef
+}
+
+// advPath is one previously advertised path, with the interned attribute
+// handle backing the stored message.
+type advPath struct {
+	id  uint32
+	msg Message
+	ref route.AttrRef
+}
+
+func findPath[T any](paths []T, id uint32, idOf func(T) uint32) int {
+	for i := range paths {
+		if idOf(paths[i]) == id {
+			return i
+		}
+	}
+	return -1
 }
 
 type candidate struct {
@@ -118,14 +143,18 @@ type Speaker struct {
 	timing   Timing
 
 	sessions map[netip.Addr]*Session
-	// adjIn[peer][prefix][pathID] = raw received route (pre-policy).
-	adjIn map[netip.Addr]map[netip.Prefix]map[uint32]rawRoute
+	// adjIn[peer][prefix] = raw received paths (pre-policy), sorted by
+	// PathID, attributes interned.
+	adjIn map[netip.Addr]map[netip.Prefix][]rawPath
 	// locRIB holds the selected best route per prefix (post-policy).
 	locRIB   map[netip.Prefix]route.Route
 	locRIBIO map[netip.Prefix]uint64
-	// advertised[peer][prefix][pathID] = last message sent.
-	advertised map[netip.Addr]map[netip.Prefix]map[uint32]Message
-	arrival    uint64
+	// advertised[peer][prefix] = last messages sent, sorted by PathID.
+	advertised map[netip.Addr]map[netip.Prefix][]advPath
+	// networks indexes cfg.Networks (masked) so the per-prefix decision
+	// process avoids a linear scan over 500K configured originations.
+	networks map[netip.Prefix]bool
+	arrival  uint64
 
 	pendingFIB  map[netip.Prefix][]uint64
 	pendingSync map[netip.Prefix][]uint64
@@ -144,16 +173,25 @@ func New(name string, loopback netip.Addr, cfg *config.BGPConfig, policy func(st
 	if policy == nil {
 		policy = func(string) *config.Policy { return nil }
 	}
-	return &Speaker{
+	s := &Speaker{
 		name: name, loopback: loopback, cfg: cfg, policy: policy,
 		rec: rec, sched: sched, fib: fibTable, env: env, timing: timing,
 		sessions:    map[netip.Addr]*Session{},
-		adjIn:       map[netip.Addr]map[netip.Prefix]map[uint32]rawRoute{},
+		adjIn:       map[netip.Addr]map[netip.Prefix][]rawPath{},
 		locRIB:      map[netip.Prefix]route.Route{},
 		locRIBIO:    map[netip.Prefix]uint64{},
-		advertised:  map[netip.Addr]map[netip.Prefix]map[uint32]Message{},
+		advertised:  map[netip.Addr]map[netip.Prefix][]advPath{},
 		pendingFIB:  map[netip.Prefix][]uint64{},
 		pendingSync: map[netip.Prefix][]uint64{},
+	}
+	s.indexNetworks()
+	return s
+}
+
+func (s *Speaker) indexNetworks() {
+	s.networks = make(map[netip.Prefix]bool, len(s.cfg.Networks))
+	for _, n := range s.cfg.Networks {
+		s.networks[n.Masked()] = true
 	}
 }
 
@@ -161,7 +199,10 @@ func New(name string, loopback netip.Addr, cfg *config.BGPConfig, policy func(st
 func (s *Speaker) Name() string { return s.name }
 
 // SetConfig swaps the BGP configuration; callers follow with SoftReconfig.
-func (s *Speaker) SetConfig(cfg *config.BGPConfig) { s.cfg = cfg }
+func (s *Speaker) SetConfig(cfg *config.BGPConfig) {
+	s.cfg = cfg
+	s.indexNetworks()
+}
 
 // AddSession registers an adjacency. Sessions start down; the network layer
 // brings them up with PeerUp once both ends exist.
@@ -196,9 +237,9 @@ func (s *Speaker) LocRIB() map[netip.Prefix]route.Route {
 // AdjIn returns the raw routes received from peer (diagnostics).
 func (s *Speaker) AdjIn(peer netip.Addr) []Message {
 	var out []Message
-	for _, byID := range s.adjIn[peer] {
-		for _, rr := range byID {
-			out = append(out, rr.msg)
+	for p, paths := range s.adjIn[peer] {
+		for _, rr := range paths {
+			out = append(out, Message{Prefix: p, NextHop: rr.nh, Attrs: rr.ref.Attrs(), PathID: rr.id})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
@@ -209,6 +250,7 @@ func (s *Speaker) AdjIn(peer netip.Addr) []Message {
 // config-change capture ID.
 func (s *Speaker) Start(cause ...uint64) {
 	s.started = true
+	s.indexNetworks() // cfg may have been edited in place since New
 	for _, n := range s.cfg.Networks {
 		s.runDecision(n.Masked(), cause)
 	}
@@ -236,10 +278,18 @@ func (s *Speaker) PeerDown(peer netip.Addr, cause ...uint64) {
 	}
 	sess.Up = false
 	affected := make([]netip.Prefix, 0, len(s.adjIn[peer]))
-	for p := range s.adjIn[peer] {
+	for p, paths := range s.adjIn[peer] {
 		affected = append(affected, p)
+		for _, rr := range paths {
+			rr.ref.Release()
+		}
 	}
 	delete(s.adjIn, peer)
+	for _, paths := range s.advertised[peer] {
+		for _, ap := range paths {
+			ap.ref.Release()
+		}
+	}
 	delete(s.advertised, peer)
 	sort.Slice(affected, func(i, j int) bool { return lessPrefix(affected[i], affected[j]) })
 	for _, p := range affected {
@@ -252,6 +302,9 @@ func (s *Speaker) PeerDown(peer netip.Addr, cause ...uint64) {
 // soft-reconfiguration event (visible in Cisco logs, Fig. 5) whose cause is
 // the config change, and every resulting output chains from it.
 func (s *Speaker) SoftReconfig(cause ...uint64) {
+	// Callers may have edited cfg in place (tests and the repair engine do);
+	// rebuild the origination index before re-running the decision process.
+	s.indexNetworks()
 	io := s.rec.Record(capture.IO{Type: capture.SoftReconfig, Proto: route.ProtoBGP, Causes: cause})
 	for p := range s.allPrefixes() {
 		s.runDecision(p, []uint64{io.ID})
@@ -275,10 +328,15 @@ func (s *Speaker) HandleUpdate(peer netip.Addr, msg Message, sendIO uint64) {
 		Peer: sess.PeerName, PeerAddr: peer, Attrs: msg.Attrs, Causes: []uint64{sendIO},
 	})
 	if msg.Withdraw {
-		if byID := s.adjIn[peer][msg.Prefix]; byID != nil {
-			delete(byID, msg.PathID)
-			if len(byID) == 0 {
-				delete(s.adjIn[peer], msg.Prefix)
+		if paths := s.adjIn[peer][msg.Prefix]; paths != nil {
+			if i := findPath(paths, msg.PathID, func(r rawPath) uint32 { return r.id }); i >= 0 {
+				paths[i].ref.Release()
+				paths = append(paths[:i], paths[i+1:]...)
+				if len(paths) == 0 {
+					delete(s.adjIn[peer], msg.Prefix)
+				} else {
+					s.adjIn[peer][msg.Prefix] = paths
+				}
 			}
 		}
 	} else {
@@ -290,13 +348,22 @@ func (s *Speaker) HandleUpdate(peer netip.Addr, msg Message, sendIO uint64) {
 			return
 		}
 		if s.adjIn[peer] == nil {
-			s.adjIn[peer] = map[netip.Prefix]map[uint32]rawRoute{}
-		}
-		if s.adjIn[peer][msg.Prefix] == nil {
-			s.adjIn[peer][msg.Prefix] = map[uint32]rawRoute{}
+			s.adjIn[peer] = map[netip.Prefix][]rawPath{}
 		}
 		s.arrival++
-		s.adjIn[peer][msg.Prefix][msg.PathID] = rawRoute{msg: msg, seq: s.arrival}
+		np := rawPath{id: msg.PathID, nh: msg.NextHop, seq: s.arrival, ref: route.Intern(msg.Attrs)}
+		paths := s.adjIn[peer][msg.Prefix]
+		if i := findPath(paths, msg.PathID, func(r rawPath) uint32 { return r.id }); i >= 0 {
+			paths[i].ref.Release()
+			paths[i] = np
+		} else {
+			// Insert sorted by PathID so candidate iteration needs no re-sort.
+			at := sort.Search(len(paths), func(k int) bool { return paths[k].id > msg.PathID })
+			paths = append(paths, rawPath{})
+			copy(paths[at+1:], paths[at:])
+			paths[at] = np
+		}
+		s.adjIn[peer][msg.Prefix] = paths
 	}
 	s.runDecision(msg.Prefix, []uint64{recv.ID})
 }
@@ -312,8 +379,8 @@ func (s *Speaker) allPrefixes() map[netip.Prefix]bool {
 			out[p] = true
 		}
 	}
-	for _, n := range s.cfg.Networks {
-		out[n.Masked()] = true
+	for n := range s.networks {
+		out[n] = true
 	}
 	return out
 }
@@ -322,17 +389,14 @@ func (s *Speaker) allPrefixes() map[netip.Prefix]bool {
 // by arrival (oldest first) with the local origination, if any, first.
 func (s *Speaker) candidates(p netip.Prefix) []candidate {
 	var out []candidate
-	for _, n := range s.cfg.Networks {
-		if s.started && n.Masked() == p {
-			out = append(out, candidate{
-				r: route.Route{
-					Prefix: p, Proto: route.ProtoBGP, PeerType: route.PeerNone,
-					Attrs: route.BGPAttrs{Origin: route.OriginIGP},
-				},
-				local: true,
-			})
-			break
-		}
+	if s.started && s.networks[p] {
+		out = append(out, candidate{
+			r: route.Route{
+				Prefix: p, Proto: route.ProtoBGP, PeerType: route.PeerNone,
+				Attrs: route.BGPAttrs{Origin: route.OriginIGP},
+			},
+			local: true,
+		})
 	}
 	peers := make([]netip.Addr, 0, len(s.adjIn))
 	for a := range s.adjIn {
@@ -344,15 +408,12 @@ func (s *Speaker) candidates(p netip.Prefix) []candidate {
 		if sess == nil || !sess.Up {
 			continue
 		}
-		byID := s.adjIn[peer][p]
-		ids := make([]uint32, 0, len(byID))
-		for id := range byID {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			rr := byID[id]
-			attrs := rr.msg.Attrs.Clone()
+		// Paths are kept sorted by PathID; the attribute struct is copied by
+		// value off the interned canonical entry (scalar writes below stay
+		// local, the slices remain shared — import policies clone internally
+		// before touching them).
+		for _, rr := range s.adjIn[peer][p] {
+			attrs := rr.ref.Attrs()
 			if sess.Type == route.PeerEBGP && sess.LocalPref != 0 {
 				attrs.LocalPref = sess.LocalPref
 			}
@@ -362,7 +423,7 @@ func (s *Speaker) candidates(p netip.Prefix) []candidate {
 			}
 			out = append(out, candidate{
 				r: route.Route{
-					Prefix: p, NextHop: rr.msg.NextHop, Proto: route.ProtoBGP,
+					Prefix: p, NextHop: rr.nh, Proto: route.ProtoBGP,
 					PeerType: sess.Type, Attrs: attrs, LearnedFrom: peer,
 				},
 				seq:  rr.seq,
@@ -457,17 +518,9 @@ func routeEqual(a, b route.Route) bool {
 		a.LearnedFrom != b.LearnedFrom || !a.SameHops(b) {
 		return false
 	}
-	if a.Attrs.EffectiveLocalPref() != b.Attrs.EffectiveLocalPref() ||
-		a.Attrs.MED != b.Attrs.MED || a.Attrs.Origin != b.Attrs.Origin ||
-		len(a.Attrs.ASPath) != len(b.Attrs.ASPath) {
-		return false
-	}
-	for i := range a.Attrs.ASPath {
-		if a.Attrs.ASPath[i] != b.Attrs.ASPath[i] {
-			return false
-		}
-	}
-	return true
+	return a.Attrs.EffectiveLocalPref() == b.Attrs.EffectiveLocalPref() &&
+		a.Attrs.MED == b.Attrs.MED && a.Attrs.Origin == b.Attrs.Origin &&
+		route.SameUint32Slice(a.Attrs.ASPath, b.Attrs.ASPath)
 }
 
 // scheduleFIB queues a FIB synchronization for p after FIBDelay. Multiple
@@ -524,39 +577,47 @@ func (s *Speaker) flushSync(p netip.Prefix) {
 func (s *Speaker) syncPeer(sess *Session, p netip.Prefix, causes []uint64) {
 	desired := s.desiredExports(sess, p)
 	if s.advertised[sess.PeerAddr] == nil {
-		s.advertised[sess.PeerAddr] = map[netip.Prefix]map[uint32]Message{}
+		s.advertised[sess.PeerAddr] = map[netip.Prefix][]advPath{}
 	}
 	cur := s.advertised[sess.PeerAddr][p]
-	// Withdraw stale paths.
-	ids := make([]uint32, 0, len(cur))
-	for id := range cur {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		if _, still := desired[id]; still {
+	// Withdraw stale paths (cur is sorted by PathID).
+	kept := cur[:0]
+	for _, ap := range cur {
+		if _, still := desired[ap.id]; still {
+			kept = append(kept, ap)
 			continue
 		}
-		w := Message{Withdraw: true, Prefix: p, PathID: id}
+		w := Message{Withdraw: true, Prefix: p, PathID: ap.id}
 		s.send(sess, w, causes)
-		delete(cur, id)
+		ap.ref.Release()
 	}
-	// Advertise new/changed paths.
-	ids = ids[:0]
+	cur = kept
+	// Advertise new/changed paths in PathID order.
+	ids := make([]uint32, 0, len(desired))
 	for id := range desired {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		msg := desired[id]
-		if prev, ok := cur[id]; ok && messageEqual(prev, msg) {
+		i := findPath(cur, id, func(a advPath) uint32 { return a.id })
+		if i >= 0 && messageEqual(cur[i].msg, msg) {
 			continue
 		}
 		s.send(sess, msg, causes)
-		if cur == nil {
-			cur = map[uint32]Message{}
+		// Intern the advertised attributes so the retained copy shares the
+		// canonical slices with every other holder of the same set.
+		ref := route.Intern(msg.Attrs)
+		msg.Attrs = ref.Attrs()
+		if i >= 0 {
+			cur[i].ref.Release()
+			cur[i] = advPath{id: id, msg: msg, ref: ref}
+		} else {
+			at := sort.Search(len(cur), func(k int) bool { return cur[k].id > id })
+			cur = append(cur, advPath{})
+			copy(cur[at+1:], cur[at:])
+			cur[at] = advPath{id: id, msg: msg, ref: ref}
 		}
-		cur[id] = msg
 	}
 	if len(cur) == 0 {
 		delete(s.advertised[sess.PeerAddr], p)
@@ -569,24 +630,11 @@ func messageEqual(a, b Message) bool {
 	if a.Withdraw != b.Withdraw || a.Prefix != b.Prefix || a.NextHop != b.NextHop || a.PathID != b.PathID {
 		return false
 	}
-	if a.Attrs.LocalPref != b.Attrs.LocalPref || a.Attrs.MED != b.Attrs.MED ||
-		a.Attrs.Origin != b.Attrs.Origin || len(a.Attrs.ASPath) != len(b.Attrs.ASPath) {
-		return false
-	}
-	for i := range a.Attrs.ASPath {
-		if a.Attrs.ASPath[i] != b.Attrs.ASPath[i] {
-			return false
-		}
-	}
-	if a.Attrs.OriginatorID != b.Attrs.OriginatorID || len(a.Attrs.ClusterList) != len(b.Attrs.ClusterList) {
-		return false
-	}
-	for i := range a.Attrs.ClusterList {
-		if a.Attrs.ClusterList[i] != b.Attrs.ClusterList[i] {
-			return false
-		}
-	}
-	return true
+	return a.Attrs.LocalPref == b.Attrs.LocalPref && a.Attrs.MED == b.Attrs.MED &&
+		a.Attrs.Origin == b.Attrs.Origin &&
+		route.SameUint32Slice(a.Attrs.ASPath, b.Attrs.ASPath) &&
+		a.Attrs.OriginatorID == b.Attrs.OriginatorID &&
+		route.SameAddrSlice(a.Attrs.ClusterList, b.Attrs.ClusterList)
 }
 
 // desiredExports computes what should currently be advertised to sess for
@@ -611,7 +659,10 @@ func (s *Speaker) desiredExports(sess *Session, p netip.Prefix) map[uint32]Messa
 			}
 			reflecting = true
 		}
-		attrs, ok := s.policy(sess.ExportPolicy).Apply(p, c.r.Attrs.Clone(), s.cfg.ASN)
+		// No clone: Apply leaves attrs untouched when no policy applies and
+		// clones internally otherwise; the rewrite branches below always
+		// build fresh slices before mutating.
+		attrs, ok := s.policy(sess.ExportPolicy).Apply(p, c.r.Attrs, s.cfg.ASN)
 		if !ok {
 			return
 		}

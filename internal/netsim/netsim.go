@@ -8,6 +8,13 @@
 // happens-before graphs and lets experiment E10 explore message-order
 // permutations purely through seed sweeps.
 //
+// The Scheduler's priority queue is pluggable (Kernel): the default is a
+// hierarchical timer wheel with O(1) schedule and cancel, sized for
+// internet-scale topologies where periodic protocol timers are armed and
+// stopped millions of times per run; the original binary heap is retained
+// as a differential reference kernel. Both fire the exact same (time, seq)
+// order, so seeded runs are byte-identical across kernels.
+//
 // Virtual time is an int64 nanosecond count (VirtualTime). Routers never read
 // the host clock; per-router "wall clock" skew is layered on top by
 // ClockModel so that captured timestamps are imperfect in the same way real
@@ -15,9 +22,9 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -37,57 +44,107 @@ func (t VirtualTime) Sub(u VirtualTime) time.Duration { return time.Duration(t -
 // String formats the virtual time as a duration offset, e.g. "25.004s".
 func (t VirtualTime) String() string { return time.Duration(t).String() }
 
-// Event is a scheduled callback. Events are ordered by time, then by the
+// Event lifecycle. An event is pending from schedule until it either fires
+// or is canceled; the transitions happen under the scheduler mutex so a
+// concurrent Timer.Stop races safely against the run loop.
+const (
+	evPending uint8 = iota
+	evDead
+	evFired
+)
+
+// event is a scheduled callback. Events are ordered by time, then by the
 // sequence number assigned at scheduling time, which makes simultaneous
-// events fire in schedule order.
+// events fire in schedule order. The intrusive prev/next links thread the
+// event into a wheel slot (or the overflow list) so cancellation unlinks in
+// O(1); the heap kernel leaves them nil.
 type event struct {
-	at   VirtualTime
-	seq  uint64
-	fn   func()
-	dead bool
+	at    VirtualTime
+	seq   uint64
+	fn    func()
+	state uint8
+	inDue bool
+	prev  *event
+	next  *event
+	slot  *slotList
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Timer is a handle to a scheduled event; Stop cancels it if it has not
-// fired yet.
-type Timer struct{ ev *event }
+// fired yet. Stop is safe to call concurrently with the run loop.
+type Timer struct {
+	s  *Scheduler
+	ev *event
+}
 
 // Stop cancels the timer. It reports whether the event was still pending.
+// Under the wheel kernel the event leaves its slot immediately; under the
+// heap kernel it is marked dead and swept lazily.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+	if t == nil || t.ev == nil || t.s == nil {
 		return false
 	}
-	t.ev.dead = true
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if t.ev.state != evPending {
+		return false
+	}
+	t.s.k.cancel(t.ev)
 	return true
+}
+
+// Kernel selects the Scheduler's priority-queue implementation.
+type Kernel uint8
+
+const (
+	// KernelWheel is the hierarchical timer wheel: O(1) schedule and O(1)
+	// cancel with immediate slot removal, overflow list for far-future
+	// events. The default.
+	KernelWheel Kernel = iota
+	// KernelHeap is the original container/heap kernel, retained as a
+	// differential reference. Cancel marks events dead; a lazy sweep
+	// rebuilds the heap when dead entries exceed half the queue.
+	KernelHeap
+)
+
+// String names the kernel for logs and bench artifacts.
+func (k Kernel) String() string {
+	if k == KernelHeap {
+		return "heap"
+	}
+	return "wheel"
+}
+
+// DefaultKernel is the kernel NewScheduler uses. Differential tests flip it
+// to replay identical seeded scenarios under both implementations.
+var DefaultKernel = KernelWheel
+
+// schedKernel is the pluggable priority queue. All methods are called with
+// the scheduler mutex held. pop marks the returned event fired.
+type schedKernel interface {
+	schedule(*event)
+	cancel(*event)
+	peek() (VirtualTime, bool)
+	pop() *event
+	live() int
 }
 
 // Scheduler is the discrete-event simulation kernel. The zero value is not
 // usable; call NewScheduler.
 type Scheduler struct {
-	now     VirtualTime
-	seq     uint64
-	queue   eventQueue
-	rng     *rand.Rand
-	stopped bool
+	mu        sync.Mutex
+	now       VirtualTime
+	seq       uint64
+	k         schedKernel
+	rng       *rand.Rand
+	stopped   bool
+	highWater int
 	// Processed counts events that have fired; useful for run-length caps.
 	Processed uint64
 	// MaxEvents, when nonzero, aborts Run with ErrEventBudget after that
@@ -100,9 +157,20 @@ type Scheduler struct {
 var ErrEventBudget = fmt.Errorf("netsim: event budget exhausted")
 
 // NewScheduler returns a scheduler whose internal randomness (used only by
-// Jitter) is derived from seed.
+// Jitter) is derived from seed, running on DefaultKernel.
 func NewScheduler(seed int64) *Scheduler {
-	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+	return NewSchedulerKernel(seed, DefaultKernel)
+}
+
+// NewSchedulerKernel returns a scheduler on an explicitly chosen kernel.
+func NewSchedulerKernel(seed int64, k Kernel) *Scheduler {
+	s := &Scheduler{rng: rand.New(rand.NewSource(seed))}
+	if k == KernelHeap {
+		s.k = &heapKernel{}
+	} else {
+		s.k = newWheelKernel()
+	}
+	return s
 }
 
 // Now returns the current virtual time.
@@ -117,13 +185,18 @@ func (s *Scheduler) At(t VirtualTime, fn func()) *Timer {
 	if fn == nil {
 		panic("netsim: nil event func")
 	}
+	s.mu.Lock()
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
 	ev := &event{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.queue, ev)
-	return &Timer{ev: ev}
+	s.k.schedule(ev)
+	if l := s.k.live(); l > s.highWater {
+		s.highWater = l
+	}
+	s.mu.Unlock()
+	return &Timer{s: s, ev: ev}
 }
 
 // After schedules fn d after the current virtual time.
@@ -141,18 +214,25 @@ func (s *Scheduler) Jitter(base, spread time.Duration) time.Duration {
 }
 
 // Stop makes the current Run return after the in-flight event completes.
-func (s *Scheduler) Stop() { s.stopped = true }
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+}
 
-// Pending reports the number of events waiting to fire (including dead ones
-// not yet drained).
+// Pending reports the number of live events waiting to fire.
 func (s *Scheduler) Pending() int {
-	n := 0
-	for _, ev := range s.queue {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.k.live()
+}
+
+// HighWater reports the maximum number of live events that were ever queued
+// at once. Scale benches use it to size kernel replay workloads.
+func (s *Scheduler) HighWater() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.highWater
 }
 
 // Run fires events until the queue drains, Stop is called, or the event
@@ -163,39 +243,41 @@ func (s *Scheduler) Run() error { return s.RunUntil(VirtualTime(1<<62 - 1)) }
 // the later of the last fired event and its current value; it never jumps to
 // the deadline when the queue drains early.
 func (s *Scheduler) RunUntil(deadline VirtualTime) error {
+	s.mu.Lock()
 	s.stopped = false
-	for len(s.queue) > 0 && !s.stopped {
-		ev := s.queue[0]
-		if ev.at > deadline {
-			return nil
+	for !s.stopped {
+		t, ok := s.k.peek()
+		if !ok || t > deadline {
+			break
 		}
-		heap.Pop(&s.queue)
-		if ev.dead {
-			continue
-		}
+		ev := s.k.pop()
 		s.now = ev.at
 		s.Processed++
+		s.mu.Unlock()
 		ev.fn()
+		s.mu.Lock()
 		if s.MaxEvents > 0 && s.Processed >= s.MaxEvents {
+			s.mu.Unlock()
 			return ErrEventBudget
 		}
 	}
+	s.mu.Unlock()
 	return nil
 }
 
 // Step fires exactly one live event and reports whether one fired.
 func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.dead {
-			continue
-		}
-		s.now = ev.at
-		s.Processed++
-		ev.fn()
-		return true
+	s.mu.Lock()
+	ev := s.k.pop()
+	if ev == nil {
+		s.mu.Unlock()
+		return false
 	}
-	return false
+	s.now = ev.at
+	s.Processed++
+	s.mu.Unlock()
+	ev.fn()
+	return true
 }
 
 // ClockModel maps virtual time to the wall clock a particular router would

@@ -231,13 +231,7 @@ func (n *Network) deliverIface(fromRouter, ifname string, _ uint64, deliver func
 // loopback sessions use BGPSessionDelay.
 func (n *Network) deliverBGP(local, peer netip.Addr, msg bgp.Message, sendIO uint64) {
 	var delay time.Duration
-	var link *topology.Link
-	for _, l := range n.Topo.Links() {
-		if (l.A.Addr == local && l.B.Addr == peer) || (l.B.Addr == local && l.A.Addr == peer) {
-			link = l
-			break
-		}
-	}
+	link := n.Topo.LinkByEndpoints(local, peer)
 	if link != nil {
 		if !link.Up() {
 			return
@@ -405,12 +399,12 @@ func (n *Network) Start() {
 			r.OSPF.Start(cause)
 		}
 		if r.RIP != nil {
-			for p := range connectedPrefixes(r) {
+			for _, p := range connectedPrefixes(r) {
 				r.RIP.Originate(p, cause)
 			}
 		}
 		if r.EIGRP != nil {
-			for p := range connectedPrefixes(r) {
+			for _, p := range connectedPrefixes(r) {
 				r.EIGRP.Originate(p, cause)
 			}
 		}
@@ -436,22 +430,30 @@ func (n *Network) Start() {
 // directLink finds the point-to-point link whose endpoints carry the two
 // addresses, or nil for multi-hop (loopback) sessions.
 func (n *Network) directLink(a, b netip.Addr) *topology.Link {
-	for _, l := range n.Topo.Links() {
-		if (l.A.Addr == a && l.B.Addr == b) || (l.B.Addr == a && l.A.Addr == b) {
-			return l
-		}
-	}
-	return nil
+	return n.Topo.LinkByEndpoints(a, b)
 }
 
-func connectedPrefixes(r *Router) map[netip.Prefix]bool {
-	out := map[netip.Prefix]bool{}
+// connectedPrefixes returns the subnets of up interfaces, deduplicated and
+// sorted so protocol origination order (and thus the capture log) is
+// deterministic.
+func connectedPrefixes(r *Router) []netip.Prefix {
+	seen := map[netip.Prefix]bool{}
+	out := make([]netip.Prefix, 0, 4)
 	for _, i := range r.Topo.Interfaces() {
 		if i.Link != nil && !i.Link.Up() {
 			continue
 		}
-		out[i.Prefix] = true
+		if !seen[i.Prefix] {
+			seen[i.Prefix] = true
+			out = append(out, i.Prefix)
+		}
 	}
+	sort.Slice(out, func(a, b int) bool {
+		if c := out[a].Addr().Compare(out[b].Addr()); c != 0 {
+			return c < 0
+		}
+		return out[a].Bits() < out[b].Bits()
+	})
 	return out
 }
 

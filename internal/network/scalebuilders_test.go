@@ -1,0 +1,55 @@
+// Sanity coverage for the scale builders: small fat-tree and RR-hierarchy
+// instances must fully converge with per-/8 attribute flavors intact.
+
+package network
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestScaleBuilders(t *testing.T) {
+	n, err := BuildFatTree(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 pods * 4 + 4 cores = 20 routers; each knows the other 19 loopbacks.
+	for _, r := range n.Routers() {
+		count := 0
+		for _, e := range r.FIB.Entries() {
+			if e.Prefix.Bits() == 32 {
+				count++
+			}
+		}
+		if count != 19 {
+			t.Fatalf("%s has %d loopbacks, want 19", r.Name, count)
+		}
+	}
+	pfxs := ScalePrefixes(64)
+	isp, err := BuildISPRR(1, 2, 1, pfxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isp.Start()
+	if err := isp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pfxs {
+		for _, rn := range []string{"pe0-0", "mid0", "top", "mid1", "pe1-0"} {
+			e, ok := isp.Router(rn).FIB.Exact(p)
+			if !ok {
+				t.Fatalf("%s missing %v", rn, p)
+			}
+			_ = e
+		}
+	}
+	lr := isp.Router("pe1-0").BGP.LocRIB()
+	r, ok := lr[netip.MustParsePrefix("24.0.0.0/24")]
+	if !ok || len(r.Attrs.Communities) != 1 || r.Attrs.Communities[0] != 24 {
+		t.Fatalf("flavor attrs = %+v ok=%v", r.Attrs, ok)
+	}
+}

@@ -1,0 +1,98 @@
+// Scheduler-kernel determinism: the timer wheel must be a drop-in
+// replacement for the binary heap, not merely "equivalent up to
+// reordering". Both kernels replay the full shape x mix scenario matrix
+// and must produce byte-identical capture logs — every I/O, ID, timestamp,
+// and cause chain — and byte-identical encoded HBG checkpoints.
+
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hbverify/internal/hbg"
+	"hbverify/internal/hbr"
+	"hbverify/internal/netsim"
+)
+
+// runKernelTrace replays cfg's materialized schedule (the Run loop minus
+// the oracle harness) and returns the rendered capture log plus the
+// deterministic encoding of a checkpoint built from full inference over it.
+func runKernelTrace(t *testing.T, cfg Config) (string, []byte) {
+	t.Helper()
+	w, err := buildWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.net.Start()
+	if err := w.net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	byRound := map[int][]Event{}
+	for _, ev := range cfg.Schedule {
+		byRound[ev.Round] = append(byRound[ev.Round], ev)
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		base := w.net.Sched.Now().Add(roundGap)
+		for _, ev := range byRound[round] {
+			ev := ev
+			w.net.Sched.At(base.Add(time.Duration(ev.At)), func() { applyEvent(w, ev) })
+		}
+		if err := w.net.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ios := w.net.Log.All()
+	var sb strings.Builder
+	for _, io := range ios {
+		fmt.Fprintf(&sb, "%d %s t=%d tt=%d causes=%v attrs=%+v\n",
+			io.ID, io.String(), io.Time, io.TrueTime, io.Causes, io.Attrs)
+	}
+	cp := &hbg.Checkpoint{Graph: hbr.Rules{}.Infer(ios), Retained: ios}
+	if len(ios) > 0 {
+		cp.LastID = ios[len(ios)-1].ID
+		cp.FirstRetainedID = ios[0].ID
+	}
+	var buf bytes.Buffer
+	if err := cp.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String(), buf.Bytes()
+}
+
+func TestKernelDeterminismAcrossMatrix(t *testing.T) {
+	defer func(k netsim.Kernel) { netsim.DefaultKernel = k }(netsim.DefaultKernel)
+	for _, shape := range Shapes {
+		for _, mix := range Mixes {
+			t.Run(shape+"/"+mix, func(t *testing.T) {
+				cfg, err := Materialize(Config{Seed: 11, Shape: shape, Mix: mix, Rounds: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				netsim.DefaultKernel = netsim.KernelWheel
+				wheelLog, wheelCkpt := runKernelTrace(t, cfg)
+				netsim.DefaultKernel = netsim.KernelHeap
+				heapLog, heapCkpt := runKernelTrace(t, cfg)
+				if wheelLog != heapLog {
+					t.Fatalf("capture logs diverged between kernels:\n%s", firstLogDiff(wheelLog, heapLog))
+				}
+				if !bytes.Equal(wheelCkpt, heapCkpt) {
+					t.Fatal("encoded HBG checkpoints diverged between kernels")
+				}
+			})
+		}
+	}
+}
+
+func firstLogDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  wheel: %s\n  heap:  %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: wheel %d lines, heap %d lines", len(al), len(bl))
+}

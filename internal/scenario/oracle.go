@@ -1,4 +1,4 @@
-// The nine differential oracles checked after every convergence round.
+// The ten differential oracles checked after every convergence round.
 
 package scenario
 
@@ -36,7 +36,52 @@ const (
 	OracleRepair       = "repair-rollback"
 	OracleEqclassDelta = "eqclass-delta-vs-full"
 	OracleSymbolic     = "symbolic-vs-probe"
+	OracleInternCopy   = "intern-vs-copy"
 )
+
+// oracleInternVsCopy asserts the interned Adj-RIB-In state matches the wire:
+// every path a speaker retains must carry attributes exactly equal to some
+// recorded recv-advert from that (router, peer, prefix). The recv I/O is
+// captured before the attributes are interned, so a canonical table that
+// aliases distinct attribute sets (BugInternAlias) leaves the speaker
+// holding attributes no wire message ever carried.
+func (h *harness) oracleInternVsCopy(round int) *Failure {
+	type recvKey struct {
+		router string
+		peer   netip.Addr
+		prefix netip.Prefix
+	}
+	recvs := map[recvKey][]route.BGPAttrs{}
+	for _, io := range capture.StripOracle(h.w.net.Log.All()) {
+		if io.Type == capture.RecvAdvert && io.Proto == route.ProtoBGP {
+			k := recvKey{io.Router, io.PeerAddr, io.Prefix}
+			recvs[k] = append(recvs[k], io.Attrs)
+		}
+	}
+	for _, r := range h.w.net.Routers() {
+		if r.BGP == nil {
+			continue
+		}
+		for _, sess := range r.BGP.Sessions() {
+			for _, msg := range r.BGP.AdjIn(sess.PeerAddr) {
+				k := recvKey{r.Name, sess.PeerAddr, msg.Prefix}
+				matched := false
+				for _, a := range recvs[k] {
+					if route.AttrsEqual(a, msg.Attrs) {
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					return &Failure{Oracle: OracleInternCopy, Round: round, Detail: fmt.Sprintf(
+						"%s adj-in[%v] %v holds attrs {lp=%d path=[%s]} matching none of %d recv-adverts",
+						r.Name, sess.PeerAddr, msg.Prefix, msg.Attrs.LocalPref, msg.Attrs.PathString(), len(recvs[k]))}
+				}
+			}
+		}
+	}
+	return nil
+}
 
 // inferRefCap bounds the log suffix the fast-vs-reference oracle compares
 // on: the reference implementations are the old quadratic code, and the

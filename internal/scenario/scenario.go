@@ -1,6 +1,6 @@
 // Package scenario is the randomized correctness harness: it generates
 // seeded deterministic networks, drives them through churn schedules, and
-// checks nine differential oracles after every convergence round —
+// checks ten differential oracles after every convergence round —
 //
 //  0. infer-fast-vs-reference: every shared-index inference strategy
 //     produces node-, edge-, and confidence-identical graphs to the
@@ -28,7 +28,10 @@
 //  8. symbolic-vs-probe: every concrete single-next-hop path enumerated
 //     through a symbolic walk's ECMP DAG, independently aggregated,
 //     reproduces the symbolic walk's outcome and egress set, and no
-//     concrete path traverses an edge the DAG lacks.
+//     concrete path traverses an edge the DAG lacks;
+//  9. intern-vs-copy: every attribute set a BGP speaker retains in its
+//     interned Adj-RIB-In is byte-equal to one actually received on the
+//     wire — the hash-consed canonical table never aliases distinct sets.
 //
 // A failure carries the seed and churn schedule; Shrink greedily drops
 // events until the failure is minimal, and the artifact replays with
@@ -47,6 +50,7 @@ import (
 	"hbverify/internal/metrics"
 	"hbverify/internal/network"
 	"hbverify/internal/repair"
+	"hbverify/internal/route"
 	"hbverify/internal/verify"
 )
 
@@ -85,6 +89,11 @@ const (
 	// walks are unaffected, so the symbolic-vs-probe oracle must catch
 	// the missing branch.
 	BugDropEcmpBranch = "drop-ecmp-branch"
+	// BugInternAlias makes the BGP attribute interner treat the first AS in
+	// the path as a wildcard when hashing and comparing, so distinct
+	// attribute sets collapse onto one canonical entry — the failure mode
+	// of a hash-consing table whose equality check drifts from its hash.
+	BugInternAlias = "intern-alias"
 )
 
 // Config describes one deterministic scenario. The zero values of Shape,
@@ -178,6 +187,10 @@ func Run(cfg Config) *Result {
 	if cfg.Bug == BugSwapSendMatch {
 		hbr.SetSwapSendMatchBug(true)
 		defer hbr.SetSwapSendMatchBug(false)
+	}
+	if cfg.Bug == BugInternAlias {
+		route.SetInternAliasBug(true)
+		defer route.SetInternAliasBug(false)
 	}
 
 	w, err := buildWorld(cfg)
@@ -299,13 +312,18 @@ func (h *harness) infer(ios []capture.IO) *hbg.Graph {
 	return h.strat.Infer(capture.StripOracle(ios))
 }
 
-// checkRound runs the nine oracles in order and returns the first
-// failure. The fast-vs-reference oracle runs first so any divergence in
-// the inference rewrite is reported as such, not as a downstream
-// repair/snapshot anomaly; the eqclass-delta oracle runs last, after
-// repair-rollback, so it also validates that the delta state survives (is
-// correctly flushed across) a fault injection and rollback.
+// checkRound runs the ten oracles in order and returns the first
+// failure. The intern-vs-copy oracle runs first: aliased attributes would
+// corrupt every downstream observable, so a canonical-table fault should be
+// reported as such. The fast-vs-reference oracle runs next so any
+// divergence in the inference rewrite is reported as such, not as a
+// downstream repair/snapshot anomaly; the eqclass-delta oracle runs last,
+// after repair-rollback, so it also validates that the delta state
+// survives (is correctly flushed across) a fault injection and rollback.
 func (h *harness) checkRound(round int) *Failure {
+	if f := h.oracleInternVsCopy(round); f != nil {
+		return f
+	}
 	if f := h.oracleInferFastVsReference(round); f != nil {
 		return f
 	}

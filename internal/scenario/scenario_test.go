@@ -164,6 +164,15 @@ func TestForcedDropEcmpBranch(t *testing.T) {
 		OracleSymbolic)
 }
 
+// TestForcedInternAlias proves the intern-vs-copy oracle catches a canonical
+// attribute table that aliases distinct sets. The BGP mix has e1 (AS 100)
+// and e2 (AS 200) announcing the multi-homed prefix P with single-AS paths
+// differing only in that AS, exactly what the wildcarded first-AS hash
+// collapses; some speaker then retains an AS path no wire message carried.
+func TestForcedInternAlias(t *testing.T) {
+	forceBugCfg(t, Config{Seed: 3, Mix: "ospf+bgp", Bug: BugInternAlias}, OracleInternCopy)
+}
+
 // TestShrinkPreservesFailure checks the shrinker's contract directly on a
 // forced failure: the minimized config still fails the same oracle.
 func TestShrinkPreservesFailure(t *testing.T) {

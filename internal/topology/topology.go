@@ -110,15 +110,55 @@ func (r *Router) ConnectedPrefixes() map[netip.Prefix]string {
 	return out
 }
 
-// Topology is a collection of routers and links.
+// Topology is a collection of routers and links. Address and endpoint
+// indexes are maintained on mutation so the per-message hot paths in
+// internal/network (owner lookup, link-by-endpoints) stay O(1) at
+// hundreds of routers.
 type Topology struct {
 	routers map[string]*Router
 	links   []*Link
+	// loopbacks maps loopback address -> router.
+	loopbacks map[netip.Addr]*Router
+	// byAddr maps interface address -> interface. On the (unsupported but
+	// unchecked) chance two routers reuse an address, the lexicographically
+	// smallest router name wins, matching the old sorted-scan semantics.
+	byAddr map[netip.Addr]*Interface
+	// linkByEnds maps an unordered endpoint-address pair -> link.
+	linkByEnds map[[2]netip.Addr]*Link
+	// linkByRouters maps an unordered router-name pair -> first link added.
+	linkByRouters map[[2]string]*Link
 }
 
 // New returns an empty topology.
 func New() *Topology {
-	return &Topology{routers: map[string]*Router{}}
+	return &Topology{
+		routers:       map[string]*Router{},
+		loopbacks:     map[netip.Addr]*Router{},
+		byAddr:        map[netip.Addr]*Interface{},
+		linkByEnds:    map[[2]netip.Addr]*Link{},
+		linkByRouters: map[[2]string]*Link{},
+	}
+}
+
+func (t *Topology) indexIface(i *Interface) {
+	if prev, ok := t.byAddr[i.Addr]; ok && prev.Router <= i.Router {
+		return
+	}
+	t.byAddr[i.Addr] = i
+}
+
+func addrPair(a, b netip.Addr) [2]netip.Addr {
+	if b.Compare(a) < 0 {
+		a, b = b, a
+	}
+	return [2]netip.Addr{a, b}
+}
+
+func namePair(a, b string) [2]string {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]string{a, b}
 }
 
 // AddRouter creates a router. Loopback must be unique; it is used as the
@@ -127,13 +167,12 @@ func (t *Topology) AddRouter(name string, loopback netip.Addr) (*Router, error) 
 	if _, dup := t.routers[name]; dup {
 		return nil, fmt.Errorf("topology: duplicate router %q", name)
 	}
-	for _, r := range t.routers {
-		if r.Loopback == loopback {
-			return nil, fmt.Errorf("topology: loopback %v already used by %q", loopback, r.Name)
-		}
+	if r, dup := t.loopbacks[loopback]; dup {
+		return nil, fmt.Errorf("topology: loopback %v already used by %q", loopback, r.Name)
 	}
 	r := &Router{Name: name, Loopback: loopback, ifaces: map[string]*Interface{}}
 	t.routers[name] = r
+	t.loopbacks[loopback] = r
 	return r, nil
 }
 
@@ -199,6 +238,12 @@ func (t *Topology) AddLink(spec LinkSpec) (*Link, error) {
 	ra.ifaces[spec.AIface] = ia
 	rb.ifaces[spec.BIface] = ib
 	t.links = append(t.links, l)
+	t.indexIface(ia)
+	t.indexIface(ib)
+	t.linkByEnds[addrPair(ia.Addr, ib.Addr)] = l
+	if np := namePair(ra.Name, rb.Name); t.linkByRouters[np] == nil {
+		t.linkByRouters[np] = l // first link wins for parallel links
+	}
 	return l, nil
 }
 
@@ -217,18 +262,20 @@ func (t *Topology) AddStub(router, iface string, addr netip.Addr, prefix netip.P
 	}
 	i := &Interface{Router: router, Name: iface, Addr: addr, Prefix: prefix.Masked()}
 	r.ifaces[iface] = i
+	t.indexIface(i)
 	return i, nil
 }
 
 // LinkBetween returns the link connecting two routers, or nil. With multiple
-// parallel links it returns the first.
+// parallel links it returns the first added.
 func (t *Topology) LinkBetween(a, b string) *Link {
-	for _, l := range t.links {
-		if (l.A.Router == a && l.B.Router == b) || (l.A.Router == b && l.B.Router == a) {
-			return l
-		}
-	}
-	return nil
+	return t.linkByRouters[namePair(a, b)]
+}
+
+// LinkByEndpoints returns the link whose interface addresses are exactly
+// {a, b} (in either order), or nil.
+func (t *Topology) LinkByEndpoints(a, b netip.Addr) *Link {
+	return t.linkByEnds[addrPair(a, b)]
 }
 
 // Neighbors returns the names of routers adjacent to r over up links,
@@ -254,15 +301,13 @@ func (t *Topology) Neighbors(r string) []string {
 	return out
 }
 
-// OwnerOf returns the router whose interface holds addr, or "".
+// OwnerOf returns the router whose loopback or interface holds addr, or "".
 func (t *Topology) OwnerOf(addr netip.Addr) string {
-	for _, r := range t.Routers() {
-		if r.Loopback == addr {
-			return r.Name
-		}
-		if r.InterfaceByAddr(addr) != nil {
-			return r.Name
-		}
+	if r, ok := t.loopbacks[addr]; ok {
+		return r.Name
+	}
+	if i, ok := t.byAddr[addr]; ok {
+		return i.Router
 	}
 	return ""
 }

@@ -1,0 +1,267 @@
+// Reference is the original one-bit-per-node trie, preserved verbatim as a
+// differential oracle for the path-compressed implementation. It is simple
+// enough to trust by inspection — one node per prefix bit, no edge
+// compression — and the property tests assert the compressed trie agrees
+// with it operation for operation.
+
+package trie
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+)
+
+type refNode[V any] struct {
+	child [2]*refNode[V]
+	val   V
+	set   bool
+	pfx   netip.Prefix // valid only when set
+}
+
+// Reference is the unibit longest-prefix-match table. The zero value is
+// empty and usable. A single Reference must hold only one address family.
+type Reference[V any] struct {
+	root refNode[V]
+	size int
+	is6  bool
+	used bool
+}
+
+// NewReference returns an empty unibit trie.
+func NewReference[V any]() *Reference[V] { return &Reference[V]{} }
+
+// Len reports the number of stored prefixes.
+func (t *Reference[V]) Len() int { return t.size }
+
+func (t *Reference[V]) checkFamily(p netip.Prefix) error {
+	if !p.IsValid() {
+		return fmt.Errorf("trie: invalid prefix %v", p)
+	}
+	if !t.used {
+		t.used, t.is6 = true, p.Addr().Is6()
+		return nil
+	}
+	if p.Addr().Is6() != t.is6 {
+		return fmt.Errorf("trie: mixed address families (%v)", p)
+	}
+	return nil
+}
+
+func refBit(a netip.Addr, i int) int {
+	b := a.AsSlice()
+	if b[i/8]&(1<<(7-i%8)) != 0 {
+		return 1
+	}
+	return 0
+}
+
+// Insert stores v under prefix p, replacing any existing value.
+func (t *Reference[V]) Insert(p netip.Prefix, v V) error {
+	p = p.Masked()
+	if err := t.checkFamily(p); err != nil {
+		return err
+	}
+	n := &t.root
+	for i := 0; i < p.Bits(); i++ {
+		b := refBit(p.Addr(), i)
+		if n.child[b] == nil {
+			n.child[b] = &refNode[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.size++
+	}
+	n.set, n.val, n.pfx = true, v, p
+	return nil
+}
+
+// Delete removes prefix p. It reports whether the prefix was present.
+func (t *Reference[V]) Delete(p netip.Prefix) bool {
+	p = p.Masked()
+	if !t.used || !p.IsValid() || p.Addr().Is6() != t.is6 {
+		return false
+	}
+	path := make([]*refNode[V], 0, p.Bits()+1)
+	n := &t.root
+	path = append(path, n)
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[refBit(p.Addr(), i)]
+		if n == nil {
+			return false
+		}
+		path = append(path, n)
+	}
+	if !n.set {
+		return false
+	}
+	var zero V
+	n.set, n.val, n.pfx = false, zero, netip.Prefix{}
+	t.size--
+	for i := len(path) - 1; i > 0; i-- {
+		c := path[i]
+		if c.set || c.child[0] != nil || c.child[1] != nil {
+			break
+		}
+		parent := path[i-1]
+		parent.child[refBit(p.Addr(), i-1)] = nil
+	}
+	return true
+}
+
+// Exact returns the value stored at exactly prefix p.
+func (t *Reference[V]) Exact(p netip.Prefix) (V, bool) {
+	var zero V
+	p = p.Masked()
+	if !t.used || !p.IsValid() || p.Addr().Is6() != t.is6 {
+		return zero, false
+	}
+	n := &t.root
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[refBit(p.Addr(), i)]
+		if n == nil {
+			return zero, false
+		}
+	}
+	if !n.set {
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Lookup returns the value and prefix of the longest stored prefix covering
+// addr.
+func (t *Reference[V]) Lookup(addr netip.Addr) (V, netip.Prefix, bool) {
+	var (
+		zero  V
+		best  V
+		bpfx  netip.Prefix
+		found bool
+	)
+	if !t.used || !addr.IsValid() || addr.Is6() != t.is6 {
+		return zero, netip.Prefix{}, false
+	}
+	n := &t.root
+	if n.set {
+		best, bpfx, found = n.val, n.pfx, true
+	}
+	maxBits := addr.BitLen()
+	for i := 0; i < maxBits && n != nil; i++ {
+		n = n.child[refBit(addr, i)]
+		if n == nil {
+			break
+		}
+		if n.set {
+			best, bpfx, found = n.val, n.pfx, true
+		}
+	}
+	if !found {
+		return zero, netip.Prefix{}, false
+	}
+	return best, bpfx, true
+}
+
+// LookupPrefix returns the longest stored prefix containing all of p.
+func (t *Reference[V]) LookupPrefix(p netip.Prefix) (V, netip.Prefix, bool) {
+	var (
+		zero  V
+		best  V
+		bpfx  netip.Prefix
+		found bool
+	)
+	p = p.Masked()
+	if !t.used || !p.IsValid() || p.Addr().Is6() != t.is6 {
+		return zero, netip.Prefix{}, false
+	}
+	n := &t.root
+	if n.set {
+		best, bpfx, found = n.val, n.pfx, true
+	}
+	for i := 0; i < p.Bits() && n != nil; i++ {
+		n = n.child[refBit(p.Addr(), i)]
+		if n == nil {
+			break
+		}
+		if n.set {
+			best, bpfx, found = n.val, n.pfx, true
+		}
+	}
+	if !found {
+		return zero, netip.Prefix{}, false
+	}
+	return best, bpfx, true
+}
+
+// Walk visits every stored (prefix, value) pair in lexicographic bit order.
+func (t *Reference[V]) Walk(fn func(netip.Prefix, V) bool) {
+	var rec func(n *refNode[V]) bool
+	rec = func(n *refNode[V]) bool {
+		if n == nil {
+			return true
+		}
+		if n.set {
+			if !fn(n.pfx, n.val) {
+				return false
+			}
+		}
+		return rec(n.child[0]) && rec(n.child[1])
+	}
+	rec(&t.root)
+}
+
+// Prefixes returns all stored prefixes sorted by (address, length).
+func (t *Reference[V]) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, t.size)
+	t.Walk(func(p netip.Prefix, _ V) bool {
+		out = append(out, p)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Addr().Compare(out[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return out[i].Bits() < out[j].Bits()
+	})
+	return out
+}
+
+// Subtree returns every stored prefix contained in p (including p itself).
+func (t *Reference[V]) Subtree(p netip.Prefix) []netip.Prefix {
+	p = p.Masked()
+	var out []netip.Prefix
+	if !t.used || p.Addr().Is6() != t.is6 {
+		return out
+	}
+	n := &t.root
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[refBit(p.Addr(), i)]
+		if n == nil {
+			return out
+		}
+	}
+	var rec func(n *refNode[V])
+	rec = func(n *refNode[V]) {
+		if n == nil {
+			return
+		}
+		if n.set {
+			out = append(out, n.pfx)
+		}
+		rec(n.child[0])
+		rec(n.child[1])
+	}
+	rec(n)
+	return out
+}
+
+// String renders the trie contents, one "prefix -> value" per line.
+func (t *Reference[V]) String() string {
+	var b strings.Builder
+	for _, p := range t.Prefixes() {
+		v, _ := t.Exact(p)
+		fmt.Fprintf(&b, "%v -> %v\n", p, v)
+	}
+	return b.String()
+}
