@@ -10,6 +10,7 @@ package hbverify
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -19,6 +20,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -37,6 +39,7 @@ import (
 	"hbverify/internal/network"
 	"hbverify/internal/repair"
 	"hbverify/internal/route"
+	"hbverify/internal/serve"
 	"hbverify/internal/snapshot"
 	"hbverify/internal/stream"
 	"hbverify/internal/topology"
@@ -1841,5 +1844,209 @@ func BenchmarkScaleConvergence(b *testing.B) {
 	if speedup < 2 {
 		b.Errorf("wheel kernel %.2fx heap on churn events/sec, want >= 2x (%.0f vs %.0f)",
 			speedup, churnWheel, churnHeap)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E20 — tentpole PR9: verification as a query service.
+// ---------------------------------------------------------------------------
+
+// serveK, serveClients, and serveQueries size BenchmarkServeQueries. The
+// defaults are the acceptance size (fat-tree k=8, 80 routers, 30K mixed
+// queries per measured run from 8 concurrent clients); the CI serve-smoke
+// job runs -serve.k=4 -serve.queries=6000.
+var (
+	serveK       = flag.Int("serve.k", 8, "fat-tree arity in BenchmarkServeQueries")
+	serveClients = flag.Int("serve.clients", 8, "concurrent query clients in BenchmarkServeQueries")
+	serveQueries = flag.Int("serve.queries", 30_000,
+		"mixed queries per measured run in BenchmarkServeQueries")
+)
+
+// BenchmarkServeQueries — tentpole PR9: sustained mixed verification
+// queries (reachability, waypoint, isolation over edge-to-edge pairs)
+// against a converged fat-tree whose FIBs churn under the queries' feet.
+// A background writer flips a static on a rotating edge router, driving
+// per-router plan invalidation through the walk cache's epoch/floor
+// machinery. Two engine modes run the same workload: the shared plan
+// cache (queries over one forwarding class share one walk; misses
+// coalesce) versus the plan-per-query baseline (DisableCache: every
+// query pays for its own walk, no coalescing). The >= 5x QPS floor for
+// the cached path is enforced here and the record — QPS both ways, p50
+// and p99 service latency, cache-hit ratio, shed count — is persisted to
+// BENCH_serve.json.
+func BenchmarkServeQueries(b *testing.B) {
+	k := *serveK
+	n, err := network.BuildFatTree(1, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.Start()
+	drainToConvergence(b, n)
+
+	// Edge routers are the query sources; their loopbacks the targets.
+	half := k / 2
+	var edges []string
+	var prefixes []netip.Prefix
+	for p := 0; p < k; p++ {
+		for i := 0; i < half; i++ {
+			edges = append(edges, fmt.Sprintf("p%de%d", p, i))
+			prefixes = append(prefixes, route.MustPrefix(fmt.Sprintf("9.1.%d.%d/32", p, i+1)))
+		}
+	}
+	pipe := NewPipeline(n, edges)
+	defer pipe.Close()
+
+	// The mixed workload: one query kind per ordered edge pair, so every
+	// query maps to a distinct (source, probe) plan and repeat passes over
+	// the pool are the cache's steady state.
+	var queries []serve.Query
+	for si, src := range edges {
+		for di, pfx := range prefixes {
+			if si == di {
+				continue
+			}
+			switch (si + di) % 3 {
+			case 0:
+				queries = append(queries, serve.Reachability(src, pfx))
+			case 1:
+				// The destination pod's first aggregation router is on
+				// every inter-pod path into that pod.
+				queries = append(queries, serve.Waypoint(src, pfx, fmt.Sprintf("p%da0", di/half)))
+			default:
+				queries = append(queries, serve.Isolation(src, pfx, "core0"))
+			}
+		}
+	}
+
+	// Churn: flip a static on a rotating edge router every ~200us. Each
+	// flip fires the FIB OnChange hook and invalidates exactly the plans
+	// whose walk crossed that router.
+	churnStop := make(chan struct{})
+	var churnFlips atomic.Int64
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		rt := route.Route{
+			Prefix:  netip.MustParsePrefix("55.0.0.0/24"),
+			Proto:   route.ProtoStatic,
+			NextHop: netip.MustParseAddr("10.255.255.1"),
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-churnStop:
+				return
+			default:
+			}
+			f := n.Router(edges[i%len(edges)]).FIB
+			if i%2 == 0 {
+				f.Offer(rt)
+			} else {
+				f.Withdraw(route.ProtoStatic, rt.Prefix)
+			}
+			churnFlips.Add(1)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	defer func() {
+		close(churnStop)
+		churnWG.Wait()
+	}()
+
+	drive := func(b *testing.B, eng *serve.Engine) (qps float64, stats serve.Stats) {
+		clients := *serveClients
+		per := *serveQueries / clients
+		for i := 0; i < b.N; i++ {
+			before := eng.Stats()
+			var wg sync.WaitGroup
+			start := time.Now()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for q := 0; q < per; q++ {
+						if _, err := eng.Query(queries[(c*per+q)%len(queries)]); err != nil &&
+							!errors.Is(err, serve.ErrOverloaded) {
+							b.Errorf("query: %v", err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			after := eng.Stats()
+			stats = serve.Stats{
+				Queries:   after.Queries - before.Queries,
+				PlanHits:  after.PlanHits - before.PlanHits,
+				Coalesced: after.Coalesced - before.Coalesced,
+				Executed:  after.Executed - before.Executed,
+				Rejected:  after.Rejected - before.Rejected,
+			}
+			qps = float64(stats.Queries) / elapsed.Seconds()
+			b.ReportMetric(qps, "queries/sec")
+		}
+		return qps, stats
+	}
+
+	var cachedQPS, baselineQPS float64
+	var cachedStats, baselineStats serve.Stats
+	var p50, p99 time.Duration
+	b.Run("plan-cache", func(b *testing.B) {
+		eng := pipe.ServeEngine(nil)
+		defer eng.Close()
+		cachedQPS, cachedStats = drive(b, eng)
+		hist := eng.Metrics().Histogram("serve.query.latency")
+		p50, p99 = hist.Quantile(0.5), hist.Quantile(0.99)
+	})
+	b.Run("plan-per-query", func(b *testing.B) {
+		eng := serve.New(serve.Config{
+			Executor:     serve.WalkerExecutor{W: pipe.Walker()},
+			Metrics:      metrics.NewRegistry(),
+			DisableCache: true,
+		})
+		defer eng.Close()
+		baselineQPS, baselineStats = drive(b, eng)
+	})
+	if cachedQPS == 0 || baselineQPS == 0 {
+		return // sub-benchmarks filtered out
+	}
+	speedup := cachedQPS / baselineQPS
+
+	once("servequeries", func() {
+		fmt.Printf("\n[tentpole/PR9] query service: fat-tree k=%d (%d routers), %d clients, %d mixed queries/run, FIB churn every 200us\n",
+			k, len(n.Routers()), *serveClients, *serveQueries)
+		fmt.Printf("  plan-cache:     %10.0f queries/sec  hit ratio %.3f (%d hits, %d coalesced, %d walks, %d shed)\n",
+			cachedQPS, cachedStats.HitRatio(), cachedStats.PlanHits, cachedStats.Coalesced,
+			cachedStats.Executed, cachedStats.Rejected)
+		fmt.Printf("  plan-per-query: %10.0f queries/sec  (%d walks executed)\n",
+			baselineQPS, baselineStats.Executed)
+		fmt.Printf("  service latency p50 %v, p99 %v; churn flips during run: %d\n",
+			p50, p99, churnFlips.Load())
+		fmt.Printf("  sustained QPS %.1fx plan-per-query\n", speedup)
+		artifact, _ := json.MarshalIndent(map[string]interface{}{
+			"benchmark": "BenchmarkServeQueries",
+			"fattree_k": k, "routers": len(n.Routers()),
+			"clients": *serveClients, "queries_per_run": *serveQueries,
+			"cached_queries_per_sec":   cachedQPS,
+			"baseline_queries_per_sec": baselineQPS,
+			"qps_speedup":              speedup,
+			"cache_hit_ratio":          cachedStats.HitRatio(),
+			"plan_hits":                cachedStats.PlanHits,
+			"coalesced":                cachedStats.Coalesced,
+			"walks_executed":           cachedStats.Executed,
+			"shed":                     cachedStats.Rejected,
+			"p50_micros":               p50.Microseconds(),
+			"p99_micros":               p99.Microseconds(),
+			"churn_flips":              churnFlips.Load(),
+			"floors":                   map[string]float64{"qps_speedup_min": 5},
+		}, "", "  ")
+		if err := os.WriteFile("BENCH_serve.json", append(artifact, '\n'), 0o644); err != nil {
+			fmt.Println("  (could not write BENCH_serve.json:", err, ")")
+		}
+	})
+	if speedup < 5 {
+		b.Errorf("plan-cache path sustains %.1fx plan-per-query QPS, want >= 5x (%.0f vs %.0f queries/sec)",
+			speedup, cachedQPS, baselineQPS)
 	}
 }

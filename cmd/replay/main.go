@@ -35,7 +35,7 @@ func main() {
 		gen      = flag.String("gen", "", "generate Fig. 5 logs into this directory and exit")
 		dot      = flag.Bool("dot", false, "print the inferred HBG as Graphviz DOT")
 		seed     = flag.Int64("seed", 0, "run the randomized scenario with this seed (nonzero)")
-		shape    = flag.String("shape", "", "override the scenario topology shape (ring|mesh|fattree)")
+		shape    = flag.String("shape", "", "override the scenario topology shape (ring|mesh|fattree|fattree-k4|isp-rr)")
 		mix      = flag.String("mix", "", "override the scenario protocol mix (ospf+bgp|ospf|rip|eigrp)")
 		rounds   = flag.Int("rounds", 0, "override the scenario churn-round count")
 		bug      = flag.String("bug", "", "inject a known bug (e.g. drop-ecmp-branch) so an oracle must catch it")

@@ -10,6 +10,11 @@
 //	verifyd -grid 4           # 4x4 OSPF grid reachability sweep
 //	verifyd -serve            # always-on mode: stream ingestion with
 //	                          # windowed compaction and checkpointing
+//	verifyd -queries 1000     # fire concurrent point queries through the
+//	                          # verification query engine and report QPS,
+//	                          # tail latency, and plan-cache hit ratio
+//	verifyd -query-addr :8080 # expose the query engine over HTTP
+//	                          # (GET /query, GET /stats) and block
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hbverify"
@@ -32,6 +38,7 @@ import (
 	"hbverify/internal/metrics"
 	"hbverify/internal/network"
 	"hbverify/internal/route"
+	"hbverify/internal/serve"
 	"hbverify/internal/stream"
 	"hbverify/internal/verify"
 )
@@ -42,6 +49,9 @@ func main() {
 		grid    = flag.Int("grid", 0, "use an NxN OSPF grid instead of the paper network")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		workers = flag.Int("workers", 0, "local verification walk pool size (0 = GOMAXPROCS)")
+
+		queries   = flag.Int("queries", 0, "fire this many concurrent queries through the query engine and report service stats")
+		queryAddr = flag.String("query-addr", "", "serve the query engine over HTTP on this address (GET /query, GET /stats)")
 
 		serve        = flag.Bool("serve", false, "always-on mode: ingest simulated router log streams")
 		routers      = flag.Int("routers", 4, "serve: simulated router count")
@@ -66,7 +76,7 @@ func main() {
 			checkpoint: *checkpoint, compactEvery: *compactEvery,
 		})
 	} else {
-		err = run(*violate, *grid, *seed, *workers)
+		err = run(*violate, *grid, *seed, *workers, *queries, *queryAddr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verifyd:", err)
@@ -85,7 +95,7 @@ func setUplinkLocalPref(c *config.Router, lp uint32) error {
 	return nil
 }
 
-func run(violate bool, grid int, seed int64, workers int) error {
+func run(violate bool, grid int, seed int64, workers, queries int, queryAddr string) error {
 	var (
 		n        *network.Network
 		policies []verify.Policy
@@ -217,7 +227,57 @@ func run(violate bool, grid int, seed int64, workers int) error {
 	fmt.Printf("distributed delta re-verify: %d frames/%d bytes (%d cache-skipped, %d clean-skipped of %d walks)\n",
 		dstats.Frames, dstats.Bytes, dstats.CacheSkipped, dstats.CleanSkipped, dstats.Walks)
 	fmt.Printf("pipeline: %s\n", pipe.Summary())
+
+	// Verification as a query service: point queries planned onto the
+	// pipeline's shared walk cache and equivalence classes.
+	if queries > 0 || queryAddr != "" {
+		eng := pipe.ServeEngine(policies)
+		defer eng.Close()
+		if queries > 0 {
+			runQueries(eng, policies, sources, queries)
+		}
+		if queryAddr != "" {
+			fmt.Printf("query service on %s — try:\n", queryAddr)
+			fmt.Printf("  curl 'http://%s/query?kind=reachability&source=%s&prefix=%s'\n",
+				queryAddr, sources[0], policies[0].Prefix)
+			fmt.Printf("  curl 'http://%s/stats'\n", queryAddr)
+			return http.ListenAndServe(queryAddr, serve.Handler(eng))
+		}
+	}
 	return nil
+}
+
+// runQueries drives the engine with concurrent mixed reachability queries
+// — every (source, policy prefix) pair round-robin — and reports
+// throughput, tail latency, and how much the shared plan cache absorbed.
+func runQueries(eng *serve.Engine, policies []verify.Policy, sources []string, n int) {
+	const clients = 4
+	start := time.Now()
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < n; i += clients {
+				src := sources[i%len(sources)]
+				p := policies[i%len(policies)].Prefix
+				if _, err := eng.Query(serve.Reachability(src, p)); err != nil {
+					failed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	st := eng.Stats()
+	hist := eng.Metrics().Histogram("serve.query.latency")
+	fmt.Printf("query service: %d queries from %d clients in %v (%.0f qps, %d failed)\n",
+		st.Queries, clients, elapsed.Round(time.Millisecond),
+		float64(st.Queries)/elapsed.Seconds(), failed.Load())
+	fmt.Printf("query service: p50 %v, p99 %v; hit ratio %.2f (%d cache hits, %d coalesced, %d walks executed)\n",
+		hist.Quantile(0.5).Round(time.Microsecond), hist.Quantile(0.99).Round(time.Microsecond),
+		st.HitRatio(), st.PlanHits, st.Coalesced, st.Executed)
 }
 
 func max64(a, b int) int {

@@ -10,19 +10,26 @@ import (
 )
 
 func TestPaperHealthy(t *testing.T) {
-	if err := run(false, 0, 1, 0); err != nil {
+	if err := run(false, 0, 1, 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestPaperViolated(t *testing.T) {
-	if err := run(true, 0, 1, 0); err != nil {
+	if err := run(true, 0, 1, 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestGridMode(t *testing.T) {
-	if err := run(false, 3, 1, 0); err != nil {
+	if err := run(false, 3, 1, 0, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryMode drives the in-process query demo (-queries) end to end.
+func TestQueryMode(t *testing.T) {
+	if err := run(false, 0, 1, 0, 64, ""); err != nil {
 		t.Fatal(err)
 	}
 }

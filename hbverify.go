@@ -43,8 +43,10 @@ import (
 	"hbverify/internal/netsim"
 	"hbverify/internal/network"
 	"hbverify/internal/repair"
+	"hbverify/internal/serve"
 	"hbverify/internal/snapshot"
 	"hbverify/internal/verify"
+	"hbverify/internal/whatif"
 )
 
 // Pipeline bundles the verification-and-repair loop over one network.
@@ -283,6 +285,25 @@ func (p *Pipeline) Classes() []eqclass.Class {
 		return nil
 	}
 	return p.eqc.Classes()
+}
+
+// ServeEngine builds a verification query engine over the pipeline's live
+// state: plans execute on the central walker, the plan cache is the
+// pipeline's own walk cache (so FIB churn and link flips invalidate
+// exactly the affected plans, and batch Verify calls share the walks), and
+// query prefixes canonicalize through the incremental equivalence
+// classifier. policies is the standing set what-if queries are judged
+// against. serve.* metrics land in p.Metrics and surface via Summary().
+// The caller owns the engine's lifecycle (Close it when done).
+func (p *Pipeline) ServeEngine(policies []verify.Policy) *serve.Engine {
+	return serve.New(serve.Config{
+		Executor:  serve.WalkerExecutor{W: p.Walker()},
+		Cache:     p.walkCache,
+		Classes:   p.eqc,
+		WhatIf:    &whatif.Engine{Seed: 1, Sources: p.Sources, Policies: policies},
+		Blueprint: p.Net.Blueprint(),
+		Metrics:   p.Metrics,
+	})
 }
 
 // VerifySnapshot checks policies against a log-derived snapshot under a

@@ -263,7 +263,7 @@ func (s *Speaker) PeerUp(peer netip.Addr, cause ...uint64) {
 		return
 	}
 	sess.Up = true
-	for p := range s.allPrefixes() {
+	for _, p := range s.allPrefixes() {
 		s.scheduleSync(p, cause)
 	}
 }
@@ -306,7 +306,7 @@ func (s *Speaker) SoftReconfig(cause ...uint64) {
 	// rebuild the origination index before re-running the decision process.
 	s.indexNetworks()
 	io := s.rec.Record(capture.IO{Type: capture.SoftReconfig, Proto: route.ProtoBGP, Causes: cause})
-	for p := range s.allPrefixes() {
+	for _, p := range s.allPrefixes() {
 		s.runDecision(p, []uint64{io.ID})
 		s.scheduleSync(p, []uint64{io.ID})
 	}
@@ -369,19 +369,27 @@ func (s *Speaker) HandleUpdate(peer netip.Addr, msg Message, sendIO uint64) {
 }
 
 // allPrefixes unions Loc-RIB, Adj-RIB-In, and configured networks.
-func (s *Speaker) allPrefixes() map[netip.Prefix]bool {
-	out := map[netip.Prefix]bool{}
+// allPrefixes returns every prefix the speaker knows about, sorted —
+// callers schedule per-prefix work while iterating, and scheduler seq
+// order must not depend on map iteration order.
+func (s *Speaker) allPrefixes() []netip.Prefix {
+	seen := map[netip.Prefix]bool{}
 	for p := range s.locRIB {
-		out[p] = true
+		seen[p] = true
 	}
 	for _, byPfx := range s.adjIn {
 		for p := range byPfx {
-			out[p] = true
+			seen[p] = true
 		}
 	}
 	for n := range s.networks {
-		out[n] = true
+		seen[n] = true
 	}
+	out := make([]netip.Prefix, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessPrefix(out[i], out[j]) })
 	return out
 }
 

@@ -964,6 +964,24 @@ func (c *Coordinator) Verify(nodes map[string]*Node, policies []verify.Policy, s
 	return c.VerifyWith(nodes, policies, sources, VerifyOpts{})
 }
 
+// Walk executes one data-plane walk from src toward dst through the node
+// fleet and returns the finished walk. It runs as a single-walk round:
+// correlation IDs and the pending map already isolate concurrent rounds,
+// so any number of Walk calls may be in flight at once from different
+// goroutines — this is the primitive the serving layer's distributed
+// executor is built on, one miniature round per query plan.
+func (c *Coordinator) Walk(nodes map[string]*Node, src string, dst netip.Addr, opts VerifyOpts) (dataplane.Walk, error) {
+	p := verify.Policy{Kind: verify.NoLoop, Prefix: netip.PrefixFrom(dst, dst.BitLen()), Sources: []string{src}}
+	stats, err := c.VerifyWith(nodes, []verify.Policy{p}, nil, opts)
+	if err != nil {
+		return dataplane.Walk{}, err
+	}
+	if len(stats.Results) == 0 {
+		return dataplane.Walk{}, fmt.Errorf("dist: walk %s->%s returned no result", src, dst)
+	}
+	return stats.Results[0].AsWalk(), nil
+}
+
 // verifyJob is one (policy, source) check in a round.
 type verifyJob struct {
 	policy verify.Policy

@@ -1,0 +1,54 @@
+package dist
+
+import (
+	"sync"
+	"testing"
+
+	"hbverify/internal/dataplane"
+	"hbverify/internal/fib"
+	"hbverify/internal/network"
+)
+
+// Coordinator.Walk is the serving layer's primitive: one walk as its own
+// round. Many Walk calls from concurrent goroutines must each come back
+// correct — correlation IDs isolate the overlapping rounds. Run under
+// -race in CI.
+func TestConcurrentWalkRounds(t *testing.T) {
+	pn := startPaper(t, network.DefaultPaperOpts())
+	coord, nodes, teardown, err := BuildFleet(pn.Network, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer teardown()
+
+	tables := map[string]*fib.Table{}
+	for _, r := range pn.Routers() {
+		tables[r.Name] = r.FIB
+	}
+	central := dataplane.NewWalker(pn.Topo, dataplane.TableView(tables))
+	dst := dataplane.Representative(pn.P)
+	sources := []string{"r1", "r2", "r3"}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				src := sources[(g+i)%len(sources)]
+				got, err := coord.Walk(nodes, src, dst, VerifyOpts{})
+				if err != nil {
+					t.Errorf("walk %s: %v", src, err)
+					return
+				}
+				want := central.Forward(src, dst)
+				if got.Outcome != want.Outcome || got.Egress != want.Egress {
+					t.Errorf("walk %s: got %v@%s, central %v@%s",
+						src, got.Outcome, got.Egress, want.Outcome, want.Egress)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

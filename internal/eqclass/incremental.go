@@ -318,6 +318,23 @@ func (inc *Incremental) Representatives() []netip.Prefix {
 	return out
 }
 
+// ClassOf flushes queued deltas and returns the representative prefix of
+// the forwarding equivalence class containing p. ok is false when p is not
+// classified (not installed in any watched FIB) — callers should fall back
+// to probing p itself. This is the query planner's canonicalization hook:
+// two queries whose prefixes share a class share the representative, hence
+// one symbolic walk.
+func (inc *Incremental) ClassOf(p netip.Prefix) (rep netip.Prefix, ok bool) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	inc.flushLocked()
+	id, found := inc.sigOf[p.Masked()]
+	if !found {
+		return netip.Prefix{}, false
+	}
+	return inc.reps[id], true
+}
+
 // Len flushes queued deltas and reports the number of classes.
 func (inc *Incremental) Len() int {
 	inc.mu.Lock()

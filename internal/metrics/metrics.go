@@ -154,11 +154,12 @@ type Registry struct {
 	counters map[string]*Counter
 	timers   map[string]*Timer
 	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[string]*Counter{}, timers: map[string]*Timer{}, gauges: map[string]*Gauge{}}
+	return &Registry{counters: map[string]*Counter{}, timers: map[string]*Timer{}, gauges: map[string]*Gauge{}, hists: map[string]*Histogram{}}
 }
 
 // Counter returns the named counter, creating it if needed.
@@ -209,9 +210,28 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = map[string]*Histogram{}
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
 // Snapshot flattens every instrument to int64 values: counters under their
 // own name, timers as <name>.count / <name>.ns, gauges as their own name
-// plus <name>.max.
+// plus <name>.max, histograms as <name>.count plus <name>.p50 / .p95 /
+// .p99 in nanoseconds.
 func (r *Registry) Snapshot() map[string]int64 {
 	out := map[string]int64{}
 	if r == nil {
@@ -230,6 +250,12 @@ func (r *Registry) Snapshot() map[string]int64 {
 		out[name] = g.Value()
 		out[name+".max"] = g.Max()
 	}
+	for name, h := range r.hists {
+		out[name+".count"] = h.Count()
+		out[name+".p50"] = int64(h.Quantile(0.50))
+		out[name+".p95"] = int64(h.Quantile(0.95))
+		out[name+".p99"] = int64(h.Quantile(0.99))
+	}
 	return out
 }
 
@@ -241,7 +267,7 @@ func (r *Registry) String() string {
 		return ""
 	}
 	r.mu.Lock()
-	names := make([]string, 0, len(r.counters)+len(r.timers)+len(r.gauges))
+	names := make([]string, 0, len(r.counters)+len(r.timers)+len(r.gauges)+len(r.hists))
 	for n := range r.counters {
 		names = append(names, n)
 	}
@@ -249,6 +275,9 @@ func (r *Registry) String() string {
 		names = append(names, n)
 	}
 	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
 		names = append(names, n)
 	}
 	counters := make(map[string]*Counter, len(r.counters))
@@ -262,6 +291,10 @@ func (r *Registry) String() string {
 	gauges := make(map[string]*Gauge, len(r.gauges))
 	for n, g := range r.gauges {
 		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
 	}
 	r.mu.Unlock()
 	sort.Strings(names)
@@ -277,6 +310,11 @@ func (r *Registry) String() string {
 				t.Total().Round(time.Microsecond), t.Mean().Round(time.Microsecond))
 		} else if g, ok := gauges[n]; ok {
 			fmt.Fprintf(&b, "%s=%d(max %d)", n, g.Value(), g.Max())
+		} else if h, ok := hists[n]; ok {
+			fmt.Fprintf(&b, "%s=p50:%v/p95:%v/p99:%v(n=%d)", n,
+				h.Quantile(0.50).Round(time.Microsecond),
+				h.Quantile(0.95).Round(time.Microsecond),
+				h.Quantile(0.99).Round(time.Microsecond), h.Count())
 		}
 	}
 	return b.String()

@@ -17,6 +17,20 @@ import (
 // even. k=16 yields 320 routers and 2048 links. Routers are named
 // "p<pod>e<i>" / "p<pod>a<i>" / "core<i>".
 func BuildFatTree(seed int64, k int) (*Network, error) {
+	n, err := LayoutFatTree(seed, k)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Build(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// LayoutFatTree constructs the fat-tree's routers, links, and configs but
+// does not Build, so callers (the scenario harness) can attach stub LANs —
+// destination prefixes — before the protocol stacks come up.
+func LayoutFatTree(seed int64, k int) (*Network, error) {
 	if k < 2 || k%2 != 0 {
 		return nil, fmt.Errorf("network: fat-tree k must be even and >= 2, got %d", k)
 	}
@@ -72,9 +86,6 @@ func BuildFatTree(seed int64, k int) (*Network, error) {
 			}
 		}
 	}
-	if err := n.Build(); err != nil {
-		return nil, err
-	}
 	return n, nil
 }
 
@@ -97,6 +108,19 @@ func ScalePrefixes(n int) []netip.Prefix {
 // community and MED per /8 so routes arrive in a handful of attribute
 // flavors, as real transit feeds do.
 func BuildISPRR(seed int64, mids, leaves int, prefixes []netip.Prefix) (*Network, error) {
+	n, err := LayoutISPRR(seed, mids, leaves, prefixes)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Build(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// LayoutISPRR constructs the route-reflector hierarchy without Build, so
+// callers can attach stub LANs for the originated prefixes first.
+func LayoutISPRR(seed int64, mids, leaves int, prefixes []netip.Prefix) (*Network, error) {
 	if mids < 1 || leaves < 1 {
 		return nil, fmt.Errorf("network: ISP RR needs mids, leaves >= 1 (got %d, %d)", mids, leaves)
 	}
@@ -206,9 +230,6 @@ func BuildISPRR(seed int64, mids, leaves int, prefixes []netip.Prefix) (*Network
 		},
 		Policies: map[string]*config.Policy{"flavor": flavor},
 	}); err != nil {
-		return nil, err
-	}
-	if err := n.Build(); err != nil {
 		return nil, err
 	}
 	return n, nil

@@ -14,8 +14,18 @@ import (
 	"hbverify/internal/network"
 )
 
-// Shapes are the supported topology shapes.
-var Shapes = []string{"ring", "mesh", "fattree"}
+// Shapes are the supported topology shapes. The first three are the
+// seed-sized classics; "fattree-k4" and "isp-rr" wire the scale builders
+// from internal/network (a 20-router 4-ary fat-tree, an 8-router BGP
+// route-reflector hierarchy) into the harness as explicit smoke-tier
+// shapes.
+var Shapes = []string{"ring", "mesh", "fattree", "fattree-k4", "isp-rr"}
+
+// randomShapes is the pool Normalize draws from when Config.Shape is
+// unset. It is pinned to the original three shapes so every existing
+// (seed, schedule) artifact replays identically; the scale shapes are
+// opt-in via an explicit Shape.
+var randomShapes = Shapes[:3]
 
 // Mixes are the supported protocol mixes. "ospf+bgp" is the paper-style
 // arrangement: an OSPF underlay, an iBGP full mesh, and two external
@@ -56,6 +66,11 @@ type world struct {
 	// ecmpRouters lists internal routers with at least two connected peers,
 	// eligible for ECMP static churn.
 	ecmpRouters []string
+	// verifySources is the router subset the walk-driven oracles source
+	// from. The classic shapes verify from every internal router; the scale
+	// shapes sample a seeded subset (always including the destination-stub
+	// owners) so a full differential round stays smoke-affordable.
+	verifySources []string
 }
 
 func (w *world) isExternal(name string) bool { return w.external[name] }
@@ -65,6 +80,14 @@ func (w *world) isExternal(name string) bool { return w.external[name] }
 // clock-model seeds, and link/session jitter stays zero, so a (seed,
 // schedule) pair replays to an identical capture log.
 func buildWorld(cfg Config) (*world, error) {
+	if cfg.Shape == "fattree-k4" || cfg.Shape == "isp-rr" {
+		w, err := buildScaleWorld(cfg)
+		if err != nil {
+			return nil, err
+		}
+		finishWorld(w)
+		return w, nil
+	}
 	n := cfg.Routers
 	if n < 4 {
 		return nil, fmt.Errorf("scenario: need at least 4 routers, have %d", n)
@@ -144,10 +167,18 @@ func buildWorld(cfg Config) (*world, error) {
 	if err := net.Build(); err != nil {
 		return nil, err
 	}
+	finishWorld(w)
+	return w, nil
+}
+
+// finishWorld derives the post-Build churn pools every shape shares:
+// static next hops, ECMP routers, partial-LAG links, and the oracle
+// source set (all internals unless the shape sampled a subset).
+func finishWorld(w *world) {
 	// A valid next hop for generated statics: the peer address across each
 	// router's first link. staticNHs keeps the full peer pool for ECMP
 	// static sets.
-	for _, r := range net.Routers() {
+	for _, r := range w.net.Routers() {
 		if w.external[r.Name] {
 			continue
 		}
@@ -175,7 +206,9 @@ func buildWorld(cfg Config) (*world, error) {
 			w.lagLinks = append(w.lagLinks, l)
 		}
 	}
-	return w, nil
+	if w.verifySources == nil {
+		w.verifySources = w.internals
+	}
 }
 
 // buildIGPMix configures a single-IGP network with P and Q as stub LANs on

@@ -1,4 +1,4 @@
-// The ten differential oracles checked after every convergence round.
+// The eleven differential oracles checked after every convergence round.
 
 package scenario
 
@@ -21,6 +21,7 @@ import (
 	"hbverify/internal/hbr"
 	"hbverify/internal/netsim"
 	"hbverify/internal/route"
+	"hbverify/internal/serve"
 	"hbverify/internal/snapshot"
 	"hbverify/internal/verify"
 )
@@ -37,6 +38,7 @@ const (
 	OracleEqclassDelta = "eqclass-delta-vs-full"
 	OracleSymbolic     = "symbolic-vs-probe"
 	OracleInternCopy   = "intern-vs-copy"
+	OracleServe        = "serve-vs-batch"
 )
 
 // oracleInternVsCopy asserts the interned Adj-RIB-In state matches the wire:
@@ -319,7 +321,7 @@ func (h *harness) oracleSnapshots(round int) *Failure {
 	// some instant — a snapshot that fabricates entries is still caught.
 	fibs := snapshot.BuildFIBs(collected)
 	w := dataplane.NewWalker(h.w.net.Topo, dataplane.SnapshotView(fibs))
-	for _, src := range h.w.internals {
+	for _, src := range h.w.verifySources {
 		for _, p := range []netip.Prefix{PrefixP, PrefixQ} {
 			walk := w.ForwardPrefix(src, p)
 			if walk.Outcome != dataplane.Looped {
@@ -494,7 +496,7 @@ func (h *harness) oracleCheckerDeterminism(round int) *Failure {
 	pols := h.policies()
 	walker := h.liveWalker()
 	run := func(workers int) verify.Report {
-		c := verify.NewChecker(walker, h.w.internals)
+		c := verify.NewChecker(walker, h.w.verifySources)
 		c.Workers = workers
 		return c.Check(pols)
 	}
@@ -510,7 +512,7 @@ func (h *harness) oracleCheckerDeterminism(round int) *Failure {
 			"repeated runs disagree: %d vs %d violations", len(serial.Violations), len(again.Violations))}
 	}
 
-	sharded := verify.NewChecker(walker, h.w.internals)
+	sharded := verify.NewChecker(walker, h.w.verifySources)
 	sharded.ShardByClasses(eqclass.Compute(h.w.net.FIBSnapshot(), []netip.Prefix{PrefixP, PrefixQ}))
 	shardedRep := sharded.Check(pols)
 	if d := diffVerdictSets(serial, shardedRep); d != "" {
@@ -564,7 +566,7 @@ func (h *harness) oracleSymbolicVsProbe(round int) *Failure {
 	probe := h.liveWalker()
 	for _, p := range []netip.Prefix{PrefixP, PrefixQ} {
 		dst := dataplane.Representative(p)
-		for _, src := range h.w.internals {
+		for _, src := range h.w.verifySources {
 			w := sym.Forward(src, dst)
 			probes := probe.ConcretePaths(src, dst, probeEnumLimit)
 			if len(probes) >= probeEnumLimit {
@@ -639,10 +641,10 @@ func (h *harness) oracleDistVsCentral(round int) *Failure {
 	pols := h.policies()
 	var opts dist.VerifyOpts
 	if h.cfg.Bug == BugDropBatch {
-		victim := h.w.internals[0]
+		victim := h.w.verifySources[0]
 		opts.DropBatch = func(src string, _ int) bool { return src == victim }
 	}
-	stats, err := coord.VerifyWith(nodes, pols, h.w.internals, opts)
+	stats, err := coord.VerifyWith(nodes, pols, h.w.verifySources, opts)
 	if err != nil {
 		return &Failure{Oracle: OracleDist, Round: round, Detail: fmt.Sprintf("distributed verify: %v", err)}
 	}
@@ -651,7 +653,7 @@ func (h *harness) oracleDistVsCentral(round int) *Failure {
 	// order, sources sorted — and compare walk-for-walk against the central
 	// walker over the identical live FIBs.
 	walker := h.liveWalker()
-	sources := append([]string(nil), h.w.internals...)
+	sources := append([]string(nil), h.w.verifySources...)
 	sort.Strings(sources)
 	i := 0
 	for _, p := range pols {
@@ -700,7 +702,7 @@ func (h *harness) oracleRepairRollback(round int) *Failure {
 	walker := h.liveWalker()
 	live := h.w.net.FIBSnapshot()
 	victim := ""
-	for _, src := range h.w.internals {
+	for _, src := range h.w.verifySources {
 		// A router that owns P as a connected stub is immune to the fault:
 		// the connected route's distance 0 beats the static's 1.
 		if live[src][PrefixP].Proto == route.ProtoConnected {
@@ -750,7 +752,7 @@ func (h *harness) oracleRepairRollback(round int) *Failure {
 		return &Failure{Oracle: OracleRepair, Round: round,
 			Detail: "data plane differs from pre-fault state after repair: " + detail}
 	}
-	if rep := verify.NewChecker(h.liveWalker(), h.w.internals).Check(pols); !rep.OK() {
+	if rep := verify.NewChecker(h.liveWalker(), h.w.verifySources).Check(pols); !rep.OK() {
 		return &Failure{Oracle: OracleRepair, Round: round,
 			Detail: "violation persists after repair: " + rep.Violations[0].String()}
 	}
@@ -772,11 +774,54 @@ func (h *harness) oracleEqclassDelta(round int) *Failure {
 
 	pols := h.policies()
 	cachedRep := h.cached.Check(pols)
-	coldRep := verify.NewChecker(h.liveWalker(), h.w.internals).Check(pols)
+	coldRep := verify.NewChecker(h.liveWalker(), h.w.verifySources).Check(pols)
 	if !reflect.DeepEqual(cachedRep.Violations, coldRep.Violations) {
 		return &Failure{Oracle: OracleEqclassDelta, Round: round, Detail: fmt.Sprintf(
 			"cached-walk checker diverges from cold checker: %d violations (%d walks cached) vs %d",
 			len(cachedRep.Violations), cachedRep.Cached, len(coldRep.Violations))}
+	}
+	return nil
+}
+
+// oracleServeVsBatch asserts the concurrent query engine is answer-
+// equivalent to batch verification: for every (policy, source) the harness
+// checks, the engine's verdict must match a cold Checker's over the same
+// live state, and the walk backing the verdict must be byte-identical —
+// path, outcome, egress — to the cold walker's, however the plan was
+// obtained (shared-cache hit, coalesced flight, pinned bug walk, or fresh
+// execution). The engine persists across rounds, so plans cached in
+// earlier rounds must have been invalidated by the interleaving churn;
+// BugStalePlan pins each plan's first walk forever, which this oracle must
+// catch as soon as a queried plan's forwarding actually changes.
+func (h *harness) oracleServeVsBatch(round int) *Failure {
+	pols := h.policies()
+	coldRep := verify.NewChecker(h.liveWalker(), h.w.verifySources).Check(pols)
+	coldBad := map[string]bool{}
+	for _, v := range coldRep.Violations {
+		coldBad[v.Policy.String()+"|"+v.Source] = true
+	}
+	walker := h.liveWalker()
+	for _, pol := range pols {
+		for _, src := range h.w.verifySources {
+			ans, err := h.serve.Query(serve.Query{Policy: pol, Source: src})
+			if err != nil {
+				return &Failure{Oracle: OracleServe, Round: round, Detail: fmt.Sprintf(
+					"query %s from %s failed: %v", pol, src, err)}
+			}
+			if bad := coldBad[pol.String()+"|"+src]; ans.OK == bad {
+				return &Failure{Oracle: OracleServe, Round: round, Detail: fmt.Sprintf(
+					"query %s from %s: serve verdict ok=%v (plan %s, hit=%v), batch check ok=%v",
+					pol, src, ans.OK, ans.PlanKey, ans.CacheHit, !bad)}
+			}
+			want := walker.Forward(src, dataplane.Representative(pol.Prefix))
+			if ans.Walk.Outcome != want.Outcome || ans.Walk.Egress != want.Egress ||
+				!reflect.DeepEqual(ans.Walk.Path, want.Path) {
+				return &Failure{Oracle: OracleServe, Round: round, Detail: fmt.Sprintf(
+					"query %s from %s: served walk %s via %v (egress %q, plan %s, hit=%v) diverges from fresh walk %s via %v (egress %q)",
+					pol, src, ans.Walk.Outcome, ans.Walk.Path, ans.Walk.Egress, ans.PlanKey, ans.CacheHit,
+					want.Outcome, want.Path, want.Egress)}
+			}
+		}
 	}
 	return nil
 }

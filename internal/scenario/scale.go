@@ -1,0 +1,166 @@
+// Scale shapes: the big builders from internal/network wired into the
+// scenario harness as explicit smoke-tier shapes, so they stop being
+// bench-only topologies. "fattree-k4" is the 4-ary fat-tree (20 routers,
+// 32 links, OSPF everywhere, ECMP-rich); "isp-rr" is the BGP
+// route-reflector hierarchy (top + 2 mids + 4 PEs + one external
+// provider). Both run the full differential oracle set, but the
+// walk-driven oracles source from a seeded sample of routers
+// (world.verifySources) rather than every internal, which keeps a round
+// smoke-affordable at these sizes. Neither shape is ever drawn from a
+// seed — randomShapes pins the generated draw to the classics — so all
+// existing (seed, schedule) artifacts replay unchanged.
+
+package scenario
+
+import (
+	"fmt"
+	"net/netip"
+
+	"hbverify/internal/network"
+)
+
+// buildScaleWorld constructs the world for the scale shapes. Config.Routers
+// is ignored: the shape fixes its own size.
+func buildScaleWorld(cfg Config) (*world, error) {
+	w := &world{external: map[string]bool{},
+		staticNH: map[string]string{}, staticNHs: map[string][]string{}}
+	switch cfg.Shape {
+	case "fattree-k4":
+		if err := buildFatTreeWorld(cfg, w); err != nil {
+			return nil, err
+		}
+	case "isp-rr":
+		if err := buildISPRRWorld(cfg, w); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("scenario: unknown scale shape %q", cfg.Shape)
+	}
+	return w, nil
+}
+
+// addStubLAN attaches prefix as a stub LAN on router, with the .1 host
+// address — the same ownership convention the generated mixes use.
+func addStubLAN(n *network.Network, router, iface string, p netip.Prefix) error {
+	a4 := p.Addr().As4()
+	addr := netip.AddrFrom4([4]byte{a4[0], a4[1], a4[2], 1})
+	_, err := n.Topo.AddStub(router, iface, addr, p)
+	return err
+}
+
+// buildFatTreeWorld lays out the 4-ary fat-tree, attaches P to an edge
+// router in the first pod and Q to one in the last, and builds. The
+// resulting world is pure OSPF: no iBGP or LocalPref churn pools, but
+// every router is multi-homed, so the link-flap, partial-LAG, and ECMP
+// static kinds all apply.
+func buildFatTreeWorld(cfg Config, w *world) error {
+	const k, half = 4, 2
+	n, err := network.LayoutFatTree(cfg.Seed, k)
+	if err != nil {
+		return err
+	}
+	pOwner, qOwner := "p0e0", fmt.Sprintf("p%de%d", k-1, half-1)
+	if err := addStubLAN(n, pOwner, "lanP", PrefixP); err != nil {
+		return err
+	}
+	if err := addStubLAN(n, qOwner, "lanQ", PrefixQ); err != nil {
+		return err
+	}
+	if err := n.Build(); err != nil {
+		return err
+	}
+	w.net = n
+	// Mirror the builder's deterministic construction order.
+	for p := 0; p < k; p++ {
+		for i := 0; i < half; i++ {
+			w.internals = append(w.internals, fmt.Sprintf("p%de%d", p, i), fmt.Sprintf("p%da%d", p, i))
+		}
+	}
+	for c := 0; c < half*half; c++ {
+		w.internals = append(w.internals, fmt.Sprintf("core%d", c))
+	}
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				w.links = append(w.links, [2]string{fmt.Sprintf("p%de%d", p, e), fmt.Sprintf("p%da%d", p, a)})
+			}
+		}
+		for a := 0; a < half; a++ {
+			for u := 0; u < half; u++ {
+				w.links = append(w.links, [2]string{fmt.Sprintf("p%da%d", p, a), fmt.Sprintf("core%d", a*half+u)})
+			}
+		}
+	}
+	w.verifySources = sampleSources(cfg.Seed, []string{pOwner, qOwner}, w.internals, 5)
+	return nil
+}
+
+// buildISPRRWorld lays out the route-reflector hierarchy (2 mids × 2
+// leaves), gives the external provider the destination prefixes as stub
+// LANs so walks can actually deliver, and builds. The RR sessions feed the
+// session-reset pool, and the PE uplink to the provider is the LocalPref
+// rewrite target.
+func buildISPRRWorld(cfg Config, w *world) error {
+	const mids, leaves = 2, 2
+	n, err := network.LayoutISPRR(cfg.Seed, mids, leaves, []netip.Prefix{PrefixP, PrefixQ})
+	if err != nil {
+		return err
+	}
+	if err := addStubLAN(n, "ext", "lanP", PrefixP); err != nil {
+		return err
+	}
+	if err := addStubLAN(n, "ext", "lanQ", PrefixQ); err != nil {
+		return err
+	}
+	if err := n.Build(); err != nil {
+		return err
+	}
+	w.net = n
+	w.external["ext"] = true
+	w.internals = append(w.internals, "top")
+	for i := 0; i < mids; i++ {
+		mid := fmt.Sprintf("mid%d", i)
+		w.internals = append(w.internals, mid)
+		w.links = append(w.links, [2]string{"top", mid})
+		w.ibgp = append(w.ibgp, [2]string{"top", mid})
+		for j := 0; j < leaves; j++ {
+			pe := fmt.Sprintf("pe%d-%d", i, j)
+			w.internals = append(w.internals, pe)
+			w.links = append(w.links, [2]string{mid, pe})
+			w.ibgp = append(w.ibgp, [2]string{mid, pe})
+		}
+	}
+	// The ext-facing eBGP neighbor on pe0-0 carries an explicit LocalPref;
+	// its address is the peer across pe0-0's "eth-ext" interface.
+	if i := n.Router("pe0-0").Topo.Interface("eth-ext"); i != nil && i.Peer() != nil {
+		w.lpTargets = append(w.lpTargets, [2]string{"pe0-0", i.Peer().Addr.String()})
+	}
+	w.verifySources = sampleSources(cfg.Seed, []string{"pe0-0", "top"}, w.internals, 5)
+	return nil
+}
+
+// sampleSources draws the oracle source subset: every must-have router
+// (destination-stub owners, the provider attach point) plus a seeded
+// sample of the rest up to total. The draw uses its own salt so it
+// consumes no randomness any other generator depends on.
+func sampleSources(seed int64, must []string, pool []string, total int) []string {
+	out := append([]string(nil), must...)
+	have := map[string]bool{}
+	for _, m := range must {
+		have[m] = true
+	}
+	var rest []string
+	for _, r := range pool {
+		if !have[r] {
+			rest = append(rest, r)
+		}
+	}
+	rng := deriveRNG(seed, 0x5ca1e)
+	for _, ix := range rng.Perm(len(rest)) {
+		if len(out) >= total {
+			break
+		}
+		out = append(out, rest[ix])
+	}
+	return out
+}

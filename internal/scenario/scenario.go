@@ -1,6 +1,6 @@
 // Package scenario is the randomized correctness harness: it generates
 // seeded deterministic networks, drives them through churn schedules, and
-// checks ten differential oracles after every convergence round —
+// checks eleven differential oracles after every convergence round —
 //
 //  0. infer-fast-vs-reference: every shared-index inference strategy
 //     produces node-, edge-, and confidence-identical graphs to the
@@ -31,7 +31,11 @@
 //     concrete path traverses an edge the DAG lacks;
 //  9. intern-vs-copy: every attribute set a BGP speaker retains in its
 //     interned Adj-RIB-In is byte-equal to one actually received on the
-//     wire — the hash-consed canonical table never aliases distinct sets.
+//     wire — the hash-consed canonical table never aliases distinct sets;
+//  10. serve-vs-batch: every answer the concurrent query engine gives —
+//     verdict and walk — is identical to a fresh batch check over the
+//     same live state, however the plan was obtained (cache hit, pinned
+//     plan, coalesced flight, or fresh execution).
 //
 // A failure carries the seed and churn schedule; Shrink greedily drops
 // events until the failure is minimal, and the artifact replays with
@@ -51,6 +55,7 @@ import (
 	"hbverify/internal/network"
 	"hbverify/internal/repair"
 	"hbverify/internal/route"
+	"hbverify/internal/serve"
 	"hbverify/internal/verify"
 )
 
@@ -94,6 +99,11 @@ const (
 	// attribute sets collapse onto one canonical entry — the failure mode
 	// of a hash-consing table whose equality check drifts from its hash.
 	BugInternAlias = "intern-alias"
+	// BugStalePlan makes the query engine pin each plan's first walk
+	// forever, ignoring cache invalidation — the failure mode of a plan
+	// cache whose churn feed disconnects while the batch path stays
+	// healthy. The serve-vs-batch oracle must catch the divergence.
+	BugStalePlan = "stale-plan"
 )
 
 // Config describes one deterministic scenario. The zero values of Shape,
@@ -113,7 +123,7 @@ type Config struct {
 // Normalize fills unset fields deterministically from Seed.
 func Normalize(cfg Config) Config {
 	rng := deriveRNG(cfg.Seed, 0)
-	shape := Shapes[rng.Intn(len(Shapes))]
+	shape := randomShapes[rng.Intn(len(randomShapes))]
 	mix := Mixes[rng.Intn(len(Mixes))]
 	routers := 4 + rng.Intn(3)
 	if cfg.Shape == "" {
@@ -124,6 +134,14 @@ func Normalize(cfg Config) Config {
 	}
 	if cfg.Routers == 0 {
 		cfg.Routers = routers
+	}
+	// The scale shapes are fixed topologies; Routers reports their true
+	// size rather than the seed-drawn count the classic shapes use.
+	switch cfg.Shape {
+	case "fattree-k4":
+		cfg.Routers = 20
+	case "isp-rr":
+		cfg.Routers = 8
 	}
 	if cfg.Rounds == 0 {
 		cfg.Rounds = 3
@@ -207,6 +225,7 @@ func Run(cfg Config) *Result {
 	}
 
 	h := newHarness(cfg, w)
+	defer h.serve.Close()
 	byRound := map[int][]Event{}
 	for _, ev := range cfg.Schedule {
 		byRound[ev.Round] = append(byRound[ev.Round], ev)
@@ -249,6 +268,10 @@ type harness struct {
 	eqc    *eqclass.Incremental
 	wcache *verify.WalkCache
 	cached *verify.Checker
+	// The query engine under test: shares wcache and eqc with the delta
+	// path, so its plans persist across rounds and churn invalidates them
+	// through the same feed the batch checker relies on.
+	serve *serve.Engine
 	// The windowed-compaction mirror for the compaction-vs-full oracle:
 	// cwin is the retained capture window (original log IDs preserved),
 	// folded into cinc before every eviction exactly as the stream daemon
@@ -292,9 +315,19 @@ func newHarness(cfg Config, w *world) *harness {
 			h.wcache.InvalidateRouter(b)
 		})
 	}
-	h.cached = verify.NewChecker(h.liveWalker(), w.internals)
+	h.cached = verify.NewChecker(h.liveWalker(), w.verifySources)
 	h.cached.Cache = h.wcache
-	h.engine = repair.NewEngine(w.net, h.infer, w.internals)
+	// The query engine serves from the same live walker, plan cache, and
+	// classifier; MaxQueue is negative so the sequential oracle never sheds.
+	h.serve = serve.New(serve.Config{
+		Executor:     serve.WalkerExecutor{W: h.liveWalker()},
+		Cache:        h.wcache,
+		Classes:      h.eqc,
+		Metrics:      h.reg,
+		MaxQueue:     -1,
+		BugStalePlan: cfg.Bug == BugStalePlan,
+	})
+	h.engine = repair.NewEngine(w.net, h.infer, w.verifySources)
 	h.engine.Metrics = h.reg
 	h.engine.Invalidate = func() {
 		h.inc.Invalidate()
@@ -312,14 +345,17 @@ func (h *harness) infer(ios []capture.IO) *hbg.Graph {
 	return h.strat.Infer(capture.StripOracle(ios))
 }
 
-// checkRound runs the ten oracles in order and returns the first
+// checkRound runs the eleven oracles in order and returns the first
 // failure. The intern-vs-copy oracle runs first: aliased attributes would
 // corrupt every downstream observable, so a canonical-table fault should be
 // reported as such. The fast-vs-reference oracle runs next so any
 // divergence in the inference rewrite is reported as such, not as a
-// downstream repair/snapshot anomaly; the eqclass-delta oracle runs last,
-// after repair-rollback, so it also validates that the delta state
-// survives (is correctly flushed across) a fault injection and rollback.
+// downstream repair/snapshot anomaly; the eqclass-delta oracle runs after
+// repair-rollback, so it also validates that the delta state survives (is
+// correctly flushed across) a fault injection and rollback. serve-vs-batch
+// runs last: it consumes the same shared cache and classifier, so an
+// upstream delta fault should be reported by the delta oracle, not as a
+// query-engine anomaly.
 func (h *harness) checkRound(round int) *Failure {
 	if f := h.oracleInternVsCopy(round); f != nil {
 		return f
@@ -348,7 +384,10 @@ func (h *harness) checkRound(round int) *Failure {
 	if f := h.oracleRepairRollback(round); f != nil {
 		return f
 	}
-	return h.oracleEqclassDelta(round)
+	if f := h.oracleEqclassDelta(round); f != nil {
+		return f
+	}
+	return h.oracleServeVsBatch(round)
 }
 
 // staleStrategy is BugStaleCache: it computes once and then returns the

@@ -173,6 +173,35 @@ func TestForcedInternAlias(t *testing.T) {
 	forceBugCfg(t, Config{Seed: 3, Mix: "ospf+bgp", Bug: BugInternAlias}, OracleInternCopy)
 }
 
+// TestForcedStalePlan proves the serve-vs-batch oracle catches a query
+// engine whose plan cache stops hearing invalidations: the first round's
+// walks are pinned, the next round's churn moves forwarding for a queried
+// plan, and the pinned answer diverges from the fresh batch check.
+func TestForcedStalePlan(t *testing.T) {
+	forceBug(t, 3, BugStalePlan, OracleServe)
+}
+
+// TestScenarioScaleShapes drives the scale shapes — the 4-ary fat-tree and
+// the ISP route-reflector hierarchy from internal/network — through churn
+// and the full oracle set, with the walk-driven oracles sourcing from the
+// seeded verifySources sample. These shapes are explicit-only (Normalize
+// never draws them), so this is their coverage.
+func TestScenarioScaleShapes(t *testing.T) {
+	for _, shape := range []string{"fattree-k4", "isp-rr"} {
+		shape := shape
+		t.Run(shape, func(t *testing.T) {
+			res := Run(Config{Seed: 2, Shape: shape, Rounds: 2})
+			if res.Failure != nil {
+				_, report := ReportFailure(res.Config, *res.Failure, t.TempDir())
+				t.Fatal(report)
+			}
+			if res.IOs == 0 {
+				t.Fatal("no IOs captured")
+			}
+		})
+	}
+}
+
 // TestShrinkPreservesFailure checks the shrinker's contract directly on a
 // forced failure: the minimized config still fails the same oracle.
 func TestShrinkPreservesFailure(t *testing.T) {

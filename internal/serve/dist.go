@@ -1,0 +1,26 @@
+package serve
+
+import (
+	"net/netip"
+	"time"
+
+	"hbverify/internal/dataplane"
+	"hbverify/internal/dist"
+)
+
+// DistExecutor runs each plan's walk through the distributed verification
+// fleet (§5) instead of the central walker: every query plan becomes one
+// concurrent single-walk round on the coordinator, isolated by correlation
+// ID. The engine's own cache handles plan reuse, so the round runs
+// cache-less.
+type DistExecutor struct {
+	Coord *dist.Coordinator
+	Nodes map[string]*dist.Node
+	// Timeout bounds one walk round; zero uses the dist default.
+	Timeout time.Duration
+}
+
+// ExecuteWalk implements Executor.
+func (e *DistExecutor) ExecuteWalk(src string, dst netip.Addr) (dataplane.Walk, error) {
+	return e.Coord.Walk(e.Nodes, src, dst, dist.VerifyOpts{Timeout: e.Timeout})
+}

@@ -1,0 +1,139 @@
+// HTTP façade: the query engine as verifyd's operator endpoint. One
+// GET per question keeps the surface scriptable (curl, dashboards); the
+// engine underneath coalesces and caches exactly as for in-process
+// callers, so a burst of identical operator queries costs one walk.
+
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/netip"
+)
+
+// WalkJSON is the wire form of the data-plane walk backing an answer.
+type WalkJSON struct {
+	Outcome string   `json:"outcome"`
+	Path    []string `json:"path,omitempty"`
+	Egress  string   `json:"egress,omitempty"`
+}
+
+// AnswerJSON is the wire form of an Answer.
+type AnswerJSON struct {
+	OK           bool     `json:"ok"`
+	Violations   []string `json:"violations,omitempty"`
+	PlanKey      string   `json:"planKey"`
+	CacheHit     bool     `json:"cacheHit"`
+	Coalesced    bool     `json:"coalesced"`
+	LatencyMicro int64    `json:"latencyMicros"`
+	Walk         WalkJSON `json:"walk"`
+}
+
+// StatsJSON is the wire form of /stats.
+type StatsJSON struct {
+	Queries   int64   `json:"queries"`
+	PlanHits  int64   `json:"planHits"`
+	Coalesced int64   `json:"coalesced"`
+	Executed  int64   `json:"executed"`
+	Rejected  int64   `json:"rejected"`
+	WhatIfs   int64   `json:"whatIfs"`
+	HitRatio  float64 `json:"hitRatio"`
+	P50Micros int64   `json:"p50Micros"`
+	P99Micros int64   `json:"p99Micros"`
+}
+
+// Handler exposes the engine over HTTP:
+//
+//	GET /query?kind=reachability&source=r1&prefix=203.0.113.0/24
+//	GET /query?kind=waypoint&source=r3&prefix=203.0.113.0/24&via=r2
+//	GET /query?kind=isolation&source=r1&prefix=198.51.100.0/24&avoid=e1
+//	GET /stats
+func Handler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) { handleQuery(e, w, r) })
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) { handleStats(e, w) })
+	return mux
+}
+
+func handleQuery(e *Engine, w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query()
+	source := qs.Get("source")
+	if source == "" {
+		http.Error(w, "missing source", http.StatusBadRequest)
+		return
+	}
+	prefix, err := netip.ParsePrefix(qs.Get("prefix"))
+	if err != nil {
+		http.Error(w, "bad prefix: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var q Query
+	switch kind := qs.Get("kind"); kind {
+	case "", "reachability":
+		q = Reachability(source, prefix)
+	case "waypoint":
+		via := qs.Get("via")
+		if via == "" {
+			http.Error(w, "waypoint needs via=", http.StatusBadRequest)
+			return
+		}
+		q = Waypoint(source, prefix, via)
+	case "isolation":
+		avoid := qs.Get("avoid")
+		if avoid == "" {
+			http.Error(w, "isolation needs avoid=", http.StatusBadRequest)
+			return
+		}
+		q = Isolation(source, prefix, avoid)
+	default:
+		http.Error(w, "unknown kind "+kind, http.StatusBadRequest)
+		return
+	}
+
+	ans, err := e.Query(q)
+	switch {
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	out := AnswerJSON{
+		OK:           ans.OK,
+		PlanKey:      ans.PlanKey,
+		CacheHit:     ans.CacheHit,
+		Coalesced:    ans.Coalesced,
+		LatencyMicro: ans.Latency.Microseconds(),
+		Walk: WalkJSON{
+			Outcome: ans.Walk.Outcome.String(),
+			Path:    ans.Walk.Path,
+			Egress:  ans.Walk.Egress,
+		},
+	}
+	for _, v := range ans.Violations {
+		out.Violations = append(out.Violations, v.String())
+	}
+	writeJSON(w, out)
+}
+
+func handleStats(e *Engine, w http.ResponseWriter) {
+	s := e.Stats()
+	writeJSON(w, StatsJSON{
+		Queries:   s.Queries,
+		PlanHits:  s.PlanHits,
+		Coalesced: s.Coalesced,
+		Executed:  s.Executed,
+		Rejected:  s.Rejected,
+		WhatIfs:   s.WhatIfs,
+		HitRatio:  s.HitRatio(),
+		P50Micros: e.latency.Quantile(0.5).Microseconds(),
+		P99Micros: e.latency.Quantile(0.99).Microseconds(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

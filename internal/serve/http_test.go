@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func getJSON(t *testing.T, h http.Handler, url string, out interface{}) int {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s: bad JSON %q: %v", url, rec.Body.String(), err)
+		}
+	}
+	return rec.Code
+}
+
+// The HTTP façade answers the paper network's operator questions and
+// surfaces the engine's service counters.
+func TestHTTPQueryEndpoint(t *testing.T) {
+	w := startPaper(t)
+	e := w.engine(Config{})
+	defer e.Close()
+	h := Handler(e)
+
+	var ans AnswerJSON
+	if code := getJSON(t, h, "/query?kind=reachability&source=r1&prefix=203.0.113.0/24", &ans); code != http.StatusOK {
+		t.Fatalf("reachability: status %d", code)
+	}
+	if !ans.OK || ans.Walk.Outcome != "delivered" {
+		t.Errorf("reachability answer = %+v, want ok/delivered", ans)
+	}
+	// Same plan again over the wire: the shared cache answers.
+	if getJSON(t, h, "/query?kind=reachability&source=r1&prefix=203.0.113.0/24", &ans); !ans.CacheHit {
+		t.Error("repeat HTTP query missed the plan cache")
+	}
+	// r2 prefers its own provider e2, so traffic to P never crosses r1.
+	if code := getJSON(t, h, "/query?kind=isolation&source=r2&prefix=203.0.113.0/24&avoid=r1", &ans); code != http.StatusOK || !ans.OK {
+		t.Errorf("isolation: status %d answer %+v", code, ans)
+	}
+	// A waypoint the paper network violates: r2's path to P is r2->e2.
+	if code := getJSON(t, h, "/query?kind=waypoint&source=r2&prefix=203.0.113.0/24&via=r1", &ans); code != http.StatusOK {
+		t.Fatalf("waypoint: status %d", code)
+	} else if ans.OK || len(ans.Violations) == 0 {
+		t.Errorf("waypoint via r1 from r2 should be violated, got %+v", ans)
+	}
+
+	var errBody interface{}
+	for _, bad := range []string{
+		"/query?kind=reachability&prefix=203.0.113.0/24",        // no source
+		"/query?kind=reachability&source=r1&prefix=nonsense",    // bad prefix
+		"/query?kind=waypoint&source=r1&prefix=203.0.113.0/24",  // no via
+		"/query?kind=isolation&source=r1&prefix=203.0.113.0/24", // no avoid
+		"/query?kind=wat&source=r1&prefix=203.0.113.0/24",       // unknown kind
+	} {
+		if code := getJSON(t, h, bad, &errBody); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, code)
+		}
+	}
+
+	var st StatsJSON
+	if code := getJSON(t, h, "/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if st.Queries < 4 || st.PlanHits == 0 || st.HitRatio <= 0 {
+		t.Errorf("stats = %+v, want queries, hits, ratio", st)
+	}
+	if st.P50Micros < 0 || st.P99Micros < st.P50Micros {
+		t.Errorf("stats quantiles inconsistent: %+v", st)
+	}
+}
+
+// Queries against a closed engine fail with 503, not a hang or a 500.
+func TestHTTPQueryClosedEngine(t *testing.T) {
+	w := startPaper(t)
+	e := w.engine(Config{})
+	h := Handler(e)
+	e.Close()
+	var out interface{}
+	if code := getJSON(t, h, "/query?source=r1&prefix=203.0.113.0/24", &out); code != http.StatusServiceUnavailable {
+		t.Errorf("closed engine: status %d, want 503", code)
+	}
+}

@@ -9,6 +9,7 @@ package verify
 import (
 	"net/netip"
 	"sync"
+	"sync/atomic"
 
 	"hbverify/internal/dataplane"
 )
@@ -32,6 +33,9 @@ type WalkCache struct {
 	floor   uint64
 	touched map[string]uint64 // router -> epoch of its last invalidation
 	walks   map[workKey]cachedWalk
+
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // NewWalkCache returns an empty cache.
@@ -59,6 +63,12 @@ func (c *WalkCache) Flush() {
 	c.touched = map[string]uint64{}
 	c.walks = map[workKey]cachedWalk{}
 	c.mu.Unlock()
+}
+
+// Stats reports cumulative lookup hits and misses since construction — the
+// serving layer's cache-hit ratio comes straight from here.
+func (c *WalkCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
 }
 
 // Len reports the number of stored walks (valid or not).
@@ -99,6 +109,7 @@ func (c *WalkCache) get(k workKey) (dataplane.Walk, bool) {
 	defer c.mu.Unlock()
 	e, ok := c.walks[k]
 	if !ok {
+		c.misses.Add(1)
 		return dataplane.Walk{}, false
 	}
 	valid := e.epoch >= c.floor
@@ -112,8 +123,10 @@ func (c *WalkCache) get(k workKey) (dataplane.Walk, bool) {
 	}
 	if !valid {
 		delete(c.walks, k)
+		c.misses.Add(1)
 		return dataplane.Walk{}, false
 	}
+	c.hits.Add(1)
 	return e.walk, true
 }
 

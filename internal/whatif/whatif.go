@@ -62,6 +62,27 @@ type Result struct {
 // OK reports whether the hypothetical keeps the policies satisfied.
 func (r Result) OK() bool { return r.Report.OK() }
 
+// NewViolations returns the violations the hypothetical *introduced*:
+// those in the post-change report whose (policy, source) was clean in the
+// baseline. Pre-existing violations are not the commit's fault, so "would
+// this commit break anything" is answered by this set being empty.
+func (r Result) NewViolations() []verify.Violation {
+	if len(r.Report.Violations) == 0 {
+		return nil
+	}
+	base := make(map[string]struct{}, len(r.Baseline.Violations))
+	for _, v := range r.Baseline.Violations {
+		base[v.Policy.String()+"|"+v.Source] = struct{}{}
+	}
+	var out []verify.Violation
+	for _, v := range r.Report.Violations {
+		if _, pre := base[v.Policy.String()+"|"+v.Source]; !pre {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // Engine answers what-if questions for one network.
 type Engine struct {
 	// Seed drives the emulated copy's event interleaving.
