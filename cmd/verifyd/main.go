@@ -50,6 +50,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		workers = flag.Int("workers", 0, "local verification walk pool size (0 = GOMAXPROCS)")
 
+		localChecks = flag.Bool("local-checks", false, "run the hybrid local-check loop: per-node invariant checks certify quiet updates, violations escalate to targeted walks")
+
 		queries   = flag.Int("queries", 0, "fire this many concurrent queries through the query engine and report service stats")
 		queryAddr = flag.String("query-addr", "", "serve the query engine over HTTP on this address (GET /query, GET /stats)")
 
@@ -76,7 +78,7 @@ func main() {
 			checkpoint: *checkpoint, compactEvery: *compactEvery,
 		})
 	} else {
-		err = run(*violate, *grid, *seed, *workers, *queries, *queryAddr)
+		err = run(*violate, *grid, *seed, *workers, *queries, *queryAddr, *localChecks)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verifyd:", err)
@@ -95,7 +97,7 @@ func setUplinkLocalPref(c *config.Router, lp uint32) error {
 	return nil
 }
 
-func run(violate bool, grid int, seed int64, workers, queries int, queryAddr string) error {
+func run(violate bool, grid int, seed int64, workers, queries int, queryAddr string, localChecks bool) error {
 	var (
 		n        *network.Network
 		policies []verify.Policy
@@ -227,6 +229,25 @@ func run(violate bool, grid int, seed int64, workers, queries int, queryAddr str
 	fmt.Printf("distributed delta re-verify: %d frames/%d bytes (%d cache-skipped, %d clean-skipped of %d walks)\n",
 		dstats.Frames, dstats.Bytes, dstats.CacheSkipped, dstats.CleanSkipped, dstats.Walks)
 	fmt.Printf("pipeline: %s\n", pipe.Summary())
+
+	// Hybrid local-check mode: the first round walks everything and derives
+	// per-router distance labels; subsequent quiet rounds are certified by
+	// node-local invariant checks alone, with violations escalating to
+	// targeted walks for just the affected forwarding classes.
+	if localChecks {
+		for round := 1; round <= 3; round++ {
+			ls, err := pipe.VerifyLocalChecks(policies)
+			if err != nil {
+				return err
+			}
+			mode := "local"
+			if ls.Relabeled {
+				mode = "relabel"
+			}
+			fmt.Printf("local-check round %d (%s): %s — %d certified, %d escalated, %d violations; %d frames/%d bytes\n",
+				round, mode, ls.Report.Summary(), ls.LocalCertified, ls.Escalated, ls.LocalViolations, ls.Frames, ls.Bytes)
+		}
+	}
 
 	// Verification as a query service: point queries planned onto the
 	// pipeline's shared walk cache and equivalence classes.

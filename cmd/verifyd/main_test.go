@@ -10,26 +10,26 @@ import (
 )
 
 func TestPaperHealthy(t *testing.T) {
-	if err := run(false, 0, 1, 0, 0, ""); err != nil {
+	if err := run(false, 0, 1, 0, 0, "", false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestPaperViolated(t *testing.T) {
-	if err := run(true, 0, 1, 0, 0, ""); err != nil {
+	if err := run(true, 0, 1, 0, 0, "", false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestGridMode(t *testing.T) {
-	if err := run(false, 3, 1, 0, 0, ""); err != nil {
+	if err := run(false, 3, 1, 0, 0, "", false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 // TestQueryMode drives the in-process query demo (-queries) end to end.
 func TestQueryMode(t *testing.T) {
-	if err := run(false, 0, 1, 0, 64, ""); err != nil {
+	if err := run(false, 0, 1, 0, 64, "", false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -89,5 +89,22 @@ func TestServeModeCheckpointRestart(t *testing.T) {
 func TestServeModeRejectsTinyFleet(t *testing.T) {
 	if err := runServe(&bytes.Buffer{}, serveOpts{routers: 1, waves: 10}); err == nil {
 		t.Fatal("single-router fleet accepted")
+	}
+}
+
+// TestLocalCheckMode drives the hybrid local-check loop end to end: a
+// relabel round, quiet certified rounds, no spurious violations on the
+// healthy paper network.
+func TestLocalCheckMode(t *testing.T) {
+	if err := run(false, 0, 1, 0, 0, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLocalCheckModeViolated: the Fig-2 misconfiguration must still
+// surface through the local-check loop (escalated walks find it).
+func TestLocalCheckModeViolated(t *testing.T) {
+	if err := run(true, 0, 1, 0, 0, "", true); err != nil {
+		t.Fatal(err)
 	}
 }

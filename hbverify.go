@@ -28,6 +28,7 @@ package hbverify
 
 import (
 	"fmt"
+	"net/netip"
 	"sort"
 	"sync"
 	"time"
@@ -85,6 +86,9 @@ type Pipeline struct {
 	distTeardown func()
 	distDirty    map[string]struct{}
 	distAllDirty bool
+	// localRounds counts local-check rounds since the last full walk
+	// round; VerifyLocalChecks relabels when it reaches localRelabelEvery.
+	localRounds int
 }
 
 // NewPipeline builds a pipeline with the incremental rule-matching strategy
@@ -251,6 +255,111 @@ func (p *Pipeline) VerifyDistributed(policies []verify.Policy) (dist.Stats, erro
 		p.distMu.Unlock()
 	}
 	return stats, err
+}
+
+// localRelabelEvery bounds how many local-check rounds may run between
+// full walk rounds: VerifyLocalChecks re-walks everything and re-derives
+// the distance labels once the counter hits it (the periodic full round
+// of the hybrid loop).
+const localRelabelEvery = 16
+
+// VerifyLocalChecks runs the hybrid local-check loop over the same lazy
+// fleet VerifyDistributed maintains. Most rounds ship sync-ID'd view
+// deltas, let each node validate its own FIB changes against its label
+// slice, and certify every quiet (policy, source) pair without a single
+// walk frame — only violations or label staleness escalate to targeted
+// walks for the affected forwarding classes. Every localRelabelEvery-th
+// round (and the first) falls back to a full SyncViews + walk round and
+// re-derives the distance labels, so label drift is bounded. Frames and
+// Bytes in the returned stats cover the whole call: view sync, local
+// reports, label pushes, and any escalated walks.
+func (p *Pipeline) VerifyLocalChecks(policies []verify.Policy) (dist.Stats, error) {
+	p.distMu.Lock()
+	if p.distCoord == nil {
+		coord, nodes, teardown, err := dist.BuildFleet(p.Net, nil)
+		if err != nil {
+			p.distMu.Unlock()
+			return dist.Stats{}, err
+		}
+		p.distCoord, p.distNodes, p.distTeardown = coord, nodes, teardown
+		p.distDirty = map[string]struct{}{}
+		p.distAllDirty = false
+	}
+	var dirty []string
+	if p.distAllDirty {
+		dirty = nil // no delta information: sync and re-walk everything
+	} else {
+		dirty = make([]string, 0, len(p.distDirty))
+		for r := range p.distDirty {
+			dirty = append(dirty, r)
+		}
+		sort.Strings(dirty)
+	}
+	coord, nodes := p.distCoord, p.distNodes
+	rounds := p.localRounds
+	p.distMu.Unlock()
+
+	views := map[string]dist.LocalView{}
+	for _, r := range p.Net.Routers() {
+		if dirty != nil && len(dirty) == 0 {
+			break // nothing changed: no views needed
+		}
+		if dirty == nil || contains(dirty, r.Name) {
+			if nodes[r.Name] != nil {
+				views[r.Name] = dist.LocalViewOf(r)
+			}
+		}
+	}
+
+	classes := make([]netip.Prefix, 0, len(policies))
+	seen := map[netip.Prefix]bool{}
+	for _, pol := range policies {
+		if !seen[pol.Prefix] {
+			seen[pol.Prefix] = true
+			classes = append(classes, pol.Prefix)
+		}
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i].String() < classes[j].String() })
+
+	opts := dist.VerifyOpts{Cache: p.walkCache, Dirty: dirty, Metrics: p.Metrics}
+	relabel := coord.LabelEpoch() == 0 || rounds >= localRelabelEvery
+	f0, b0 := coord.FleetWire(nodes)
+	var stats dist.Stats
+	var err error
+	if relabel {
+		if _, err = coord.SyncViews(nodes, views, dirty); err != nil {
+			return dist.Stats{}, err
+		}
+		stats, err = coord.VerifyWith(nodes, policies, p.Sources, opts)
+		if err != nil {
+			return stats, err
+		}
+		if _, err = coord.Relabel(nodes, classes); err != nil {
+			return stats, err
+		}
+		stats.Relabeled = true
+	} else {
+		if _, err = coord.SyncViewsChecked(nodes, views, dirty, 0); err != nil {
+			return dist.Stats{}, err
+		}
+		stats, err = coord.VerifyLocal(nodes, policies, p.Sources, opts)
+		if err != nil {
+			return stats, err
+		}
+	}
+	f1, b1 := coord.FleetWire(nodes)
+	stats.Frames, stats.Bytes = int(f1-f0), int(b1-b0)
+
+	p.distMu.Lock()
+	p.distDirty = map[string]struct{}{}
+	p.distAllDirty = false
+	if relabel {
+		p.localRounds = 1
+	} else {
+		p.localRounds++
+	}
+	p.distMu.Unlock()
+	return stats, nil
 }
 
 func contains(ss []string, s string) bool {

@@ -17,10 +17,12 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net/netip"
+	"sort"
 
 	"hbverify/internal/capture"
 	"hbverify/internal/dataplane"
 	"hbverify/internal/fib"
+	"hbverify/internal/localck"
 	"hbverify/internal/netsim"
 	"hbverify/internal/route"
 	"hbverify/internal/verify"
@@ -38,6 +40,9 @@ const (
 	mtViewDelta   byte = 4 // body: viewDelta (FIB installs/removes + ifaces)
 	mtProv        byte = 5 // body: ProvQuery
 	mtProvResult  byte = 6 // body: ProvQuery
+	// Local-check mode (coordinator <-> node):
+	mtLocalViolation byte = 7 // body: LocalReport (per-sync local check result)
+	mtLabels         byte = 8 // body: per-node distance-label slice
 )
 
 // maxFrame bounds a single frame; larger reads are rejected as corrupt.
@@ -191,6 +196,10 @@ type viewDelta struct {
 	Removes  []netip.Prefix
 	Ifaces   []IfaceInfo // nil = leave interface state alone
 	HasIface bool
+	// Sync, when non-zero, asks the node to run its local invariant
+	// checks after applying the delta and answer with an mtLocalViolation
+	// report correlated by this ID (empty violations = certificate).
+	Sync int
 }
 
 func appendViewDelta(b []byte, d *viewDelta) []byte {
@@ -210,6 +219,56 @@ func appendViewDelta(b []byte, d *viewDelta) []byte {
 		b = appendUvarint(b, uint64(len(d.Ifaces)))
 		for _, i := range d.Ifaces {
 			b = appendIface(b, i)
+		}
+	}
+	return appendUvarint(b, uint64(d.Sync))
+}
+
+// appendLabels encodes a per-node label slice: the node's own label per
+// class plus each adjacent peer's labels in the same class order.
+// Unreachable labels ride as varint -1.
+func appendLabels(b []byte, router string, nl localck.NodeLabels) []byte {
+	b = append(b, frameV1, mtLabels)
+	b = appendString(b, router)
+	b = appendUvarint(b, nl.Epoch)
+	classes := nl.Classes()
+	b = appendUvarint(b, uint64(len(classes)))
+	for _, c := range classes {
+		b = appendPrefix(b, c)
+		b = appendVarint(b, int64(nl.OwnLabel(c)))
+	}
+	peers := make([]string, 0, len(nl.Peers))
+	for p := range nl.Peers {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	b = appendUvarint(b, uint64(len(peers)))
+	for _, p := range peers {
+		b = appendString(b, p)
+		for _, c := range classes {
+			b = appendVarint(b, int64(nl.PeerLabel(p, c)))
+		}
+	}
+	return b
+}
+
+// appendLocalReport encodes a node's per-sync local check result: the
+// compact escalation frame carrying router, checked-class count, and
+// each violation's prefix, invariant, and suspect hop set.
+func appendLocalReport(b []byte, rep *LocalReport) []byte {
+	b = append(b, frameV1, mtLocalViolation)
+	b = appendUvarint(b, uint64(rep.Sync))
+	b = appendString(b, rep.Router)
+	b = appendUvarint(b, rep.Epoch)
+	b = appendUvarint(b, uint64(rep.Checked))
+	b = appendUvarint(b, uint64(len(rep.Violations)))
+	for _, v := range rep.Violations {
+		b = appendPrefix(b, v.Prefix)
+		b = append(b, byte(v.Invariant))
+		b = appendString(b, v.Detail)
+		b = appendUvarint(b, uint64(len(v.SuspectHops)))
+		for _, h := range v.SuspectHops {
+			b = appendAddr(b, h)
 		}
 	}
 	return b
@@ -508,7 +567,57 @@ func (r *wireReader) viewDelta() viewDelta {
 			d.Ifaces = append(d.Ifaces, r.iface())
 		}
 	}
+	d.Sync = int(r.uvarint())
 	return d
+}
+
+func (r *wireReader) labels() (string, localck.NodeLabels) {
+	router := r.string()
+	nl := localck.NodeLabels{Epoch: r.uvarint(), Own: map[netip.Prefix]int{}, Peers: map[string]map[netip.Prefix]int{}}
+	nc := r.count("label classes")
+	classes := make([]netip.Prefix, 0, nc)
+	for i := 0; i < nc; i++ {
+		c := r.prefix()
+		classes = append(classes, c)
+		if d := int(r.varint()); d != localck.Unreachable && r.err == nil {
+			nl.Own[c] = d
+		}
+	}
+	np := r.count("label peers")
+	for i := 0; i < np; i++ {
+		p := r.string()
+		m := map[netip.Prefix]int{}
+		for _, c := range classes {
+			if d := int(r.varint()); d != localck.Unreachable && r.err == nil {
+				m[c] = d
+			}
+		}
+		if r.err == nil {
+			nl.Peers[p] = m
+		}
+	}
+	return router, nl
+}
+
+func (r *wireReader) localReport() LocalReport {
+	var rep LocalReport
+	rep.Sync = int(r.uvarint())
+	rep.Router = r.string()
+	rep.Epoch = r.uvarint()
+	rep.Checked = int(r.uvarint())
+	n := r.count("violations")
+	for i := 0; i < n; i++ {
+		v := localck.Violation{Router: rep.Router}
+		v.Prefix = r.prefix()
+		v.Invariant = localck.Invariant(r.byte())
+		v.Detail = r.string()
+		nh := r.count("suspect hops")
+		for j := 0; j < nh; j++ {
+			v.SuspectHops = append(v.SuspectHops, r.addr())
+		}
+		rep.Violations = append(rep.Violations, v)
+	}
+	return rep
 }
 
 func (r *wireReader) attrs() route.BGPAttrs {

@@ -28,6 +28,7 @@ import (
 
 	"hbverify/internal/dataplane"
 	"hbverify/internal/fib"
+	"hbverify/internal/localck"
 	"hbverify/internal/metrics"
 	"hbverify/internal/network"
 	"hbverify/internal/trie"
@@ -436,7 +437,10 @@ type Node struct {
 
 	// viewMu guards View against concurrent walk handling and view-delta
 	// application. View must not be mutated externally after StartNode.
-	viewMu sync.RWMutex
+	// It also guards checker: local checks run against the view they are
+	// shipped with, under the same lock.
+	viewMu  sync.RWMutex
+	checker localck.Checker
 
 	mu     sync.Mutex
 	closed bool
@@ -546,6 +550,11 @@ func (n *Node) dispatch(payload []byte) {
 			d := r.viewDelta()
 			if r.err == nil {
 				n.applyViewDelta(d)
+			}
+		case mtLabels:
+			router, nl := r.labels()
+			if r.err == nil {
+				n.applyLabels(router, nl)
 			}
 		}
 		return
@@ -720,8 +729,8 @@ func (n *Node) sendWalks(addr string, result bool, walks []WalkMsg, batchID int)
 // interface state, then recompiles the LPM index.
 func (n *Node) applyViewDelta(d viewDelta) {
 	n.viewMu.Lock()
-	defer n.viewMu.Unlock()
 	if d.Router != "" && d.Router != n.View.Router {
+		n.viewMu.Unlock()
 		return
 	}
 	if d.Full || n.View.FIB == nil {
@@ -737,6 +746,16 @@ func (n *Node) applyViewDelta(d viewDelta) {
 		n.View.Ifaces = d.Ifaces
 	}
 	n.View.Compile()
+	var rep *LocalReport
+	if d.Sync != 0 {
+		rep = n.runLocalChecks(d.Sync)
+	}
+	n.viewMu.Unlock()
+	// Send outside viewMu: the report travels on the pool and must not
+	// hold up concurrent walk handling.
+	if rep != nil {
+		n.sendLocalReport(*rep)
+	}
 }
 
 // Result is one finished walk as the coordinator sees it.
@@ -765,6 +784,15 @@ type Coordinator struct {
 	pending  map[int]chan<- WalkMsg
 	retained map[retKey]WalkMsg   // last completed walk per (source, dst)
 	lastView map[string]LocalView // views last shipped to each node
+
+	// Local-check mode state (also under mu): sync-correlated pending
+	// check reports, the label set last pushed to the fleet, and the
+	// classes tainted by violations since the last relabel.
+	nextSync   int
+	pendingLoc map[int]chan<- LocalReport
+	labels     *localck.LabelSet
+	taint      map[netip.Prefix]bool
+	taintAll   bool
 }
 
 // StartCoordinator launches the result sink. Transport options beyond the
@@ -781,9 +809,11 @@ func StartCoordinator(opts ...TransportOptions) (*Coordinator, error) {
 	wire := &wireStats{}
 	c := &Coordinator{
 		ln: ln, wire: wire, pool: newPool(topt, wire), conns: newConnSet(),
-		pending:  map[int]chan<- WalkMsg{},
-		retained: map[retKey]WalkMsg{},
-		lastView: map[string]LocalView{},
+		pending:    map[int]chan<- WalkMsg{},
+		retained:   map[retKey]WalkMsg{},
+		lastView:   map[string]LocalView{},
+		pendingLoc: map[int]chan<- LocalReport{},
+		taint:      map[netip.Prefix]bool{},
 	}
 	c.wg.Add(1)
 	go c.serve()
@@ -837,16 +867,24 @@ func (c *Coordinator) dispatch(payload []byte) {
 		return
 	}
 	if payload[0] == frameV1 {
-		if len(payload) < 2 || payload[1] != mtResultBatch {
+		if len(payload) < 2 {
 			return
 		}
 		r := &wireReader{b: payload[2:]}
-		_, walks := r.walkBatch()
-		if r.err != nil {
-			return
-		}
-		for _, w := range walks {
-			c.deliver(w)
+		switch payload[1] {
+		case mtResultBatch:
+			_, walks := r.walkBatch()
+			if r.err != nil {
+				return
+			}
+			for _, w := range walks {
+				c.deliver(w)
+			}
+		case mtLocalViolation:
+			rep := r.localReport()
+			if r.err == nil {
+				c.deliverLocal(rep)
+			}
 		}
 		return
 	}
@@ -906,6 +944,17 @@ type Stats struct {
 	// their recorded path. Neither touches the network.
 	CacheSkipped int
 	CleanSkipped int
+	// LocalCertified walks were answered by node-local invariant
+	// certificates in local-check mode: zero walk frames on the wire.
+	// Escalated counts the walks a local violation or label staleness
+	// forced back onto the fleet; LocalViolations is the number of
+	// forwarding classes local violation reports have tainted since the
+	// last relabel; Relabeled marks rounds that re-derived and pushed
+	// distance labels.
+	LocalCertified  int
+	Escalated       int
+	LocalViolations int
+	Relabeled       bool
 	// Errors counts walks that failed (dead peer, deadline) instead of
 	// completing; each failure appears in Results with Err set.
 	Errors int
@@ -1299,6 +1348,15 @@ func ifacesEqual(a, b []IfaceInfo) bool {
 // changed entries travel. Retained walk results crossing a changed router
 // are invalidated. It returns the number of delta frames sent.
 func (c *Coordinator) SyncViews(nodes map[string]*Node, views map[string]LocalView, dirty []string) (int, error) {
+	sent, _, err := c.syncViews(nodes, views, dirty, nil)
+	return sent, err
+}
+
+// syncViews is the shared delta-shipping core. When assignSync is
+// non-nil it is called for every delta actually sent and its return
+// value rides in the frame's Sync field, asking the node for a local
+// check report; the per-router sync IDs are returned for collection.
+func (c *Coordinator) syncViews(nodes map[string]*Node, views map[string]LocalView, dirty []string, assignSync func(router string) int) (int, map[string]int, error) {
 	var routers []string
 	if dirty == nil {
 		for r := range views {
@@ -1309,6 +1367,7 @@ func (c *Coordinator) SyncViews(nodes map[string]*Node, views map[string]LocalVi
 		routers = dirty
 	}
 	sent := 0
+	var ids map[string]int
 	var firstErr error
 	for _, r := range routers {
 		v, ok := views[r]
@@ -1336,6 +1395,9 @@ func (c *Coordinator) SyncViews(nodes map[string]*Node, views map[string]LocalVi
 		if len(d.Installs) == 0 && len(d.Removes) == 0 && !d.HasIface {
 			continue
 		}
+		if assignSync != nil {
+			d.Sync = assignSync(r)
+		}
 		if _, err := c.pool.send(node.Addr(), func(b []byte) []byte {
 			return appendViewDelta(b, &d)
 		}); err != nil {
@@ -1345,6 +1407,12 @@ func (c *Coordinator) SyncViews(nodes map[string]*Node, views map[string]LocalVi
 			continue
 		}
 		sent++
+		if d.Sync != 0 {
+			if ids == nil {
+				ids = map[string]int{}
+			}
+			ids[r] = d.Sync
+		}
 		c.mu.Lock()
 		c.lastView[r] = v
 		for k, w := range c.retained {
@@ -1354,7 +1422,7 @@ func (c *Coordinator) SyncViews(nodes map[string]*Node, views map[string]LocalVi
 		}
 		c.mu.Unlock()
 	}
-	return sent, firstErr
+	return sent, ids, firstErr
 }
 
 // NoteViews records views as already in sync (used by BuildFleet, whose

@@ -66,6 +66,14 @@ type world struct {
 	// ecmpRouters lists internal routers with at least two connected peers,
 	// eligible for ECMP static churn.
 	ecmpRouters []string
+	// rrHubs lists route-reflector hubs whose whole client session fan can
+	// flap at once, and rrClients their per-hub client sets — populated
+	// only by the isp-rr world, the draw pool for rr-session-flap churn.
+	rrHubs    []string
+	rrClients map[string][]string
+	// burstOrigins lists BGP speakers eligible to originate prefix-burst
+	// advertisements (batch Networks adds followed by withdrawals).
+	burstOrigins []string
 	// verifySources is the router subset the walk-driven oracles source
 	// from. The classic shapes verify from every internal router; the scale
 	// shapes sample a seeded subset (always including the destination-stub

@@ -1,4 +1,4 @@
-// The eleven differential oracles checked after every convergence round.
+// The twelve differential oracles checked after every convergence round.
 
 package scenario
 
@@ -19,6 +19,7 @@ import (
 	"hbverify/internal/fib"
 	"hbverify/internal/hbg"
 	"hbverify/internal/hbr"
+	"hbverify/internal/localck"
 	"hbverify/internal/netsim"
 	"hbverify/internal/route"
 	"hbverify/internal/serve"
@@ -39,6 +40,7 @@ const (
 	OracleSymbolic     = "symbolic-vs-probe"
 	OracleInternCopy   = "intern-vs-copy"
 	OracleServe        = "serve-vs-batch"
+	OracleLocalCheck   = "localcheck-superset"
 )
 
 // oracleInternVsCopy asserts the interned Adj-RIB-In state matches the wire:
@@ -681,6 +683,111 @@ func (h *harness) oracleDistVsCentral(round int) *Failure {
 					want.Outcome, want.Path, want.Egress)}
 			}
 		}
+	}
+	return nil
+}
+
+// oracleLocalSuperset is the local-check soundness oracle: per-router
+// invariant checks over distance labels must flag a superset of the
+// central walker's violations — any (policy, source) check the central
+// walker fails must either belong to a forwarding class some router's
+// local check flagged, or start at a router the label epoch could not
+// vouch for (label Unreachable, the escalate-by-staleness rule). It
+// asserts this twice per round: on the converged views, and on
+// update-in-flight snapshots where one delivering router's covering
+// entries are withdrawn while the labels stay at the pre-update epoch —
+// exactly the state a node validates mid-churn, before any relabel.
+// BugSkipLocalCheck silences every local checker while leaving the
+// labels intact, which the in-flight phase must catch.
+func (h *harness) oracleLocalSuperset(round int) *Failure {
+	classes := []netip.Prefix{PrefixP, PrefixQ}
+	views := map[string]dist.LocalView{}
+	var routers []string
+	for _, r := range h.w.net.Routers() {
+		views[r.Name] = dist.LocalViewOf(r)
+		routers = append(routers, r.Name)
+	}
+	sort.Strings(routers)
+	ls := dist.DeriveLabelsFromViews(views, classes, uint64(round)+1)
+
+	if f := h.localSuperset(round, "converged", views, routers, ls); f != nil {
+		return f
+	}
+
+	// Update-in-flight snapshots: for each class, withdraw the covering
+	// entries from the first labeled, non-delivering verify source's view
+	// copy and re-check against the unchanged labels.
+	for _, class := range classes {
+		victim := ""
+		for _, src := range h.w.verifySources {
+			if ls.Label(src, class) > 0 {
+				victim = src
+				break
+			}
+		}
+		if victim == "" {
+			continue // class delivered locally or unreachable everywhere: no in-flight state to model
+		}
+		rep := dataplane.Representative(class)
+		v := views[victim]
+		cut := dist.LocalView{Router: v.Router, Loopback: v.Loopback, Ifaces: v.Ifaces, FIB: map[netip.Prefix]fib.Entry{}}
+		for p, e := range v.FIB {
+			if p.Contains(rep) {
+				continue
+			}
+			cut.FIB[p] = e
+		}
+		mutated := map[string]dist.LocalView{}
+		for r, mv := range views {
+			mutated[r] = mv
+		}
+		mutated[victim] = cut
+		stage := fmt.Sprintf("in-flight %s@%s", class, victim)
+		if f := h.localSuperset(round, stage, mutated, routers, ls); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// localSuperset checks the superset property for one set of views against
+// one label epoch: flagged classes from per-router local checks must
+// cover every central violation whose source the labels vouch for.
+func (h *harness) localSuperset(round int, stage string, views map[string]dist.LocalView, routers []string, ls *localck.LabelSet) *Failure {
+	flagged := map[netip.Prefix]bool{}
+	for _, r := range routers {
+		v := views[r]
+		var peers []string
+		seen := map[string]bool{}
+		for _, i := range v.Ifaces {
+			if i.PeerName != "" && i.PeerName != r && !seen[i.PeerName] {
+				seen[i.PeerName] = true
+				peers = append(peers, i.PeerName)
+			}
+		}
+		ck := localck.Checker{Labels: ls.Node(r, peers), SkipBug: h.cfg.Bug == BugSkipLocalCheck}
+		for _, viol := range ck.Check(r, func(c netip.Prefix) localck.ClassState { return v.ClassState(c) }) {
+			flagged[viol.Prefix] = true
+		}
+	}
+
+	fibs := map[string]map[netip.Prefix]fib.Entry{}
+	for r, v := range views {
+		fibs[r] = v.FIB
+	}
+	walker := dataplane.NewWalker(h.w.net.Topo, dataplane.SnapshotView(fibs))
+	rep := verify.NewChecker(walker, h.w.verifySources).Check(h.policies())
+	for _, viol := range rep.Violations {
+		class := viol.Policy.Prefix
+		if flagged[class] {
+			continue
+		}
+		if ls.Label(viol.Source, class) < 0 {
+			continue // source unlabeled at this epoch: escalated by staleness, not by a local flag
+		}
+		return &Failure{Oracle: OracleLocalCheck, Round: round, Detail: fmt.Sprintf(
+			"%s: central violation %s from %s (class %s) not covered: class unflagged by local checks and source labeled %d",
+			stage, viol.Policy, viol.Source, class, ls.Label(viol.Source, class))}
 	}
 	return nil
 }

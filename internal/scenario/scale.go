@@ -118,18 +118,28 @@ func buildISPRRWorld(cfg Config, w *world) error {
 	w.net = n
 	w.external["ext"] = true
 	w.internals = append(w.internals, "top")
+	w.rrClients = map[string][]string{}
 	for i := 0; i < mids; i++ {
 		mid := fmt.Sprintf("mid%d", i)
 		w.internals = append(w.internals, mid)
 		w.links = append(w.links, [2]string{"top", mid})
 		w.ibgp = append(w.ibgp, [2]string{"top", mid})
+		w.rrClients["top"] = append(w.rrClients["top"], mid)
 		for j := 0; j < leaves; j++ {
 			pe := fmt.Sprintf("pe%d-%d", i, j)
 			w.internals = append(w.internals, pe)
 			w.links = append(w.links, [2]string{mid, pe})
 			w.ibgp = append(w.ibgp, [2]string{mid, pe})
+			w.rrClients[mid] = append(w.rrClients[mid], pe)
 		}
 	}
+	// Reflector hubs flap their whole client fan in one event; the external
+	// provider originates prefix bursts.
+	w.rrHubs = append(w.rrHubs, "top")
+	for i := 0; i < mids; i++ {
+		w.rrHubs = append(w.rrHubs, fmt.Sprintf("mid%d", i))
+	}
+	w.burstOrigins = append(w.burstOrigins, "ext")
 	// The ext-facing eBGP neighbor on pe0-0 carries an explicit LocalPref;
 	// its address is the peer across pe0-0's "eth-ext" interface.
 	if i := n.Router("pe0-0").Topo.Interface("eth-ext"); i != nil && i.Peer() != nil {

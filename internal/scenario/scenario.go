@@ -1,6 +1,6 @@
 // Package scenario is the randomized correctness harness: it generates
 // seeded deterministic networks, drives them through churn schedules, and
-// checks eleven differential oracles after every convergence round —
+// checks twelve differential oracles after every convergence round —
 //
 //  0. infer-fast-vs-reference: every shared-index inference strategy
 //     produces node-, edge-, and confidence-identical graphs to the
@@ -35,7 +35,12 @@
 //  10. serve-vs-batch: every answer the concurrent query engine gives —
 //     verdict and walk — is identical to a fresh batch check over the
 //     same live state, however the plan was obtained (cache hit, pinned
-//     plan, coalesced flight, or fresh execution).
+//     plan, coalesced flight, or fresh execution);
+//  11. localcheck-superset: per-router local invariant checks over
+//     distance labels flag a superset of the central walker's
+//     violations — on converged views and on update-in-flight snapshots
+//     checked against the pre-update label epoch — so local-check mode
+//     never certifies a state the central walker would fail.
 //
 // A failure carries the seed and churn schedule; Shrink greedily drops
 // events until the failure is minimal, and the artifact replays with
@@ -104,6 +109,13 @@ const (
 	// cache whose churn feed disconnects while the batch path stays
 	// healthy. The serve-vs-batch oracle must catch the divergence.
 	BugStalePlan = "stale-plan"
+	// BugSkipLocalCheck silences every per-router local invariant check
+	// while the distance labels stay in place — the failure mode of a
+	// local-check mode that certifies updates it never validated. The
+	// localcheck-superset oracle must catch it on update-in-flight
+	// snapshots, where a silenced checker leaves a central violation with
+	// no local flag to escalate it.
+	BugSkipLocalCheck = "skip-local-check"
 )
 
 // Config describes one deterministic scenario. The zero values of Shape,
@@ -379,6 +391,9 @@ func (h *harness) checkRound(round int) *Failure {
 		return f
 	}
 	if f := h.oracleDistVsCentral(round); f != nil {
+		return f
+	}
+	if f := h.oracleLocalSuperset(round); f != nil {
 		return f
 	}
 	if f := h.oracleRepairRollback(round); f != nil {

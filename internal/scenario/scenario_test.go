@@ -181,6 +181,15 @@ func TestForcedStalePlan(t *testing.T) {
 	forceBug(t, 3, BugStalePlan, OracleServe)
 }
 
+// TestForcedSkipLocalCheck proves the localcheck-superset oracle catches
+// a local-check mode whose per-router checkers are silenced: on the
+// oracle's update-in-flight snapshot a labeled router loses its covering
+// route, the central walker fails the class, and with no local flag (and
+// fresh labels vouching for the source) the superset property breaks.
+func TestForcedSkipLocalCheck(t *testing.T) {
+	forceBug(t, 3, BugSkipLocalCheck, OracleLocalCheck)
+}
+
 // TestScenarioScaleShapes drives the scale shapes — the 4-ary fat-tree and
 // the ISP route-reflector hierarchy from internal/network — through churn
 // and the full oracle set, with the walk-driven oracles sourcing from the
@@ -199,6 +208,58 @@ func TestScenarioScaleShapes(t *testing.T) {
 				t.Fatal("no IOs captured")
 			}
 		})
+	}
+}
+
+// TestISPRRScheduleKinds asserts the isp-rr generator draws the
+// reflector-flap and prefix-burst churn kinds — with well-formed hub,
+// client, and burst fields — and that the classic shapes, whose hub and
+// origin pools are empty, never draw them (their seeded schedules must
+// stay byte-identical to before these kinds existed).
+func TestISPRRScheduleKinds(t *testing.T) {
+	seenFlap, seenBurst := false, false
+	for seed := int64(1); seed <= 6; seed++ {
+		cfg, err := Materialize(Config{Seed: seed, Shape: "isp-rr", Rounds: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		withdrawn := map[string]bool{}
+		for _, ev := range cfg.Schedule {
+			switch ev.Kind {
+			case KindRRFlap:
+				seenFlap = true
+				if ev.A == "" || len(ev.Peers) == 0 {
+					t.Fatalf("seed %d: malformed rr flap %s", seed, ev)
+				}
+			case KindPrefixBurst:
+				seenBurst = true
+				if got := burstPrefixes(ev.Prefix, ev.Value); len(got) != int(ev.Value) || ev.Value < 2 {
+					t.Fatalf("seed %d: burst %s expands to %d prefixes", seed, ev, len(got))
+				}
+			case KindPrefixWithdraw:
+				withdrawn[ev.Prefix] = true
+			}
+		}
+		// Every burst retracts within its round pair.
+		for _, ev := range cfg.Schedule {
+			if ev.Kind == KindPrefixBurst && !withdrawn[ev.Prefix] {
+				t.Fatalf("seed %d: burst %s never withdrawn", seed, ev)
+			}
+		}
+	}
+	if !seenFlap || !seenBurst {
+		t.Fatalf("isp-rr schedules across seeds drew flap=%v burst=%v, want both", seenFlap, seenBurst)
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg, err := Materialize(Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range cfg.Schedule {
+			if ev.Kind == KindRRFlap || ev.Kind == KindPrefixBurst || ev.Kind == KindPrefixWithdraw {
+				t.Fatalf("classic shape drew scale-only kind: %s", ev)
+			}
+		}
 	}
 }
 

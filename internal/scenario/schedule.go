@@ -33,6 +33,17 @@ const (
 	// Re-draws across rounds widen and narrow the set — hash-polarization
 	// churn — exercising withdraw-one-member transitions end to end.
 	KindEcmpStatic = "ecmp-static"
+	// KindRRFlap resets every iBGP client session of one route-reflector
+	// hub at once — a reflector process restart as its clients see it. A
+	// names the hub; Peers lists the clients whose sessions drop. Only the
+	// isp-rr world populates the hub pool.
+	KindRRFlap = "rr-session-flap"
+	// KindPrefixBurst / KindPrefixWithdraw originate and then retract a
+	// batch of BGP Networks on one speaker — a flap of a customer block
+	// arriving as a burst advertisement. A names the origin, Prefix the
+	// first /24, Value how many consecutive /24s the burst spans.
+	KindPrefixBurst    = "prefix-burst"
+	KindPrefixWithdraw = "prefix-withdraw"
 )
 
 // Event is one scheduled churn action. A and B name routers (for link and
@@ -48,6 +59,8 @@ type Event struct {
 	NextHop  string   `json:"nextHop,omitempty"`
 	NextHops []string `json:"nextHops,omitempty"`
 	Value    uint32   `json:"value,omitempty"`
+	// Peers lists the client routers of an rr-session-flap hub.
+	Peers []string `json:"peers,omitempty"`
 }
 
 func (e Event) String() string {
@@ -75,6 +88,17 @@ func (e Event) String() string {
 	if e.Kind == KindConfigLP {
 		s += fmt.Sprintf(" lp=%d", e.Value)
 	}
+	if e.Kind == KindPrefixBurst || e.Kind == KindPrefixWithdraw {
+		s += fmt.Sprintf(" x%d", e.Value)
+	}
+	for i, p := range e.Peers {
+		if i == 0 {
+			s += " clients "
+		} else {
+			s += ","
+		}
+		s += p
+	}
 	return s
 }
 
@@ -86,6 +110,7 @@ func generateSchedule(cfg Config, w *world) []Event {
 	rng := deriveRNG(cfg.Seed, 0x5eed)
 	evs := []Event{}
 	var liveStatics []Event
+	burstOctet := 0 // running third-octet cursor so bursts never collide
 	for round := 0; round < cfg.Rounds; round++ {
 		for k := 0; k < 1+rng.Intn(2); k++ {
 			switch pickKind(rng, w, liveStatics) {
@@ -130,6 +155,22 @@ func generateSchedule(cfg Config, w *world) []Event {
 				evs = append(evs,
 					Event{Round: round, At: down, Kind: KindLagDown, A: l[0], B: l[1]},
 					Event{Round: round, At: up, Kind: KindLagUp, A: l[0], B: l[1]})
+			case KindRRFlap:
+				hub := w.rrHubs[rng.Intn(len(w.rrHubs))]
+				evs = append(evs, Event{
+					Round: round, At: rng.Int63n(int64(200 * time.Millisecond)),
+					Kind: KindRRFlap, A: hub,
+					Peers: append([]string(nil), w.rrClients[hub]...)})
+			case KindPrefixBurst:
+				origin := w.burstOrigins[rng.Intn(len(w.burstOrigins))]
+				count := uint32(2 + rng.Intn(3))
+				base := fmt.Sprintf("198.20.%d.0/24", burstOctet%250)
+				burstOctet += int(count)
+				at := rng.Int63n(int64(100 * time.Millisecond))
+				withdraw := at + int64(200*time.Millisecond) + rng.Int63n(int64(300*time.Millisecond))
+				evs = append(evs,
+					Event{Round: round, At: at, Kind: KindPrefixBurst, A: origin, Prefix: base, Value: count},
+					Event{Round: round, At: withdraw, Kind: KindPrefixWithdraw, A: origin, Prefix: base, Value: count})
 			case KindEcmpStatic:
 				router := w.ecmpRouters[rng.Intn(len(w.ecmpRouters))]
 				peers := w.staticNHs[router]
@@ -171,7 +212,34 @@ func pickKind(rng *rand.Rand, w *world, liveStatics []Event) string {
 	if len(w.ecmpRouters) > 0 {
 		kinds = append(kinds, KindEcmpStatic)
 	}
+	// The reflector and burst pools are populated only by the isp-rr world,
+	// so the classic shapes' kind list — and their seeded draws — are
+	// byte-identical to before these kinds existed.
+	if len(w.rrHubs) > 0 {
+		kinds = append(kinds, KindRRFlap)
+	}
+	if len(w.burstOrigins) > 0 {
+		kinds = append(kinds, KindPrefixBurst)
+	}
 	return kinds[rng.Intn(len(kinds))]
+}
+
+// burstPrefixes expands a burst event into its member /24s: count
+// consecutive third octets starting at the base prefix's, wrapping at 250
+// to match the generator's cursor arithmetic.
+func burstPrefixes(base string, count uint32) []netip.Prefix {
+	bp, err := netip.ParsePrefix(base)
+	if err != nil || !bp.Addr().Is4() {
+		return nil
+	}
+	a4 := bp.Addr().As4()
+	out := make([]netip.Prefix, 0, count)
+	for i := uint32(0); i < count; i++ {
+		o := a4
+		o[2] = byte((uint32(a4[2]) + i) % 250)
+		out = append(out, netip.PrefixFrom(netip.AddrFrom4(o), bp.Bits()))
+	}
+	return out
 }
 
 // applyEvent performs one churn action immediately. Events made redundant
@@ -185,6 +253,51 @@ func applyEvent(w *world, ev Event) {
 		_, _ = w.net.SetLinkUp(ev.A, ev.B, true)
 	case KindSessionReset:
 		_ = w.net.ResetBGPSession(ev.A, ev.B)
+	case KindRRFlap:
+		for _, client := range ev.Peers {
+			_ = w.net.ResetBGPSession(ev.A, client)
+		}
+	case KindPrefixBurst, KindPrefixWithdraw:
+		prefixes := burstPrefixes(ev.Prefix, ev.Value)
+		if len(prefixes) == 0 {
+			return
+		}
+		verb := "advertise"
+		if ev.Kind == KindPrefixWithdraw {
+			verb = "withdraw"
+		}
+		_, _ = w.net.UpdateConfig(ev.A, fmt.Sprintf("%s burst %s x%d", verb, ev.Prefix, len(prefixes)),
+			func(c *config.Router) {
+				if c.BGP == nil {
+					return
+				}
+				member := map[netip.Prefix]bool{}
+				for _, p := range prefixes {
+					member[p] = true
+				}
+				if ev.Kind == KindPrefixWithdraw {
+					out := c.BGP.Networks[:0]
+					for _, p := range c.BGP.Networks {
+						if !member[p] {
+							out = append(out, p)
+						}
+					}
+					c.BGP.Networks = out
+					return
+				}
+				for _, p := range prefixes {
+					have := false
+					for _, q := range c.BGP.Networks {
+						if q == p {
+							have = true
+							break
+						}
+					}
+					if !have {
+						c.BGP.Networks = append(c.BGP.Networks, p)
+					}
+				}
+			})
 	case KindConfigLP:
 		addr, err := netip.ParseAddr(ev.B)
 		if err != nil {

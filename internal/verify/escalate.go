@@ -1,0 +1,38 @@
+// Escalation-driven targeted checks: local-check mode certifies most
+// (policy, source) pairs without a walk and escalates only the pairs a
+// local violation (or label staleness) implicated. Targeted computes
+// that restricted policy set so the escalation round walks exactly the
+// affected forwarding classes and sources through the normal machinery.
+
+package verify
+
+// Targeted restricts a policy set to the (policy, source) checks the
+// escalate predicate selects. Each returned policy carries an explicit
+// Sources list (the selected subset of its effective source set, in
+// order); policies whose source set empties out are dropped entirely.
+// defaultSources stands in for policies with no Sources of their own —
+// the same rule the checkers apply — so a caller can partition a
+// verification grid and trust that running the targeted set visits
+// exactly the escalated pairs in grid order.
+func Targeted(policies []Policy, defaultSources []string, escalate func(Policy, string) bool) []Policy {
+	var out []Policy
+	for _, p := range policies {
+		srcs := p.Sources
+		if len(srcs) == 0 {
+			srcs = defaultSources
+		}
+		var keep []string
+		for _, src := range srcs {
+			if escalate(p, src) {
+				keep = append(keep, src)
+			}
+		}
+		if len(keep) == 0 {
+			continue
+		}
+		tp := p
+		tp.Sources = keep
+		out = append(out, tp)
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package verify
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+)
+
+func TestTargeted(t *testing.T) {
+	p := netip.MustParsePrefix("203.0.113.0/24")
+	q := netip.MustParsePrefix("198.51.100.0/24")
+	pols := []Policy{
+		{Kind: Reachable, Prefix: p},
+		{Kind: NoLoop, Prefix: q},
+		{Kind: NoBlackhole, Prefix: p, Sources: []string{"x", "y"}},
+	}
+	defaults := []string{"a", "b"}
+
+	// Escalate everything touching prefix p from source "a" or "x".
+	got := Targeted(pols, defaults, func(pol Policy, src string) bool {
+		return pol.Prefix == p && (src == "a" || src == "x")
+	})
+	want := []Policy{
+		{Kind: Reachable, Prefix: p, Sources: []string{"a"}},
+		{Kind: NoBlackhole, Prefix: p, Sources: []string{"x"}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Targeted = %+v, want %+v", got, want)
+	}
+
+	// Nothing escalated: empty set, not a slice of empty policies.
+	if got := Targeted(pols, defaults, func(Policy, string) bool { return false }); got != nil {
+		t.Fatalf("expected nil, got %+v", got)
+	}
+
+	// Everything escalated: policies keep their effective sources in order.
+	got = Targeted(pols, defaults, func(Policy, string) bool { return true })
+	if len(got) != 3 || !reflect.DeepEqual(got[0].Sources, defaults) || !reflect.DeepEqual(got[2].Sources, []string{"x", "y"}) {
+		t.Fatalf("full escalation = %+v", got)
+	}
+}

@@ -1,0 +1,119 @@
+package hbverify
+
+import (
+	"testing"
+
+	"hbverify/internal/config"
+	"hbverify/internal/verify"
+)
+
+// TestPipelineVerifyLocalChecks drives the hybrid local-check loop
+// end-to-end: the first round walks everything and derives labels, a
+// quiet second round certifies every pair locally without touching the
+// wire, and a control-plane change trips a local invariant on the dirty
+// router, escalating exactly the affected class to targeted walks.
+func TestPipelineVerifyLocalChecks(t *testing.T) {
+	pn, p := startPaper(t)
+	defer p.Close()
+	policies := []verify.Policy{
+		{Kind: verify.Reachable, Prefix: pn.P},
+		{Kind: verify.NoLoop, Prefix: pn.P},
+		{Kind: verify.NoBlackhole, Prefix: pn.P},
+	}
+
+	first, err := p.VerifyLocalChecks(policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Relabeled || !first.Report.OK() || first.Frames == 0 {
+		t.Fatalf("cold local-check round: %+v", first)
+	}
+
+	second, err := p.VerifyLocalChecks(policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Relabeled || second.Frames != 0 || second.Bytes != 0 {
+		t.Fatalf("quiet round touched the wire: %+v", second)
+	}
+	if second.LocalCertified != second.Walks || second.Escalated != 0 {
+		t.Fatalf("quiet round not fully certified: %+v", second)
+	}
+	if !second.Report.OK() || second.Report.Checked != first.Report.Checked {
+		t.Fatalf("quiet round verdict drifted: %+v", second.Report)
+	}
+
+	// Fig. 2 misconfiguration: r2's egress for P moves from e2 toward r1.
+	// Under the pre-change labels r1 sits farther from the egress than r2,
+	// so r2's local monotonicity check must flag the install and the round
+	// escalates the whole class to real walks — which still certify
+	// reachability, matching the central verdict.
+	if _, err := pn.UpdateConfig("r2", "lp 10", func(c *config.Router) {
+		c.BGP.Neighbors[len(c.BGP.Neighbors)-1].LocalPref = 10
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pn.Run(); err != nil {
+		t.Fatal(err)
+	}
+	third, err := p.VerifyLocalChecks(policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Relabeled {
+		t.Fatalf("churn round relabeled early: %+v", third)
+	}
+	if third.LocalViolations == 0 || third.Escalated == 0 {
+		t.Fatalf("change did not escalate: %+v", third)
+	}
+	if third.Frames == 0 {
+		t.Fatal("escalated round shipped no frames")
+	}
+	central := p.checker(p.Walker()).Check(policies)
+	if central.OK() != third.Report.OK() || len(central.Violations) != len(third.Report.Violations) {
+		t.Fatalf("local-check verdict diverged: central=%+v local=%+v", central, third.Report)
+	}
+}
+
+// TestPipelineLocalChecksMatchCentral asserts the hybrid loop and the
+// central checker agree policy-for-policy across healthy and broken
+// stages, whether a round certifies locally or escalates.
+func TestPipelineLocalChecksMatchCentral(t *testing.T) {
+	pn, p := startPaper(t)
+	defer p.Close()
+	policies := []verify.Policy{
+		{Kind: verify.Reachable, Prefix: pn.P},
+		{Kind: verify.NoBlackhole, Prefix: pn.P},
+	}
+	check := func(stage string) {
+		t.Helper()
+		central := p.checker(p.Walker()).Check(policies)
+		stats, err := p.VerifyLocalChecks(policies)
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		if central.OK() != stats.Report.OK() {
+			t.Fatalf("%s: central OK=%v, local-check OK=%v", stage, central.OK(), stats.Report.OK())
+		}
+		if len(central.Violations) != len(stats.Report.Violations) {
+			t.Fatalf("%s: central %d violations, local-check %d",
+				stage, len(central.Violations), len(stats.Report.Violations))
+		}
+	}
+	check("healthy")
+	check("healthy-quiet")
+	if _, err := pn.SetLinkUp("r2", "e2", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := pn.Run(); err != nil {
+		t.Fatal(err)
+	}
+	check("link-down")
+	if _, err := pn.SetLinkUp("r2", "e2", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := pn.Run(); err != nil {
+		t.Fatal(err)
+	}
+	check("link-restored")
+}
